@@ -1,0 +1,33 @@
+#include "asm/instruction.h"
+
+#include <sstream>
+
+namespace granite::assembly {
+
+bool Instruction::HasPrefix(const std::string& prefix) const {
+  for (const std::string& candidate : prefixes) {
+    if (candidate == prefix) return true;
+  }
+  return false;
+}
+
+std::string Instruction::ToString() const {
+  std::ostringstream out;
+  for (const std::string& prefix : prefixes) out << prefix << " ";
+  out << mnemonic;
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    out << (i == 0 ? " " : ", ") << operands[i].ToString();
+  }
+  return out.str();
+}
+
+std::string BasicBlock::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    if (i > 0) out << "\n";
+    out << instructions[i].ToString();
+  }
+  return out.str();
+}
+
+}  // namespace granite::assembly

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Instructions and basic blocks: the input objects of GRANITE.
+ *
+ * A basic block is a straight-line sequence of instructions with neither
+ * incoming nor outgoing branches (paper §1), which is why branch
+ * instructions never appear here.
+ */
+#ifndef GRANITE_ASM_INSTRUCTION_H_
+#define GRANITE_ASM_INSTRUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "asm/operand.h"
+
+namespace granite::assembly {
+
+/** One decoded x86-64 instruction. */
+struct Instruction {
+  /** Upper-case mnemonic, e.g. "ADD". */
+  std::string mnemonic;
+  /** Upper-case prefixes in source order, e.g. {"LOCK"}. */
+  std::vector<std::string> prefixes;
+  /** Explicit operands, destination first (Intel order). */
+  std::vector<Operand> operands;
+
+  bool operator==(const Instruction&) const = default;
+
+  /** True when `prefix` is present (case-sensitive; prefixes are stored
+   * upper-case). */
+  bool HasPrefix(const std::string& prefix) const;
+
+  /** Intel-syntax rendering, e.g. "LOCK ADD DWORD PTR [RAX], EBX". */
+  std::string ToString() const;
+};
+
+/** A basic block: a branch-free instruction sequence. */
+struct BasicBlock {
+  std::vector<Instruction> instructions;
+
+  bool operator==(const BasicBlock&) const = default;
+
+  std::size_t size() const { return instructions.size(); }
+  bool empty() const { return instructions.empty(); }
+
+  /** One instruction per line. */
+  std::string ToString() const;
+};
+
+}  // namespace granite::assembly
+
+#endif  // GRANITE_ASM_INSTRUCTION_H_

@@ -1,0 +1,146 @@
+#include "asm/operand.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace granite::assembly {
+
+std::string MemoryReference::ToString() const {
+  std::ostringstream out;
+  if (segment != kInvalidRegister) out << RegisterName(segment) << ":";
+  out << "[";
+  bool first = true;
+  if (base != kInvalidRegister) {
+    out << RegisterName(base);
+    first = false;
+  }
+  if (index != kInvalidRegister) {
+    if (!first) out << " + ";
+    if (scale != 1) out << scale << "*";
+    out << RegisterName(index);
+    first = false;
+  }
+  if (displacement != 0 || first) {
+    if (!first) {
+      out << (displacement < 0 ? " - " : " + ");
+      out << (displacement < 0 ? -displacement : displacement);
+    } else {
+      out << displacement;
+    }
+  }
+  out << "]";
+  return out.str();
+}
+
+Operand Operand::Reg(Register reg) {
+  GRANITE_CHECK_NE(reg, kInvalidRegister);
+  Operand operand;
+  operand.kind_ = OperandKind::kRegister;
+  operand.reg_ = reg;
+  return operand;
+}
+
+Operand Operand::Imm(int64_t value) {
+  Operand operand;
+  operand.kind_ = OperandKind::kImmediate;
+  operand.imm_ = value;
+  return operand;
+}
+
+Operand Operand::FpImm(double value) {
+  Operand operand;
+  operand.kind_ = OperandKind::kFpImmediate;
+  operand.fp_imm_ = value;
+  return operand;
+}
+
+Operand Operand::Mem(const MemoryReference& reference, int width_bits) {
+  Operand operand;
+  operand.kind_ = OperandKind::kMemory;
+  operand.mem_ = reference;
+  operand.width_bits_ = width_bits;
+  return operand;
+}
+
+Operand Operand::Addr(const MemoryReference& reference) {
+  Operand operand;
+  operand.kind_ = OperandKind::kAddress;
+  operand.mem_ = reference;
+  return operand;
+}
+
+Register Operand::reg() const {
+  GRANITE_CHECK(kind_ == OperandKind::kRegister);
+  return reg_;
+}
+
+int64_t Operand::imm() const {
+  GRANITE_CHECK(kind_ == OperandKind::kImmediate);
+  return imm_;
+}
+
+double Operand::fp_imm() const {
+  GRANITE_CHECK(kind_ == OperandKind::kFpImmediate);
+  return fp_imm_;
+}
+
+const MemoryReference& Operand::mem() const {
+  GRANITE_CHECK(kind_ == OperandKind::kMemory ||
+                kind_ == OperandKind::kAddress);
+  return mem_;
+}
+
+int Operand::width_bits() const {
+  GRANITE_CHECK(kind_ == OperandKind::kMemory);
+  return width_bits_;
+}
+
+std::string MemoryWidthKeyword(int width_bits) {
+  switch (width_bits) {
+    case 8:
+      return "BYTE PTR";
+    case 16:
+      return "WORD PTR";
+    case 32:
+      return "DWORD PTR";
+    case 64:
+      return "QWORD PTR";
+    case 128:
+      return "XMMWORD PTR";
+    case 256:
+      return "YMMWORD PTR";
+    default:
+      GRANITE_PANIC("unsupported memory width: " << width_bits);
+  }
+}
+
+std::string Operand::ToString() const {
+  switch (kind_) {
+    case OperandKind::kRegister:
+      return RegisterName(reg_);
+    case OperandKind::kImmediate: {
+      std::ostringstream out;
+      out << imm_;
+      return out.str();
+    }
+    case OperandKind::kFpImmediate: {
+      std::ostringstream out;
+      out << fp_imm_;
+      const std::string text = out.str();
+      // Make sure the token reads as a float even for integral values.
+      if (text.find('.') == std::string::npos &&
+          text.find('e') == std::string::npos) {
+        return text + ".0";
+      }
+      return text;
+    }
+    case OperandKind::kMemory:
+      return MemoryWidthKeyword(width_bits_) + " " + mem_.ToString();
+    case OperandKind::kAddress:
+      return mem_.ToString();
+  }
+  GRANITE_PANIC("unknown operand kind");
+}
+
+}  // namespace granite::assembly

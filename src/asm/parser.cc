@@ -1,0 +1,280 @@
+#include "asm/parser.h"
+
+#include <cctype>
+
+#include "base/string_util.h"
+
+namespace granite::assembly {
+namespace {
+
+/** Instruction prefixes recognized by the parser. */
+bool IsPrefixToken(std::string_view token) {
+  for (const char* prefix :
+       {"LOCK", "REP", "REPE", "REPZ", "REPNE", "REPNZ"}) {
+    if (EqualsIgnoreCase(token, prefix)) return true;
+  }
+  return false;
+}
+
+/** Maps a "DWORD"-style width keyword to a bit width; 0 when unknown. */
+int WidthFromKeyword(std::string_view keyword) {
+  if (EqualsIgnoreCase(keyword, "BYTE")) return 8;
+  if (EqualsIgnoreCase(keyword, "WORD")) return 16;
+  if (EqualsIgnoreCase(keyword, "DWORD")) return 32;
+  if (EqualsIgnoreCase(keyword, "QWORD")) return 64;
+  if (EqualsIgnoreCase(keyword, "OWORD")) return 128;
+  if (EqualsIgnoreCase(keyword, "XMMWORD")) return 128;
+  if (EqualsIgnoreCase(keyword, "YMMWORD")) return 256;
+  return 0;
+}
+
+/** Splits a string on commas that are not inside brackets. */
+std::vector<std::string_view> SplitOperands(std::string_view text) {
+  std::vector<std::string_view> operands;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || (text[i] == ',' && depth == 0)) {
+      const std::string_view piece =
+          StripWhitespace(text.substr(start, i - start));
+      if (!piece.empty()) operands.push_back(piece);
+      start = i + 1;
+    } else if (text[i] == '[') {
+      ++depth;
+    } else if (text[i] == ']') {
+      --depth;
+    }
+  }
+  return operands;
+}
+
+/** Parses the bracketed address expression (without the brackets). */
+ParseResult<MemoryReference> ParseAddressExpression(std::string_view expr,
+                                                    Register segment) {
+  MemoryReference reference;
+  reference.segment = segment;
+
+  // Split into +/- separated terms.
+  struct Term {
+    std::string_view text;
+    bool negative;
+  };
+  std::vector<Term> terms;
+  std::size_t start = 0;
+  bool negative = false;
+  for (std::size_t i = 0; i <= expr.size(); ++i) {
+    if (i == expr.size() || expr[i] == '+' || expr[i] == '-') {
+      const std::string_view piece =
+          StripWhitespace(expr.substr(start, i - start));
+      if (!piece.empty()) {
+        terms.push_back(Term{piece, negative});
+      } else if (i == expr.size() && terms.empty()) {
+        return {std::nullopt, "empty address expression"};
+      }
+      if (i < expr.size()) negative = expr[i] == '-';
+      start = i + 1;
+    }
+  }
+
+  bool saw_plain_base = false;
+  for (const Term& term : terms) {
+    const std::size_t star = term.text.find('*');
+    if (star != std::string_view::npos) {
+      // reg*scale or scale*reg.
+      const std::string_view left = StripWhitespace(term.text.substr(0, star));
+      const std::string_view right =
+          StripWhitespace(term.text.substr(star + 1));
+      std::optional<Register> reg = LookupRegister(left);
+      std::optional<int64_t> scale = ParseInt(right);
+      if (!reg.has_value()) {
+        reg = LookupRegister(right);
+        scale = ParseInt(left);
+      }
+      if (!reg.has_value() || !scale.has_value()) {
+        return {std::nullopt,
+                "malformed scaled index: " + std::string(term.text)};
+      }
+      if (term.negative) {
+        return {std::nullopt, "negative index term not allowed"};
+      }
+      if (*scale != 1 && *scale != 2 && *scale != 4 && *scale != 8) {
+        return {std::nullopt, "invalid scale: " + std::to_string(*scale)};
+      }
+      if (reference.index != kInvalidRegister) {
+        return {std::nullopt, "multiple index registers"};
+      }
+      reference.index = *reg;
+      reference.scale = static_cast<int>(*scale);
+      continue;
+    }
+    const std::optional<Register> reg = LookupRegister(term.text);
+    if (reg.has_value()) {
+      if (term.negative) {
+        return {std::nullopt, "negative register term not allowed"};
+      }
+      if (!saw_plain_base && reference.base == kInvalidRegister) {
+        reference.base = *reg;
+        saw_plain_base = true;
+      } else if (reference.index == kInvalidRegister) {
+        reference.index = *reg;
+        reference.scale = 1;
+      } else {
+        return {std::nullopt, "too many registers in address"};
+      }
+      continue;
+    }
+    const std::optional<int64_t> value = ParseInt(term.text);
+    if (value.has_value()) {
+      reference.displacement += term.negative ? -*value : *value;
+      continue;
+    }
+    return {std::nullopt, "malformed address term: " + std::string(term.text)};
+  }
+  return {reference, ""};
+}
+
+/** Parses "SEG:[expr]" or "[expr]" with an already-known width. */
+ParseResult<Operand> ParseMemoryOperand(std::string_view text,
+                                        int width_bits) {
+  Register segment = kInvalidRegister;
+  const std::size_t colon = text.find(':');
+  if (colon != std::string_view::npos &&
+      text.substr(0, colon).find('[') == std::string_view::npos) {
+    const std::string_view seg_name =
+        StripWhitespace(text.substr(0, colon));
+    const std::optional<Register> seg = LookupRegister(seg_name);
+    if (!seg.has_value() ||
+        !IsRegisterClass(*seg, RegisterClass::kSegment)) {
+      return {std::nullopt,
+              "invalid segment override: " + std::string(seg_name)};
+    }
+    segment = *seg;
+    text = StripWhitespace(text.substr(colon + 1));
+  }
+  if (text.empty() || text.front() != '[' || text.back() != ']') {
+    return {std::nullopt, "expected bracketed address: " + std::string(text)};
+  }
+  const ParseResult<MemoryReference> reference =
+      ParseAddressExpression(text.substr(1, text.size() - 2), segment);
+  if (!reference.ok()) return {std::nullopt, reference.error};
+  return {Operand::Mem(*reference.value, width_bits), ""};
+}
+
+}  // namespace
+
+ParseResult<Operand> ParseOperand(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) return {std::nullopt, "empty operand"};
+
+  // Optional "<WIDTH> PTR" keyword introducing a memory operand.
+  const std::size_t first_space = text.find_first_of(" \t");
+  if (first_space != std::string_view::npos) {
+    const std::string_view first_word = text.substr(0, first_space);
+    const int width = WidthFromKeyword(first_word);
+    if (width != 0) {
+      std::string_view rest = StripWhitespace(text.substr(first_space));
+      const std::size_t ptr_space = rest.find_first_of(" \t");
+      if (ptr_space == std::string_view::npos ||
+          !EqualsIgnoreCase(rest.substr(0, ptr_space), "PTR")) {
+        return {std::nullopt, "expected PTR after width keyword"};
+      }
+      rest = StripWhitespace(rest.substr(ptr_space));
+      return ParseMemoryOperand(rest, width);
+    }
+  }
+
+  // Bare memory operand (no width keyword): default to a 64-bit access.
+  if (text.find('[') != std::string_view::npos) {
+    return ParseMemoryOperand(text, 64);
+  }
+
+  const std::optional<Register> reg = LookupRegister(text);
+  if (reg.has_value()) return {Operand::Reg(*reg), ""};
+
+  const std::optional<int64_t> integer = ParseInt(text);
+  if (integer.has_value()) return {Operand::Imm(*integer), ""};
+
+  // Floating-point immediates are not part of the x86-64 encoding, but
+  // appear in canonicalized operand streams (paper Table 2 has a dedicated
+  // node type); the parser accepts them for completeness.
+  const std::optional<double> fp = ParseDouble(text);
+  if (fp.has_value()) return {Operand::FpImm(*fp), ""};
+
+  return {std::nullopt, "unrecognized operand: " + std::string(text)};
+}
+
+ParseResult<Instruction> ParseInstruction(std::string_view line) {
+  std::string_view text = StripWhitespace(line);
+  if (text.empty()) return {std::nullopt, "empty instruction"};
+
+  // Tolerate "3:"-style line labels from pretty-printed listings.
+  const std::size_t colon = text.find(':');
+  if (colon != std::string_view::npos) {
+    bool all_digits = colon > 0;
+    for (std::size_t i = 0; i < colon; ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+        all_digits = false;
+        break;
+      }
+    }
+    if (all_digits) text = StripWhitespace(text.substr(colon + 1));
+  }
+
+  Instruction instruction;
+  // Peel off prefixes, then the mnemonic.
+  while (true) {
+    const std::size_t space = text.find_first_of(" \t");
+    const std::string_view word =
+        space == std::string_view::npos ? text : text.substr(0, space);
+    if (word.empty()) return {std::nullopt, "missing mnemonic"};
+    if (IsPrefixToken(word)) {
+      instruction.prefixes.push_back(ToUpper(word));
+      if (space == std::string_view::npos) {
+        return {std::nullopt, "prefix without mnemonic"};
+      }
+      text = StripWhitespace(text.substr(space));
+      continue;
+    }
+    instruction.mnemonic = ToUpper(word);
+    text = space == std::string_view::npos
+               ? std::string_view()
+               : StripWhitespace(text.substr(space));
+    break;
+  }
+
+  for (std::string_view operand_text : SplitOperands(text)) {
+    ParseResult<Operand> operand = ParseOperand(operand_text);
+    if (!operand.ok()) return {std::nullopt, operand.error};
+    instruction.operands.push_back(*operand.value);
+  }
+
+  // The LEA source is an address computation, not a memory access.
+  if (instruction.mnemonic == "LEA") {
+    for (Operand& operand : instruction.operands) {
+      if (operand.kind() == OperandKind::kMemory) {
+        operand = Operand::Addr(operand.mem());
+      }
+    }
+  }
+  return {instruction, ""};
+}
+
+ParseResult<BasicBlock> ParseBasicBlock(std::string_view text) {
+  BasicBlock block;
+  for (std::string_view line : Split(text, '\n')) {
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#' ||
+        stripped.front() == ';') {
+      continue;
+    }
+    ParseResult<Instruction> instruction = ParseInstruction(stripped);
+    if (!instruction.ok()) {
+      return {std::nullopt,
+              "line '" + std::string(stripped) + "': " + instruction.error};
+    }
+    block.instructions.push_back(std::move(*instruction.value));
+  }
+  return {block, ""};
+}
+
+}  // namespace granite::assembly

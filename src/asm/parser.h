@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Intel-syntax x86-64 assembly parser.
+ *
+ * Parses the textual form used throughout the paper and the BHive dataset,
+ * e.g. "MOV DWORD PTR [RBP - 3], EAX" or "LOCK ADD QWORD PTR [RAX], RBX".
+ * The parser is the entry point for user-provided basic blocks; the
+ * dataset generator constructs Instruction values directly.
+ *
+ * Errors are reported as std::optional-miss plus a message, never by
+ * aborting, because malformed input is a user error (gem5 `fatal`
+ * philosophy), and callers may want to skip unparseable blocks.
+ */
+#ifndef GRANITE_ASM_PARSER_H_
+#define GRANITE_ASM_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "asm/instruction.h"
+
+namespace granite::assembly {
+
+/** Outcome of a parse: either a value or a diagnostic. */
+template <typename T>
+struct ParseResult {
+  std::optional<T> value;
+  std::string error;
+
+  bool ok() const { return value.has_value(); }
+};
+
+/**
+ * Parses a single instruction line ("SBB EAX, EAX"). Case-insensitive;
+ * immediate values accept decimal and 0x-prefixed hexadecimal forms.
+ */
+ParseResult<Instruction> ParseInstruction(std::string_view line);
+
+/**
+ * Parses a whole basic block, one instruction per line. Empty lines and
+ * lines whose first non-blank character is '#' or ';' are skipped.
+ * Optional "N:"-style line numbers (as printed in the paper's Table 1)
+ * are tolerated and ignored.
+ */
+ParseResult<BasicBlock> ParseBasicBlock(std::string_view text);
+
+/** Parses one operand ("EAX", "42", "DWORD PTR [RAX + 4*RBX - 8]"). */
+ParseResult<Operand> ParseOperand(std::string_view text);
+
+}  // namespace granite::assembly
+
+#endif  // GRANITE_ASM_PARSER_H_

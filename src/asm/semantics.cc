@@ -1,0 +1,447 @@
+#include "asm/semantics.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace granite::assembly {
+
+std::string_view InstructionCategoryName(InstructionCategory category) {
+  switch (category) {
+    case InstructionCategory::kMove: return "move";
+    case InstructionCategory::kMoveExtend: return "move_extend";
+    case InstructionCategory::kLea: return "lea";
+    case InstructionCategory::kAluSimple: return "alu_simple";
+    case InstructionCategory::kAluCarry: return "alu_carry";
+    case InstructionCategory::kAluCompare: return "alu_compare";
+    case InstructionCategory::kShift: return "shift";
+    case InstructionCategory::kShiftDouble: return "shift_double";
+    case InstructionCategory::kBitTest: return "bit_test";
+    case InstructionCategory::kBitScan: return "bit_scan";
+    case InstructionCategory::kMulInteger: return "mul_integer";
+    case InstructionCategory::kDivInteger: return "div_integer";
+    case InstructionCategory::kConditionalMove: return "conditional_move";
+    case InstructionCategory::kSetcc: return "setcc";
+    case InstructionCategory::kPush: return "push";
+    case InstructionCategory::kPop: return "pop";
+    case InstructionCategory::kSignExtend: return "sign_extend";
+    case InstructionCategory::kNop: return "nop";
+    case InstructionCategory::kExchange: return "exchange";
+    case InstructionCategory::kVecMove: return "vec_move";
+    case InstructionCategory::kVecFpAdd: return "vec_fp_add";
+    case InstructionCategory::kVecFpMul: return "vec_fp_mul";
+    case InstructionCategory::kVecFpDiv: return "vec_fp_div";
+    case InstructionCategory::kVecFpSqrt: return "vec_fp_sqrt";
+    case InstructionCategory::kVecFpCompare: return "vec_fp_compare";
+    case InstructionCategory::kVecInt: return "vec_int";
+    case InstructionCategory::kVecIntMul: return "vec_int_mul";
+    case InstructionCategory::kVecShuffle: return "vec_shuffle";
+    case InstructionCategory::kConvert: return "convert";
+    case InstructionCategory::kString: return "string";
+  }
+  return "?";
+}
+
+const std::vector<OperandUsage>* InstructionSemantics::UsageForArity(
+    std::size_t operand_count) const {
+  for (const std::vector<OperandUsage>& usage : usage_by_arity) {
+    if (usage.size() == operand_count) return &usage;
+  }
+  return nullptr;
+}
+
+namespace {
+
+using Category = InstructionCategory;
+using Usage = OperandUsage;
+
+constexpr Usage R = Usage::kRead;
+constexpr Usage W = Usage::kWrite;
+constexpr Usage RW = Usage::kReadWrite;
+
+/** Fluent builder collecting catalog entries. */
+class CatalogBuilder {
+ public:
+  InstructionSemantics& Add(const std::string& mnemonic, Category category,
+                            std::vector<std::vector<Usage>> usage) {
+    InstructionSemantics entry;
+    entry.mnemonic = mnemonic;
+    entry.category = category;
+    entry.usage_by_arity = std::move(usage);
+    entries_.push_back(std::move(entry));
+    return entries_.back();
+  }
+
+  /** Registers a family such as CMOVcc with per-condition mnemonics. */
+  void AddConditionFamily(const std::string& stem, Category category,
+                          std::vector<std::vector<Usage>> usage,
+                          bool reads_flags, bool writes_flags) {
+    static const char* kConditions[] = {"E",  "NE", "L",  "LE", "G",  "GE",
+                                        "A",  "AE", "B",  "BE", "S",  "NS"};
+    for (const char* condition : kConditions) {
+      InstructionSemantics& entry =
+          Add(stem + condition, category, usage);
+      entry.reads_flags = reads_flags;
+      entry.writes_flags = writes_flags;
+    }
+  }
+
+  std::vector<InstructionSemantics> Take() { return std::move(entries_); }
+
+ private:
+  std::vector<InstructionSemantics> entries_;
+};
+
+std::vector<InstructionSemantics> BuildCatalog() {
+  CatalogBuilder builder;
+  const Register rax = RegisterByName("RAX");
+  const Register rdx = RegisterByName("RDX");
+  const Register rsp = RegisterByName("RSP");
+  const Register rsi = RegisterByName("RSI");
+  const Register rdi = RegisterByName("RDI");
+
+  // ---- Data movement ------------------------------------------------------
+  builder.Add("MOV", Category::kMove, {{W, R}});
+  for (const char* mnemonic : {"MOVZX", "MOVSX", "MOVSXD"}) {
+    builder.Add(mnemonic, Category::kMoveExtend, {{W, R}});
+  }
+  builder.Add("LEA", Category::kLea, {{W, R}});
+  {
+    auto& entry = builder.Add("XCHG", Category::kExchange, {{RW, RW}});
+    (void)entry;
+  }
+  {
+    auto& entry = builder.Add("XADD", Category::kExchange, {{RW, RW}});
+    entry.writes_flags = true;
+  }
+  {
+    auto& entry = builder.Add("CMPXCHG", Category::kExchange, {{RW, R}});
+    entry.writes_flags = true;
+    entry.implicit_reads = {rax};
+    entry.implicit_writes = {rax};
+  }
+
+  // ---- Stack --------------------------------------------------------------
+  {
+    auto& entry = builder.Add("PUSH", Category::kPush, {{R}});
+    entry.implicit_reads = {rsp};
+    entry.implicit_writes = {rsp};
+    entry.implicit_memory_write = true;
+  }
+  {
+    auto& entry = builder.Add("POP", Category::kPop, {{W}});
+    entry.implicit_reads = {rsp};
+    entry.implicit_writes = {rsp};
+    entry.implicit_memory_read = true;
+  }
+
+  // ---- Integer ALU --------------------------------------------------------
+  for (const char* mnemonic : {"ADD", "SUB", "AND", "OR", "XOR"}) {
+    auto& entry = builder.Add(mnemonic, Category::kAluSimple, {{RW, R}});
+    entry.writes_flags = true;
+  }
+  for (const char* mnemonic : {"INC", "DEC", "NEG"}) {
+    auto& entry = builder.Add(mnemonic, Category::kAluSimple, {{RW}});
+    entry.writes_flags = true;
+  }
+  builder.Add("NOT", Category::kAluSimple, {{RW}});
+  for (const char* mnemonic : {"ADC", "SBB"}) {
+    auto& entry = builder.Add(mnemonic, Category::kAluCarry, {{RW, R}});
+    entry.reads_flags = true;
+    entry.writes_flags = true;
+  }
+  for (const char* mnemonic : {"CMP", "TEST"}) {
+    auto& entry = builder.Add(mnemonic, Category::kAluCompare, {{R, R}});
+    entry.writes_flags = true;
+  }
+
+  // ---- Shifts and bit manipulation ---------------------------------------
+  for (const char* mnemonic : {"SHL", "SHR", "SAR", "ROL", "ROR"}) {
+    auto& entry =
+        builder.Add(mnemonic, Category::kShift, {{RW}, {RW, R}});
+    entry.writes_flags = true;
+  }
+  for (const char* mnemonic : {"SHLD", "SHRD"}) {
+    auto& entry = builder.Add(mnemonic, Category::kShiftDouble,
+                              {{RW, R, R}});
+    entry.writes_flags = true;
+  }
+  {
+    auto& entry = builder.Add("BT", Category::kBitTest, {{R, R}});
+    entry.writes_flags = true;
+  }
+  for (const char* mnemonic : {"BTS", "BTR", "BTC"}) {
+    auto& entry = builder.Add(mnemonic, Category::kBitTest, {{RW, R}});
+    entry.writes_flags = true;
+  }
+  for (const char* mnemonic :
+       {"BSF", "BSR", "POPCNT", "LZCNT", "TZCNT"}) {
+    auto& entry = builder.Add(mnemonic, Category::kBitScan, {{W, R}});
+    entry.writes_flags = true;
+  }
+  builder.Add("BSWAP", Category::kBitScan, {{RW}});
+
+  // ---- Integer multiplication and division --------------------------------
+  {
+    auto& entry = builder.Add("MUL", Category::kMulInteger, {{R}});
+    entry.writes_flags = true;
+    entry.implicit_reads = {rax};
+    entry.implicit_writes = {rax, rdx};
+  }
+  {
+    // IMUL has one-, two- and three-operand forms.
+    auto& entry = builder.Add("IMUL", Category::kMulInteger,
+                              {{R}, {RW, R}, {W, R, R}});
+    entry.writes_flags = true;
+    // The implicit accumulator applies only to the one-operand form;
+    // consumers must consult ImplicitOperandsApply().
+    entry.implicit_reads = {rax};
+    entry.implicit_writes = {rax, rdx};
+  }
+  for (const char* mnemonic : {"DIV", "IDIV"}) {
+    auto& entry = builder.Add(mnemonic, Category::kDivInteger, {{R}});
+    entry.writes_flags = true;
+    entry.implicit_reads = {rax, rdx};
+    entry.implicit_writes = {rax, rdx};
+  }
+
+  // ---- Conditional data movement ------------------------------------------
+  builder.AddConditionFamily("CMOV", Category::kConditionalMove, {{RW, R}},
+                             /*reads_flags=*/true, /*writes_flags=*/false);
+  builder.AddConditionFamily("SET", Category::kSetcc, {{W}},
+                             /*reads_flags=*/true, /*writes_flags=*/false);
+
+  // ---- Accumulator sign extension -----------------------------------------
+  for (const char* mnemonic : {"CDQ", "CQO"}) {
+    auto& entry = builder.Add(mnemonic, Category::kSignExtend, {{}});
+    entry.implicit_reads = {rax};
+    entry.implicit_writes = {rdx};
+  }
+  for (const char* mnemonic : {"CBW", "CWDE", "CDQE"}) {
+    auto& entry = builder.Add(mnemonic, Category::kSignExtend, {{}});
+    entry.implicit_reads = {rax};
+    entry.implicit_writes = {rax};
+  }
+
+  builder.Add("NOP", Category::kNop, {{}, {R}});
+
+  // ---- Vector / floating point moves --------------------------------------
+  for (const char* mnemonic : {"MOVAPS", "MOVUPS", "MOVAPD", "MOVUPD",
+                               "MOVDQA", "MOVDQU", "MOVSS", "MOVSD", "MOVQ",
+                               "MOVD"}) {
+    builder.Add(mnemonic, Category::kVecMove, {{W, R}});
+  }
+
+  // ---- Floating-point arithmetic -------------------------------------------
+  for (const char* mnemonic : {"ADDPS", "ADDPD", "ADDSS", "ADDSD", "SUBPS",
+                               "SUBPD", "SUBSS", "SUBSD", "MINSS", "MINSD",
+                               "MAXSS", "MAXSD"}) {
+    builder.Add(mnemonic, Category::kVecFpAdd, {{RW, R}});
+  }
+  for (const char* mnemonic : {"MULPS", "MULPD", "MULSS", "MULSD"}) {
+    builder.Add(mnemonic, Category::kVecFpMul, {{RW, R}});
+  }
+  for (const char* mnemonic : {"DIVPS", "DIVPD", "DIVSS", "DIVSD"}) {
+    builder.Add(mnemonic, Category::kVecFpDiv, {{RW, R}});
+  }
+  for (const char* mnemonic : {"SQRTPS", "SQRTPD", "SQRTSS", "SQRTSD"}) {
+    builder.Add(mnemonic, Category::kVecFpSqrt, {{W, R}});
+  }
+  for (const char* mnemonic : {"UCOMISS", "UCOMISD", "COMISS", "COMISD"}) {
+    auto& entry = builder.Add(mnemonic, Category::kVecFpCompare, {{R, R}});
+    entry.writes_flags = true;
+  }
+
+  // ---- Packed integer arithmetic -------------------------------------------
+  for (const char* mnemonic : {"PADDB", "PADDW", "PADDD", "PADDQ", "PSUBB",
+                               "PSUBW", "PSUBD", "PSUBQ", "PAND", "POR",
+                               "PXOR", "PANDN", "PCMPEQB", "PCMPEQD",
+                               "PCMPGTD", "PMINSD", "PMAXSD"}) {
+    builder.Add(mnemonic, Category::kVecInt, {{RW, R}});
+  }
+  for (const char* mnemonic : {"PSLLD", "PSRLD", "PSLLQ", "PSRLQ", "PSLLW",
+                               "PSRLW"}) {
+    builder.Add(mnemonic, Category::kVecInt, {{RW, R}});
+  }
+  for (const char* mnemonic : {"PMULLD", "PMULLW", "PMULUDQ"}) {
+    builder.Add(mnemonic, Category::kVecIntMul, {{RW, R}});
+  }
+  builder.Add("PSHUFD", Category::kVecShuffle, {{W, R, R}});
+  builder.Add("SHUFPS", Category::kVecShuffle, {{RW, R, R}});
+  builder.Add("UNPCKLPS", Category::kVecShuffle, {{RW, R}});
+
+  // ---- Conversions ----------------------------------------------------------
+  for (const char* mnemonic : {"CVTSI2SD", "CVTSI2SS", "CVTSD2SI",
+                               "CVTSS2SI", "CVTTSD2SI", "CVTTSS2SI",
+                               "CVTSD2SS", "CVTSS2SD"}) {
+    builder.Add(mnemonic, Category::kConvert, {{W, R}});
+  }
+
+  // ---- AVX (VEX-encoded, non-destructive three-operand forms) -------------
+  for (const char* mnemonic : {"VMOVAPS", "VMOVUPS", "VMOVAPD", "VMOVUPD",
+                               "VMOVDQA", "VMOVDQU"}) {
+    builder.Add(mnemonic, Category::kVecMove, {{W, R}});
+  }
+  for (const char* mnemonic : {"VADDPS", "VADDPD", "VADDSS", "VADDSD",
+                               "VSUBPS", "VSUBPD", "VSUBSS", "VSUBSD",
+                               "VMINPS", "VMINPD", "VMAXPS", "VMAXPD"}) {
+    builder.Add(mnemonic, Category::kVecFpAdd, {{W, R, R}});
+  }
+  for (const char* mnemonic : {"VMULPS", "VMULPD", "VMULSS", "VMULSD"}) {
+    builder.Add(mnemonic, Category::kVecFpMul, {{W, R, R}});
+  }
+  // Fused multiply-add accumulates into the destination.
+  for (const char* mnemonic : {"VFMADD231PS", "VFMADD231PD", "VFMADD231SS",
+                               "VFMADD231SD", "VFMADD132PD", "VFMADD213PD"}) {
+    builder.Add(mnemonic, Category::kVecFpMul, {{RW, R, R}});
+  }
+  for (const char* mnemonic : {"VDIVPS", "VDIVPD", "VDIVSS", "VDIVSD"}) {
+    builder.Add(mnemonic, Category::kVecFpDiv, {{W, R, R}});
+  }
+  for (const char* mnemonic : {"VSQRTPS", "VSQRTPD", "VSQRTSS", "VSQRTSD"}) {
+    builder.Add(mnemonic, Category::kVecFpSqrt, {{W, R}, {W, R, R}});
+  }
+  for (const char* mnemonic : {"VPADDB", "VPADDW", "VPADDD", "VPADDQ",
+                               "VPSUBD", "VPSUBQ", "VPAND", "VPOR", "VPXOR",
+                               "VPANDN", "VPCMPEQD", "VPCMPGTD", "VXORPS",
+                               "VXORPD", "VANDPS", "VANDPD", "VORPS"}) {
+    builder.Add(mnemonic, Category::kVecInt, {{W, R, R}});
+  }
+  builder.Add("VPMULLD", Category::kVecIntMul, {{W, R, R}});
+  builder.Add("VPSHUFD", Category::kVecShuffle, {{W, R, R}});
+  builder.Add("VZEROUPPER", Category::kNop, {{}});
+
+  // ---- BMI / BMI2 ----------------------------------------------------------
+  for (const char* mnemonic : {"ANDN", "BZHI"}) {
+    auto& entry = builder.Add(mnemonic, Category::kAluSimple, {{W, R, R}});
+    entry.writes_flags = true;
+  }
+  for (const char* mnemonic : {"PDEP", "PEXT"}) {
+    builder.Add(mnemonic, Category::kMulInteger, {{W, R, R}});
+  }
+  {
+    // MULX writes two destinations and implicitly reads RDX; it does not
+    // touch EFLAGS (its reason for existing).
+    auto& entry = builder.Add("MULX", Category::kMulInteger, {{W, W, R}});
+    entry.implicit_reads = {rdx};
+  }
+  for (const char* mnemonic : {"RORX"}) {
+    builder.Add(mnemonic, Category::kShift, {{W, R, R}});
+  }
+  for (const char* mnemonic : {"SARX", "SHLX", "SHRX"}) {
+    builder.Add(mnemonic, Category::kShift, {{W, R, R}});
+  }
+
+  // ---- Explicit flag manipulation -------------------------------------------
+  for (const char* mnemonic : {"CLC", "STC", "CMC"}) {
+    auto& entry = builder.Add(mnemonic, Category::kNop, {{}});
+    entry.writes_flags = true;
+    if (std::string_view(mnemonic) == "CMC") entry.reads_flags = true;
+  }
+  {
+    auto& entry = builder.Add("LAHF", Category::kMove, {{}});
+    entry.reads_flags = true;
+    entry.implicit_writes = {rax};
+  }
+  {
+    auto& entry = builder.Add("SAHF", Category::kMove, {{}});
+    entry.writes_flags = true;
+    entry.implicit_reads = {rax};
+  }
+
+  // ---- String operations -----------------------------------------------------
+  for (const char* mnemonic : {"MOVSB", "MOVSW", "MOVSD_STR", "MOVSQ"}) {
+    // Note: "MOVSD" collides between the SSE move and the string move; the
+    // string form is registered as MOVSQ/MOVSB/MOVSW only (the SSE form
+    // owns "MOVSD"), matching common disassembler conventions where the
+    // string form is rare in compiled basic blocks. MOVSD_STR is reserved
+    // for explicit construction and never produced by the parser.
+    auto& entry = builder.Add(mnemonic, Category::kString, {{}});
+    entry.implicit_reads = {rsi, rdi};
+    entry.implicit_writes = {rsi, rdi};
+    entry.implicit_memory_read = true;
+    entry.implicit_memory_write = true;
+    entry.is_string_op = true;
+  }
+  for (const char* mnemonic : {"STOSB", "STOSW", "STOSD", "STOSQ"}) {
+    auto& entry = builder.Add(mnemonic, Category::kString, {{}});
+    entry.implicit_reads = {rax, rdi};
+    entry.implicit_writes = {rdi};
+    entry.implicit_memory_write = true;
+    entry.is_string_op = true;
+  }
+
+  return builder.Take();
+}
+
+}  // namespace
+
+SemanticsCatalog::SemanticsCatalog() : entries_(BuildCatalog()) {
+  index_.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    index_.emplace_back(entries_[i].mnemonic, i);
+  }
+  std::sort(index_.begin(), index_.end());
+  for (std::size_t i = 1; i < index_.size(); ++i) {
+    GRANITE_CHECK_MSG(index_[i - 1].first != index_[i].first,
+                      "duplicate mnemonic: " << index_[i].first);
+  }
+}
+
+const SemanticsCatalog& SemanticsCatalog::Get() {
+  static const SemanticsCatalog* const catalog = new SemanticsCatalog();
+  return *catalog;
+}
+
+const InstructionSemantics* SemanticsCatalog::Find(
+    std::string_view mnemonic) const {
+  const std::string upper = ToUpper(mnemonic);
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), upper,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it == index_.end() || it->first != upper) return nullptr;
+  return &entries_[it->second];
+}
+
+const InstructionSemantics& SemanticsCatalog::Require(
+    std::string_view mnemonic) const {
+  const InstructionSemantics* entry = Find(mnemonic);
+  GRANITE_CHECK_MSG(entry != nullptr, "unknown mnemonic: " << mnemonic);
+  return *entry;
+}
+
+std::vector<std::string> SemanticsCatalog::Mnemonics() const {
+  std::vector<std::string> names;
+  names.reserve(index_.size());
+  for (const auto& [name, unused_index] : index_) names.push_back(name);
+  return names;
+}
+
+std::vector<OperandUsage> OperandUsageFor(const Instruction& instruction) {
+  const InstructionSemantics& semantics =
+      SemanticsCatalog::Get().Require(instruction.mnemonic);
+  const std::vector<OperandUsage>* usage =
+      semantics.UsageForArity(instruction.operands.size());
+  GRANITE_CHECK_MSG(usage != nullptr,
+                    "unsupported arity " << instruction.operands.size()
+                                         << " for " << instruction.mnemonic);
+  return *usage;
+}
+
+bool ImplicitOperandsApply(const InstructionSemantics& semantics,
+                           std::size_t operand_count) {
+  if (semantics.mnemonic == "IMUL" && operand_count >= 2) return false;
+  return true;
+}
+
+bool IsSupportedInstruction(const Instruction& instruction) {
+  const InstructionSemantics* semantics =
+      SemanticsCatalog::Get().Find(instruction.mnemonic);
+  if (semantics == nullptr) return false;
+  return semantics->UsageForArity(instruction.operands.size()) != nullptr;
+}
+
+}  // namespace granite::assembly

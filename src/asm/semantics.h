@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Instruction semantics catalog.
+ *
+ * For every supported mnemonic the catalog records how its explicit
+ * operands are used (read / write / read-write, per supported arity),
+ * which registers it touches implicitly (RAX/RDX for MUL and DIV, RSP for
+ * PUSH/POP, RSI/RDI for string operations), and whether it reads or writes
+ * EFLAGS. This is the information the original GRANITE pipeline obtains
+ * from LLVM; the graph builder (src/graph) and the throughput simulator
+ * (src/uarch) both consume it.
+ */
+#ifndef GRANITE_ASM_SEMANTICS_H_
+#define GRANITE_ASM_SEMANTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/instruction.h"
+#include "asm/registers.h"
+
+namespace granite::assembly {
+
+/** How an instruction uses one explicit operand. */
+enum class OperandUsage {
+  kRead,
+  kWrite,
+  kReadWrite,
+};
+
+/**
+ * Coarse functional categories. The throughput simulator assigns uop
+ * decompositions, port sets and latencies per category (and per
+ * microarchitecture), mirroring how llvm-mca-style models organize their
+ * scheduling tables.
+ */
+enum class InstructionCategory {
+  kMove,              ///< MOV and register-to-register copies.
+  kMoveExtend,        ///< MOVZX / MOVSX / MOVSXD.
+  kLea,               ///< Address computation.
+  kAluSimple,         ///< ADD/SUB/AND/OR/XOR/INC/DEC/NEG/NOT.
+  kAluCarry,          ///< ADC / SBB (consume the carry flag).
+  kAluCompare,        ///< CMP / TEST (flags only).
+  kShift,             ///< SHL/SHR/SAR/ROL/ROR.
+  kShiftDouble,       ///< SHLD / SHRD.
+  kBitTest,           ///< BT / BTS / BTR / BTC.
+  kBitScan,           ///< BSF/BSR/POPCNT/LZCNT/TZCNT/BSWAP.
+  kMulInteger,        ///< MUL / IMUL.
+  kDivInteger,        ///< DIV / IDIV.
+  kConditionalMove,   ///< CMOVcc.
+  kSetcc,             ///< SETcc.
+  kPush,              ///< PUSH.
+  kPop,               ///< POP.
+  kSignExtend,        ///< CDQ/CQO/CWDE/CDQE/CBW.
+  kNop,               ///< NOP.
+  kExchange,          ///< XCHG / XADD / CMPXCHG.
+  kVecMove,           ///< Vector/FP register and memory moves.
+  kVecFpAdd,          ///< FP add/sub/min/max (scalar and packed).
+  kVecFpMul,          ///< FP multiply.
+  kVecFpDiv,          ///< FP divide.
+  kVecFpSqrt,         ///< FP square root.
+  kVecFpCompare,      ///< UCOMISS-style compares (write EFLAGS).
+  kVecInt,            ///< Packed integer ALU.
+  kVecIntMul,         ///< Packed integer multiply.
+  kVecShuffle,        ///< PSHUFD-style shuffles.
+  kConvert,           ///< CVT* conversions.
+  kString,            ///< MOVSB/STOSB-style string operations.
+};
+
+/** Returns a stable display name for a category. */
+std::string_view InstructionCategoryName(InstructionCategory category);
+
+/** Catalog entry for one mnemonic. */
+struct InstructionSemantics {
+  std::string mnemonic;
+  InstructionCategory category = InstructionCategory::kNop;
+  /**
+   * Explicit operand usage for every supported operand count. An
+   * instruction form with N operands matches the entry of size N.
+   */
+  std::vector<std::vector<OperandUsage>> usage_by_arity;
+  bool reads_flags = false;
+  bool writes_flags = false;
+  /** Canonical registers read implicitly (beyond explicit operands). */
+  std::vector<Register> implicit_reads;
+  /** Canonical registers written implicitly. */
+  std::vector<Register> implicit_writes;
+  /** True for string ops, where a REP prefix additionally makes RCX
+   * read-write. */
+  bool is_string_op = false;
+  /** True when the instruction reads memory implicitly (POP, MOVSB). */
+  bool implicit_memory_read = false;
+  /** True when the instruction writes memory implicitly (PUSH, STOSB). */
+  bool implicit_memory_write = false;
+
+  /** Returns the usage vector matching `operand_count`, or nullptr. */
+  const std::vector<OperandUsage>* UsageForArity(
+      std::size_t operand_count) const;
+};
+
+/** The singleton semantics catalog. */
+class SemanticsCatalog {
+ public:
+  /** Returns the process-wide catalog. */
+  static const SemanticsCatalog& Get();
+
+  /** Finds the entry for `mnemonic` (case-insensitive), or nullptr. */
+  const InstructionSemantics* Find(std::string_view mnemonic) const;
+
+  /** Like Find but fails on unknown mnemonics. */
+  const InstructionSemantics& Require(std::string_view mnemonic) const;
+
+  /** All registered mnemonics, sorted. */
+  std::vector<std::string> Mnemonics() const;
+
+  /** Number of catalog entries. */
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  SemanticsCatalog();
+
+  std::vector<InstructionSemantics> entries_;
+  std::vector<std::pair<std::string, std::size_t>> index_;  // sorted by name
+};
+
+/**
+ * Resolves the per-operand usage of a concrete instruction, checking that
+ * the mnemonic is known and the arity is supported.
+ */
+std::vector<OperandUsage> OperandUsageFor(const Instruction& instruction);
+
+/** True when the catalog knows `mnemonic` with the given operand count. */
+bool IsSupportedInstruction(const Instruction& instruction);
+
+/**
+ * True when the implicit register operands of `semantics` apply to an
+ * instruction with `operand_count` explicit operands. This is false only
+ * for the two- and three-operand forms of IMUL, which do not use the
+ * RAX/RDX accumulator of the one-operand form.
+ */
+bool ImplicitOperandsApply(const InstructionSemantics& semantics,
+                           std::size_t operand_count);
+
+}  // namespace granite::assembly
+
+#endif  // GRANITE_ASM_SEMANTICS_H_

@@ -1,0 +1,63 @@
+#include "base/csv_writer.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace granite {
+
+std::string EscapeCsvCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : file_(path), columns_(header.size()) {
+  if (!file_.is_open()) {
+    GRANITE_FATAL("Cannot open CSV output file: " << path);
+  }
+  WriteRawRow(header);
+}
+
+CsvWriter::~CsvWriter() { Close(); }
+
+void CsvWriter::WriteRawRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) file_ << ',';
+    file_ << EscapeCsvCell(cells[i]);
+  }
+  file_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  GRANITE_CHECK_EQ(cells.size(), columns_);
+  WriteRawRow(cells);
+  ++rows_written_;
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& cells) {
+  std::vector<std::string> text_cells;
+  text_cells.reserve(cells.size());
+  for (double value : cells) {
+    std::ostringstream out;
+    out << value;
+    text_cells.push_back(out.str());
+  }
+  WriteRow(text_cells);
+}
+
+void CsvWriter::Close() {
+  if (file_.is_open()) {
+    file_.flush();
+    file_.close();
+  }
+}
+
+}  // namespace granite

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal CSV writer used by benchmark harnesses to export heatmap and
+ * histogram data (Figures 3-5) for external plotting.
+ */
+#ifndef GRANITE_BASE_CSV_WRITER_H_
+#define GRANITE_BASE_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace granite {
+
+/** Streams rows of comma-separated values to a file. */
+class CsvWriter {
+ public:
+  /**
+   * Opens `path` for writing and emits the header row.
+   * Fails fatally when the file cannot be created.
+   */
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /** Writes one row; the number of cells must match the header width. */
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /** Convenience overload for numeric rows. */
+  void WriteRow(const std::vector<double>& cells);
+
+  /** Flushes and closes the underlying file. */
+  void Close();
+
+  /** Number of data rows written so far. */
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  void WriteRawRow(const std::vector<std::string>& cells);
+
+  std::ofstream file_;
+  std::size_t columns_;
+  std::size_t rows_written_ = 0;
+};
+
+/** Quotes a CSV cell when it contains separators or quotes. */
+std::string EscapeCsvCell(const std::string& cell);
+
+}  // namespace granite
+
+#endif  // GRANITE_BASE_CSV_WRITER_H_

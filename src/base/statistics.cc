@@ -1,0 +1,111 @@
+#include "base/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.h"
+
+namespace granite {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double StandardDeviation(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+double MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted) {
+  GRANITE_CHECK_EQ(actual.size(), predicted.size());
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < 1e-9) continue;
+    total += std::abs(actual[i] - predicted[i]) / std::abs(actual[i]);
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+double MeanSquaredError(const std::vector<double>& actual,
+                        const std::vector<double>& predicted) {
+  GRANITE_CHECK_EQ(actual.size(), predicted.size());
+  if (actual.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double diff = actual[i] - predicted[i];
+    total += diff * diff;
+  }
+  return total / static_cast<double>(actual.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  GRANITE_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  double covariance = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    covariance += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return covariance / std::sqrt(var_a * var_b);
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](std::size_t x, std::size_t y) {
+    return values[x] < values[y];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie group [i, j]; ranks are 1-based.
+    const double average_rank = (static_cast<double>(i) +
+                                 static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = average_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  GRANITE_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  return PearsonCorrelation(FractionalRanks(a), FractionalRanks(b));
+}
+
+double Percentile(std::vector<double> values, double percentile) {
+  GRANITE_CHECK(!values.empty());
+  GRANITE_CHECK_GE(percentile, 0.0);
+  GRANITE_CHECK_LE(percentile, 100.0);
+  std::sort(values.begin(), values.end());
+  const double position =
+      percentile / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lower = static_cast<std::size_t>(position);
+  const double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= values.size()) return values.back();
+  return values[lower] * (1.0 - fraction) + values[lower + 1] * fraction;
+}
+
+}  // namespace granite

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Statistical helpers shared by the evaluation harness: error metrics and
+ * the Spearman / Pearson correlation coefficients reported in Tables 5-6.
+ */
+#ifndef GRANITE_BASE_STATISTICS_H_
+#define GRANITE_BASE_STATISTICS_H_
+
+#include <vector>
+
+namespace granite {
+
+/** Arithmetic mean. Returns 0 for empty input. */
+double Mean(const std::vector<double>& values);
+
+/** Population standard deviation. Returns 0 for fewer than 2 values. */
+double StandardDeviation(const std::vector<double>& values);
+
+/**
+ * Mean absolute percentage error: mean_i |actual_i - predicted_i| /
+ * |actual_i|. This is the loss and headline metric of the paper (§4).
+ * Entries with |actual| < 1e-9 are skipped to avoid division by zero.
+ */
+double MeanAbsolutePercentageError(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted);
+
+/** Mean squared error. */
+double MeanSquaredError(const std::vector<double>& actual,
+                        const std::vector<double>& predicted);
+
+/**
+ * Pearson product-moment correlation coefficient between two series.
+ * Returns 0 when either series has zero variance.
+ */
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/**
+ * Spearman rank correlation: Pearson correlation of the rank transforms,
+ * with ties assigned fractional (average) ranks.
+ */
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/** Returns average ranks (1-based, ties averaged) of the input values. */
+std::vector<double> FractionalRanks(const std::vector<double>& values);
+
+/** Percentile in [0, 100] using linear interpolation. */
+double Percentile(std::vector<double> values, double percentile);
+
+}  // namespace granite
+
+#endif  // GRANITE_BASE_STATISTICS_H_

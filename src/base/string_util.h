@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small string helpers used by the assembly parser and report writers.
+ */
+#ifndef GRANITE_BASE_STRING_UTIL_H_
+#define GRANITE_BASE_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace granite {
+
+/** Removes leading and trailing ASCII whitespace. */
+std::string_view StripWhitespace(std::string_view text);
+
+/** Splits `text` on `delimiter`, keeping empty pieces. */
+std::vector<std::string_view> Split(std::string_view text, char delimiter);
+
+/** Splits `text` on `delimiter` and strips each piece; drops empty pieces. */
+std::vector<std::string_view> SplitAndStrip(std::string_view text,
+                                            char delimiter);
+
+/** Returns an upper-cased copy (ASCII only). */
+std::string ToUpper(std::string_view text);
+
+/** Returns a lower-cased copy (ASCII only). */
+std::string ToLower(std::string_view text);
+
+/** Case-insensitive ASCII string equality. */
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/** True if `text` starts with `prefix` (case sensitive). */
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/**
+ * Parses a signed integer literal. Accepts decimal ("42", "-3") and
+ * hexadecimal ("0x1F", "-0x8") forms.
+ * @return std::nullopt when `text` is not a well-formed integer.
+ */
+std::optional<int64_t> ParseInt(std::string_view text);
+
+/** Parses a floating-point literal, or nullopt on malformed input. */
+std::optional<double> ParseDouble(std::string_view text);
+
+/** Joins pieces with a separator. */
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+}  // namespace granite
+
+#endif  // GRANITE_BASE_STRING_UTIL_H_

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The GRANITE model (paper §3): graph encoding + learned embeddings +
+ * iterated full GN block + per-instruction decoder head(s).
+ *
+ * The model predicts, for each basic block and each target
+ * microarchitecture (task), the block's inverse throughput in cycles per
+ * 100 iterations. The graph network trunk is shared across tasks; each
+ * task owns an independent decoder MLP applied to the final embeddings of
+ * the instruction mnemonic nodes, whose scalar outputs are summed per
+ * block (§3.3-3.4).
+ */
+#ifndef GRANITE_CORE_GRANITE_MODEL_H_
+#define GRANITE_CORE_GRANITE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asm/instruction.h"
+#include "core/graph_net.h"
+#include "graph/graph_builder.h"
+#include "graph/vocabulary.h"
+#include "ml/layers.h"
+#include "ml/parameter.h"
+#include "ml/tape.h"
+
+namespace granite::core {
+
+/** Hyper-parameters of the GRANITE model (paper Table 4 defaults). */
+struct GraniteConfig {
+  int node_embedding_size = 256;
+  int edge_embedding_size = 256;
+  int global_embedding_size = 256;
+  std::vector<int> node_update_layers = {256, 256};
+  std::vector<int> edge_update_layers = {256, 256};
+  std::vector<int> global_update_layers = {256, 256};
+  std::vector<int> decoder_layers = {256, 256};
+  /** Paper sweeps 1..12 (Table 7); the best setting is 8. */
+  int message_passing_iterations = 8;
+  /** Layer normalization in update networks and decoders (§5.2). */
+  bool use_layer_norm = true;
+  /** Residual connections in update networks. */
+  bool use_residual = true;
+  /** One decoder head per task (microarchitecture). */
+  int num_tasks = 1;
+  /**
+   * Initial output bias of every decoder head. Since the block
+   * prediction is the sum of per-instruction decoder outputs, setting
+   * this to (mean target) / (mean instructions per block) makes the
+   * untrained model predict the dataset mean, which shortens the
+   * scaled-down training schedules dramatically.
+   */
+  float decoder_output_bias_init = 0.0f;
+  /** RNG seed for parameter initialization. */
+  uint64_t seed = 42;
+
+  /** Returns a proportionally scaled-down copy (for tests/benches). */
+  GraniteConfig WithEmbeddingSize(int size) const;
+};
+
+/** The GRANITE throughput estimation model. */
+class GraniteModel {
+ public:
+  /**
+   * @param vocabulary Token vocabulary; must outlive the model.
+   * @param config Model hyper-parameters.
+   */
+  GraniteModel(const graph::Vocabulary* vocabulary,
+               const GraniteConfig& config);
+
+  /**
+   * Runs the model on a batch of basic blocks.
+   * @return One [num_blocks, 1] prediction column per task.
+   */
+  std::vector<ml::Var> Forward(
+      ml::Tape& tape,
+      const std::vector<const assembly::BasicBlock*>& blocks) const;
+
+  /** Runs the model on pre-built graphs (lets callers cache encoding). */
+  std::vector<ml::Var> ForwardGraphs(ml::Tape& tape,
+                                     const graph::BatchedGraph& batch) const;
+
+  /** Convenience inference: predictions of one task for a block batch. */
+  std::vector<double> Predict(
+      const std::vector<const assembly::BasicBlock*>& blocks, int task) const;
+
+  /**
+   * Per-instruction throughput contributions (paper §3.3: the decoder
+   * "computes the contribution of the instruction to the overall
+   * throughput"). Entry i of the result holds one value per instruction
+   * of `blocks[i]`; their sum equals the block prediction. Useful for
+   * attributing a block's cost to individual instructions, e.g. in a
+   * peephole optimizer.
+   */
+  std::vector<std::vector<double>> PredictPerInstruction(
+      const std::vector<const assembly::BasicBlock*>& blocks, int task) const;
+
+  /** Encodes blocks into a batched graph using the model's vocabulary. */
+  graph::BatchedGraph EncodeBlocks(
+      const std::vector<const assembly::BasicBlock*>& blocks) const;
+
+  ml::ParameterStore& parameters() { return *parameters_; }
+  const ml::ParameterStore& parameters() const { return *parameters_; }
+  const GraniteConfig& config() const { return config_; }
+  const graph::Vocabulary& vocabulary() const { return *vocabulary_; }
+
+ private:
+  const graph::Vocabulary* vocabulary_;
+  GraniteConfig config_;
+  std::unique_ptr<ml::ParameterStore> parameters_;
+  graph::GraphBuilder builder_;
+
+  std::unique_ptr<ml::Embedding> node_embedding_;
+  std::unique_ptr<ml::Embedding> edge_embedding_;
+  /** Linear projection of the token/edge-type frequency vector into the
+   * global embedding space. */
+  ml::Parameter* global_projection_ = nullptr;
+  ml::Parameter* global_projection_bias_ = nullptr;
+  std::unique_ptr<GraphNetBlock> graph_net_;
+  /** One decoder per task (§3.4). */
+  std::vector<std::unique_ptr<ml::Mlp>> decoders_;
+};
+
+}  // namespace granite::core
+
+#endif  // GRANITE_CORE_GRANITE_MODEL_H_

@@ -1,0 +1,82 @@
+#include "core/graph_net.h"
+
+#include "base/logging.h"
+
+namespace granite::core {
+
+GraphNetBlock::GraphNetBlock(ml::ParameterStore* store,
+                             const std::string& name,
+                             const GraphNetConfig& config)
+    : config_(config) {
+  ml::MlpConfig edge_config;
+  edge_config.input_size =
+      config.edge_size + 2 * config.node_size + config.global_size;
+  edge_config.hidden_sizes = config.edge_update_layers;
+  edge_config.output_size = config.edge_size;
+  edge_config.layer_norm_at_input = config.use_layer_norm;
+  edge_update_ =
+      std::make_unique<ml::Mlp>(store, name + "/edge_update", edge_config);
+
+  ml::MlpConfig node_config;
+  node_config.input_size =
+      config.node_size + config.edge_size + config.global_size;
+  node_config.hidden_sizes = config.node_update_layers;
+  node_config.output_size = config.node_size;
+  node_config.layer_norm_at_input = config.use_layer_norm;
+  node_update_ =
+      std::make_unique<ml::Mlp>(store, name + "/node_update", node_config);
+
+  ml::MlpConfig global_config;
+  global_config.input_size =
+      config.global_size + config.edge_size + config.node_size;
+  global_config.hidden_sizes = config.global_update_layers;
+  global_config.output_size = config.global_size;
+  global_config.layer_norm_at_input = config.use_layer_norm;
+  global_update_ = std::make_unique<ml::Mlp>(store, name + "/global_update",
+                                             global_config);
+}
+
+GraphState GraphNetBlock::Apply(ml::Tape& tape,
+                                const graph::BatchedGraph& batch,
+                                const GraphState& state) const {
+  GRANITE_CHECK_EQ(tape.value(state.nodes).rows(), batch.num_nodes);
+  GRANITE_CHECK_EQ(tape.value(state.edges).rows(), batch.num_edges);
+  GRANITE_CHECK_EQ(tape.value(state.globals).rows(), batch.num_graphs);
+
+  // ---- Edge update -------------------------------------------------------
+  const ml::Var source_nodes = tape.GatherRows(state.nodes, batch.edge_source);
+  const ml::Var target_nodes = tape.GatherRows(state.nodes, batch.edge_target);
+  const ml::Var edge_globals = tape.GatherRows(state.globals, batch.edge_graph);
+  ml::Var updated_edges = edge_update_->Apply(
+      tape,
+      tape.ConcatCols({state.edges, source_nodes, target_nodes, edge_globals}));
+  if (config_.use_residual) {
+    updated_edges = tape.Add(updated_edges, state.edges);
+  }
+
+  // ---- Node update -------------------------------------------------------
+  // Aggregate incoming messages: sum of updated edge features per target.
+  const ml::Var incoming =
+      tape.SegmentSum(updated_edges, batch.edge_target, batch.num_nodes);
+  const ml::Var node_globals = tape.GatherRows(state.globals, batch.node_graph);
+  ml::Var updated_nodes = node_update_->Apply(
+      tape, tape.ConcatCols({state.nodes, incoming, node_globals}));
+  if (config_.use_residual) {
+    updated_nodes = tape.Add(updated_nodes, state.nodes);
+  }
+
+  // ---- Global update -----------------------------------------------------
+  const ml::Var edge_aggregate =
+      tape.SegmentSum(updated_edges, batch.edge_graph, batch.num_graphs);
+  const ml::Var node_aggregate =
+      tape.SegmentSum(updated_nodes, batch.node_graph, batch.num_graphs);
+  ml::Var updated_globals = global_update_->Apply(
+      tape, tape.ConcatCols({state.globals, edge_aggregate, node_aggregate}));
+  if (config_.use_residual) {
+    updated_globals = tape.Add(updated_globals, state.globals);
+  }
+
+  return GraphState{updated_nodes, updated_edges, updated_globals};
+}
+
+}  // namespace granite::core

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Throughput datasets: labeled basic blocks with ground-truth throughput
+ * for every target microarchitecture, plus the deterministic splits the
+ * paper uses (83% train / 17% test, and 98% train / 2% validation inside
+ * the training part; §4).
+ */
+#ifndef GRANITE_DATASET_DATASET_H_
+#define GRANITE_DATASET_DATASET_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "asm/instruction.h"
+#include "dataset/generator.h"
+#include "uarch/measurement.h"
+#include "uarch/microarchitecture.h"
+
+namespace granite::dataset {
+
+/** One labeled basic block. */
+struct Sample {
+  assembly::BasicBlock block;
+  /** Measured throughput (cycles per 100 iterations) per
+   * microarchitecture, indexed by Microarchitecture enum value. */
+  std::array<double, uarch::kNumMicroarchitectures> throughput = {};
+};
+
+struct DatasetSplit;
+
+/** An immutable list of samples with split helpers. */
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Sample> samples);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](std::size_t index) const;
+
+  /**
+   * Deterministically splits into (`first_fraction`, rest) by a seeded
+   * shuffle. The paper uses 0.83 for train/test and 0.98 for
+   * train/validation.
+   */
+  DatasetSplit SplitFraction(double first_fraction, uint64_t seed) const;
+
+  /** Ground-truth column of one microarchitecture. */
+  std::vector<double> Throughputs(uarch::Microarchitecture uarch) const;
+
+  /** Pointers to all blocks, e.g. for whole-dataset inference. */
+  std::vector<const assembly::BasicBlock*> Blocks() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/** The result of a two-way dataset split. */
+struct DatasetSplit {
+  Dataset first;
+  Dataset second;
+};
+
+/** Configuration of dataset synthesis. */
+struct SynthesisConfig {
+  std::size_t num_blocks = 1000;
+  /** The measurement methodology; kIthemalTool produces an
+   * "Ithemal-style" dataset, kBHiveTool a "BHive-style" one. */
+  uarch::MeasurementTool tool = uarch::MeasurementTool::kIthemalTool;
+  GeneratorConfig generator;
+  uint64_t seed = 7;
+};
+
+/**
+ * Synthesizes a labeled dataset: generates blocks and measures each one
+ * on all three microarchitectures with the configured tool. Duplicate
+ * blocks (by fingerprint) are regenerated, so all samples are unique.
+ */
+Dataset SynthesizeDataset(const SynthesisConfig& config);
+
+/**
+ * Re-labels the blocks of `dataset` with a different measurement tool,
+ * used to reproduce the paper's cross-dataset evaluation (train on
+ * Ithemal-style labels, test on BHive-style labels of unseen blocks).
+ */
+Dataset RelabelDataset(const Dataset& dataset, uarch::MeasurementTool tool);
+
+/** Simple batching: yields index slices of a seeded shuffle, restarting
+ * (with a fresh shuffle) when the dataset is exhausted. */
+class BatchSampler {
+ public:
+  BatchSampler(std::size_t dataset_size, std::size_t batch_size,
+               uint64_t seed);
+
+  /** Returns the next batch of sample indices (always `batch_size` long;
+   * the tail of an epoch wraps into the next shuffle). */
+  std::vector<std::size_t> NextBatch();
+
+ private:
+  void Reshuffle();
+
+  std::size_t dataset_size_;
+  std::size_t batch_size_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace granite::dataset
+
+#endif  // GRANITE_DATASET_DATASET_H_

@@ -1,0 +1,100 @@
+#include "dataset/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/statistics.h"
+
+namespace granite::dataset {
+
+DatasetStatistics ComputeStatistics(const Dataset& data) {
+  DatasetStatistics statistics;
+  statistics.num_blocks = data.size();
+  if (data.empty()) return statistics;
+
+  std::unordered_map<std::string, std::size_t> mnemonic_counts;
+  std::size_t memory_instructions = 0;
+  statistics.min_block_length = data[0].block.size();
+  for (const Sample& sample : data.samples()) {
+    const std::size_t length = sample.block.size();
+    statistics.num_instructions += length;
+    statistics.min_block_length =
+        std::min(statistics.min_block_length, length);
+    statistics.max_block_length =
+        std::max(statistics.max_block_length, length);
+    ++statistics.block_length_histogram[length];
+    for (const assembly::Instruction& instruction :
+         sample.block.instructions) {
+      ++mnemonic_counts[instruction.mnemonic];
+      for (const assembly::Operand& operand : instruction.operands) {
+        if (operand.kind() == assembly::OperandKind::kMemory) {
+          ++memory_instructions;
+          break;
+        }
+      }
+    }
+  }
+  statistics.mean_block_length =
+      static_cast<double>(statistics.num_instructions) /
+      static_cast<double>(statistics.num_blocks);
+  statistics.memory_instruction_fraction =
+      statistics.num_instructions == 0
+          ? 0.0
+          : static_cast<double>(memory_instructions) /
+                static_cast<double>(statistics.num_instructions);
+
+  statistics.mnemonic_frequencies.assign(mnemonic_counts.begin(),
+                                         mnemonic_counts.end());
+  std::sort(statistics.mnemonic_frequencies.begin(),
+            statistics.mnemonic_frequencies.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  for (const uarch::Microarchitecture microarchitecture :
+       uarch::AllMicroarchitectures()) {
+    const int index = static_cast<int>(microarchitecture);
+    const std::vector<double> values = data.Throughputs(microarchitecture);
+    auto& summary = statistics.throughput[index];
+    summary.mean = Mean(values);
+    summary.median = Percentile(values, 50.0);
+    summary.p90 = Percentile(values, 90.0);
+    summary.min = *std::min_element(values.begin(), values.end());
+    summary.max = *std::max_element(values.begin(), values.end());
+  }
+  return statistics;
+}
+
+std::string FormatStatistics(const DatasetStatistics& statistics,
+                             std::size_t top_mnemonics) {
+  std::ostringstream out;
+  out << "blocks: " << statistics.num_blocks
+      << ", instructions: " << statistics.num_instructions
+      << ", mean length: " << statistics.mean_block_length << " ["
+      << statistics.min_block_length << ", " << statistics.max_block_length
+      << "]\n";
+  out << "memory-touching instructions: "
+      << 100.0 * statistics.memory_instruction_fraction << "%\n";
+  out << "top mnemonics:";
+  for (std::size_t i = 0;
+       i < std::min(top_mnemonics, statistics.mnemonic_frequencies.size());
+       ++i) {
+    out << " " << statistics.mnemonic_frequencies[i].first << "("
+        << statistics.mnemonic_frequencies[i].second << ")";
+  }
+  out << "\n";
+  for (const uarch::Microarchitecture microarchitecture :
+       uarch::AllMicroarchitectures()) {
+    const auto& summary =
+        statistics.throughput[static_cast<int>(microarchitecture)];
+    out << MicroarchitectureName(microarchitecture)
+        << " throughput (cycles/100 iter): mean " << summary.mean
+        << ", median " << summary.median << ", p90 " << summary.p90
+        << ", range [" << summary.min << ", " << summary.max << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace granite::dataset

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Dataset statistics: the summary a dataset paper (BHive) or a model
+ * paper's methodology section reports — block-length distribution,
+ * mnemonic frequencies, throughput distribution per microarchitecture.
+ * Used by the examples and handy when tuning the synthetic generator to
+ * match a target corpus.
+ */
+#ifndef GRANITE_DATASET_STATISTICS_H_
+#define GRANITE_DATASET_STATISTICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace granite::dataset {
+
+/** Aggregate description of a dataset. */
+struct DatasetStatistics {
+  std::size_t num_blocks = 0;
+  std::size_t num_instructions = 0;
+  double mean_block_length = 0.0;
+  std::size_t min_block_length = 0;
+  std::size_t max_block_length = 0;
+  /** Histogram of block lengths: count per length. */
+  std::map<std::size_t, std::size_t> block_length_histogram;
+  /** Occurrences per mnemonic, descending by count. */
+  std::vector<std::pair<std::string, std::size_t>> mnemonic_frequencies;
+  /** Fraction of instructions with at least one memory operand. */
+  double memory_instruction_fraction = 0.0;
+  /** Per-microarchitecture throughput summary (cycles / 100 iter). */
+  struct ThroughputSummary {
+    double mean = 0.0;
+    double median = 0.0;
+    double p90 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  ThroughputSummary throughput[uarch::kNumMicroarchitectures];
+};
+
+/** Computes the full statistics of `data`. */
+DatasetStatistics ComputeStatistics(const Dataset& data);
+
+/** Renders the statistics as a human-readable report. */
+std::string FormatStatistics(const DatasetStatistics& statistics,
+                             std::size_t top_mnemonics = 10);
+
+}  // namespace granite::dataset
+
+#endif  // GRANITE_DATASET_STATISTICS_H_

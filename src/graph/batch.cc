@@ -1,0 +1,52 @@
+#include "graph/batch.h"
+
+#include "base/logging.h"
+
+namespace granite::graph {
+
+BatchedGraph BatchGraphs(const std::vector<BlockGraph>& graphs,
+                         const Vocabulary& vocabulary) {
+  GRANITE_CHECK(!graphs.empty());
+  BatchedGraph batch;
+  batch.num_graphs = static_cast<int>(graphs.size());
+  const int global_width = vocabulary.size() + kNumEdgeTypes;
+  batch.global_features = ml::Tensor(batch.num_graphs, global_width);
+
+  int node_offset = 0;
+  for (int g = 0; g < batch.num_graphs; ++g) {
+    const BlockGraph& graph = graphs[g];
+    for (const Node& node : graph.nodes) {
+      batch.node_token.push_back(node.token);
+      batch.node_graph.push_back(g);
+      batch.global_features.at(g, node.token) += 1.0f;
+    }
+    for (const Edge& edge : graph.edges) {
+      batch.edge_type.push_back(static_cast<int>(edge.type));
+      batch.edge_source.push_back(node_offset + edge.source);
+      batch.edge_target.push_back(node_offset + edge.target);
+      batch.edge_graph.push_back(g);
+      batch.global_features.at(
+          g, vocabulary.size() + static_cast<int>(edge.type)) += 1.0f;
+    }
+    for (const int mnemonic : graph.mnemonic_nodes) {
+      batch.mnemonic_node.push_back(node_offset + mnemonic);
+      batch.mnemonic_graph.push_back(g);
+    }
+    // Normalize counts into relative frequencies (paper §3.2: "the
+    // relative frequencies of the tokens and edge types used in the
+    // graph").
+    const float total =
+        static_cast<float>(graph.num_nodes() + graph.num_edges());
+    if (total > 0.0f) {
+      for (int c = 0; c < global_width; ++c) {
+        batch.global_features.at(g, c) /= total;
+      }
+    }
+    node_offset += graph.num_nodes();
+  }
+  batch.num_nodes = node_offset;
+  batch.num_edges = static_cast<int>(batch.edge_type.size());
+  return batch;
+}
+
+}  // namespace granite::graph

@@ -1,0 +1,75 @@
+#include "graph/block_graph.h"
+
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace granite::graph {
+
+std::string_view NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kMnemonic: return "mnemonic";
+    case NodeType::kPrefix: return "prefix";
+    case NodeType::kRegister: return "register";
+    case NodeType::kImmediate: return "immediate";
+    case NodeType::kFpImmediate: return "fp_immediate";
+    case NodeType::kAddressComputation: return "address";
+    case NodeType::kMemoryValue: return "memory";
+  }
+  return "?";
+}
+
+std::string_view EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kStructuralDependency: return "structural";
+    case EdgeType::kInputOperand: return "input_operand";
+    case EdgeType::kOutputOperand: return "output_operand";
+    case EdgeType::kAddressBase: return "address_base";
+    case EdgeType::kAddressIndex: return "address_index";
+    case EdgeType::kAddressSegment: return "address_segment";
+    case EdgeType::kAddressDisplacement: return "address_displacement";
+  }
+  return "?";
+}
+
+int BlockGraph::CountNodes(NodeType type) const {
+  int count = 0;
+  for (const Node& node : nodes) {
+    if (node.type == type) ++count;
+  }
+  return count;
+}
+
+int BlockGraph::CountEdges(EdgeType type) const {
+  int count = 0;
+  for (const Edge& edge : edges) {
+    if (edge.type == type) ++count;
+  }
+  return count;
+}
+
+std::string BlockGraph::ToDot(
+    const std::vector<std::string>& token_names) const {
+  std::ostringstream out;
+  out << "digraph block {\n";
+  out << "  rankdir=LR;\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& node = nodes[i];
+    GRANITE_CHECK_LT(static_cast<std::size_t>(node.token),
+                     token_names.size());
+    const char* shape =
+        node.type == NodeType::kMnemonic || node.type == NodeType::kPrefix
+            ? "box"
+            : "ellipse";
+    out << "  n" << i << " [label=\"" << token_names[node.token]
+        << "\", shape=" << shape << "];\n";
+  }
+  for (const Edge& edge : edges) {
+    out << "  n" << edge.source << " -> n" << edge.target << " [label=\""
+        << EdgeTypeName(edge.type) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace granite::graph

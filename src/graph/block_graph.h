@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The GRANITE graph representation of a basic block (paper §3.1).
+ *
+ * Nodes are instruction nodes (mnemonic, prefix) or value nodes (register,
+ * immediate, FP immediate, address computation, memory value), exactly the
+ * types of the paper's Table 2. Edges are directed and typed per Table 3.
+ * Value nodes are SSA-like: each written register or memory value gets a
+ * fresh node, so one register name may appear on several nodes.
+ */
+#ifndef GRANITE_GRAPH_BLOCK_GRAPH_H_
+#define GRANITE_GRAPH_BLOCK_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+namespace granite::graph {
+
+/** Node types of the GRANITE graph (paper Table 2). */
+enum class NodeType {
+  kMnemonic = 0,
+  kPrefix = 1,
+  kRegister = 2,
+  kImmediate = 3,
+  kFpImmediate = 4,
+  kAddressComputation = 5,
+  kMemoryValue = 6,
+};
+
+/** Number of node types. */
+inline constexpr int kNumNodeTypes = 7;
+
+/** Edge types of the GRANITE graph (paper Table 3). */
+enum class EdgeType {
+  kStructuralDependency = 0,
+  kInputOperand = 1,
+  kOutputOperand = 2,
+  kAddressBase = 3,
+  kAddressIndex = 4,
+  kAddressSegment = 5,
+  kAddressDisplacement = 6,
+};
+
+/** Number of edge types. */
+inline constexpr int kNumEdgeTypes = 7;
+
+/** Display name of a node type. */
+std::string_view NodeTypeName(NodeType type);
+
+/** Display name of an edge type. */
+std::string_view EdgeTypeName(EdgeType type);
+
+/** One graph node. */
+struct Node {
+  NodeType type = NodeType::kMnemonic;
+  /** Vocabulary index of the token associated with the node. */
+  int token = 0;
+  /**
+   * Index of the owning instruction for kMnemonic/kPrefix nodes, and of
+   * the producing instruction for value nodes; -1 for value nodes that no
+   * instruction of the block produces.
+   */
+  int instruction_index = -1;
+};
+
+/** One directed, typed edge. */
+struct Edge {
+  EdgeType type = EdgeType::kStructuralDependency;
+  int source = 0;
+  int target = 0;
+};
+
+/** The typed multigraph encoding one basic block. */
+struct BlockGraph {
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+  /** Node index of the mnemonic node of each instruction, in order. */
+  std::vector<int> mnemonic_nodes;
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  int num_edges() const { return static_cast<int>(edges.size()); }
+  int num_instructions() const {
+    return static_cast<int>(mnemonic_nodes.size());
+  }
+
+  /** Counts nodes of the given type. */
+  int CountNodes(NodeType type) const;
+
+  /** Counts edges of the given type. */
+  int CountEdges(EdgeType type) const;
+
+  /** Renders the graph in Graphviz DOT format (token names resolved via
+   * the vocabulary by the caller through `token_names`). */
+  std::string ToDot(const std::vector<std::string>& token_names) const;
+};
+
+}  // namespace granite::graph
+
+#endif  // GRANITE_GRAPH_BLOCK_GRAPH_H_

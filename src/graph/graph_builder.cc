@@ -1,0 +1,256 @@
+#include "graph/graph_builder.h"
+
+#include <unordered_map>
+
+#include "asm/semantics.h"
+#include "base/logging.h"
+
+namespace granite::graph {
+namespace {
+
+using assembly::Instruction;
+using assembly::InstructionSemantics;
+using assembly::MemoryReference;
+using assembly::Operand;
+using assembly::OperandKind;
+using assembly::OperandUsage;
+using assembly::Register;
+using assembly::SemanticsCatalog;
+
+/** Mutable construction state for one block. */
+class BuilderState {
+ public:
+  explicit BuilderState(const Vocabulary& vocabulary)
+      : vocabulary_(vocabulary) {}
+
+  BlockGraph Take() { return std::move(graph_); }
+
+  int AddNode(NodeType type, const std::string& token,
+              int instruction_index) {
+    Node node;
+    node.type = type;
+    node.token = vocabulary_.TokenIndex(token);
+    node.instruction_index = instruction_index;
+    graph_.nodes.push_back(node);
+    return static_cast<int>(graph_.nodes.size()) - 1;
+  }
+
+  void AddEdge(EdgeType type, int source, int target) {
+    GRANITE_CHECK(source >= 0 && source < graph_.num_nodes());
+    GRANITE_CHECK(target >= 0 && target < graph_.num_nodes());
+    graph_.edges.push_back(Edge{type, source, target});
+  }
+
+  /** Returns the live value node of a register, creating an unproduced
+   * node when the value comes from outside the block. */
+  int RegisterValueNode(Register reg) {
+    const Register canonical = assembly::CanonicalRegister(reg);
+    const auto it = live_register_value_.find(canonical);
+    if (it != live_register_value_.end()) return it->second;
+    const int node =
+        AddNode(NodeType::kRegister, assembly::RegisterName(reg), -1);
+    live_register_value_[canonical] = node;
+    return node;
+  }
+
+  /** Creates a fresh value node for a register write. */
+  int WriteRegister(Register reg, int mnemonic_node, int instruction_index) {
+    const Register canonical = assembly::CanonicalRegister(reg);
+    const int node = AddNode(NodeType::kRegister,
+                             assembly::RegisterName(reg), instruction_index);
+    AddEdge(EdgeType::kOutputOperand, mnemonic_node, node);
+    live_register_value_[canonical] = node;
+    return node;
+  }
+
+  /** Returns the live memory value node, creating an unproduced one when
+   * no store precedes. */
+  int MemoryValueNode() {
+    if (live_memory_value_ < 0) {
+      live_memory_value_ =
+          AddNode(NodeType::kMemoryValue, Vocabulary::kMemoryToken, -1);
+    }
+    return live_memory_value_;
+  }
+
+  /** Creates a fresh memory value node for a store. */
+  int WriteMemory(int mnemonic_node, int instruction_index) {
+    const int node = AddNode(NodeType::kMemoryValue,
+                             Vocabulary::kMemoryToken, instruction_index);
+    AddEdge(EdgeType::kOutputOperand, mnemonic_node, node);
+    live_memory_value_ = node;
+    return node;
+  }
+
+  /** Builds the address-computation node of a memory reference and
+   * connects its components. */
+  int AddressNode(const MemoryReference& reference, int instruction_index) {
+    const int node = AddNode(NodeType::kAddressComputation,
+                             Vocabulary::kAddressToken, instruction_index);
+    if (reference.base != assembly::kInvalidRegister) {
+      AddEdge(EdgeType::kAddressBase, RegisterValueNode(reference.base),
+              node);
+    }
+    if (reference.index != assembly::kInvalidRegister) {
+      AddEdge(EdgeType::kAddressIndex, RegisterValueNode(reference.index),
+              node);
+    }
+    if (reference.segment != assembly::kInvalidRegister) {
+      AddEdge(EdgeType::kAddressSegment,
+              RegisterValueNode(reference.segment), node);
+    }
+    if (reference.displacement != 0) {
+      const int displacement = AddNode(NodeType::kImmediate,
+                                       Vocabulary::kImmediateToken,
+                                       instruction_index);
+      AddEdge(EdgeType::kAddressDisplacement, displacement, node);
+    }
+    return node;
+  }
+
+  BlockGraph& graph() { return graph_; }
+
+ private:
+  const Vocabulary& vocabulary_;
+  BlockGraph graph_;
+  std::unordered_map<Register, int> live_register_value_;
+  int live_memory_value_ = -1;
+};
+
+}  // namespace
+
+GraphBuilder::GraphBuilder(const Vocabulary* vocabulary)
+    : vocabulary_(vocabulary) {
+  GRANITE_CHECK(vocabulary != nullptr);
+}
+
+BlockGraph GraphBuilder::Build(const assembly::BasicBlock& block) const {
+  BuilderState state(*vocabulary_);
+  int previous_mnemonic = -1;
+
+  for (std::size_t index = 0; index < block.instructions.size(); ++index) {
+    const Instruction& instruction = block.instructions[index];
+    const InstructionSemantics& semantics =
+        SemanticsCatalog::Get().Require(instruction.mnemonic);
+    const std::vector<OperandUsage> usage =
+        assembly::OperandUsageFor(instruction);
+    const bool implicit_apply = assembly::ImplicitOperandsApply(
+        semantics, instruction.operands.size());
+    const int instruction_index = static_cast<int>(index);
+
+    const int mnemonic_node = state.AddNode(
+        NodeType::kMnemonic, instruction.mnemonic, instruction_index);
+    state.graph().mnemonic_nodes.push_back(mnemonic_node);
+
+    // Prefix nodes attach to the mnemonic with a structural edge.
+    for (const std::string& prefix : instruction.prefixes) {
+      const int prefix_node =
+          state.AddNode(NodeType::kPrefix, prefix, instruction_index);
+      state.AddEdge(EdgeType::kStructuralDependency, prefix_node,
+                    mnemonic_node);
+    }
+
+    // Structural chain between consecutive instructions.
+    if (previous_mnemonic >= 0) {
+      state.AddEdge(EdgeType::kStructuralDependency, previous_mnemonic,
+                    mnemonic_node);
+    }
+    previous_mnemonic = mnemonic_node;
+
+    // ---- Inputs ----------------------------------------------------------
+    for (std::size_t i = 0; i < instruction.operands.size(); ++i) {
+      const Operand& operand = instruction.operands[i];
+      const bool is_read = usage[i] != OperandUsage::kWrite;
+      switch (operand.kind()) {
+        case OperandKind::kRegister:
+          if (is_read) {
+            state.AddEdge(EdgeType::kInputOperand,
+                          state.RegisterValueNode(operand.reg()),
+                          mnemonic_node);
+          }
+          break;
+        case OperandKind::kImmediate: {
+          const int node = state.AddNode(NodeType::kImmediate,
+                                         Vocabulary::kImmediateToken,
+                                         instruction_index);
+          state.AddEdge(EdgeType::kInputOperand, node, mnemonic_node);
+          break;
+        }
+        case OperandKind::kFpImmediate: {
+          const int node = state.AddNode(NodeType::kFpImmediate,
+                                         Vocabulary::kFpImmediateToken,
+                                         instruction_index);
+          state.AddEdge(EdgeType::kInputOperand, node, mnemonic_node);
+          break;
+        }
+        case OperandKind::kMemory: {
+          // The address computation is always an input, regardless of
+          // whether the access is a load or a store (paper Figure 1).
+          const int address =
+              state.AddressNode(operand.mem(), instruction_index);
+          state.AddEdge(EdgeType::kInputOperand, address, mnemonic_node);
+          if (is_read) {
+            state.AddEdge(EdgeType::kInputOperand, state.MemoryValueNode(),
+                          mnemonic_node);
+          }
+          break;
+        }
+        case OperandKind::kAddress: {
+          const int address =
+              state.AddressNode(operand.mem(), instruction_index);
+          state.AddEdge(EdgeType::kInputOperand, address, mnemonic_node);
+          break;
+        }
+      }
+    }
+    if (implicit_apply) {
+      for (Register reg : semantics.implicit_reads) {
+        state.AddEdge(EdgeType::kInputOperand, state.RegisterValueNode(reg),
+                      mnemonic_node);
+      }
+    }
+    if (semantics.reads_flags) {
+      state.AddEdge(EdgeType::kInputOperand,
+                    state.RegisterValueNode(assembly::FlagsRegister()),
+                    mnemonic_node);
+    }
+    if (semantics.implicit_memory_read) {
+      state.AddEdge(EdgeType::kInputOperand, state.MemoryValueNode(),
+                    mnemonic_node);
+    }
+
+    // ---- Outputs ---------------------------------------------------------
+    for (std::size_t i = 0; i < instruction.operands.size(); ++i) {
+      const Operand& operand = instruction.operands[i];
+      const bool is_write = usage[i] != OperandUsage::kRead;
+      if (!is_write) continue;
+      switch (operand.kind()) {
+        case OperandKind::kRegister:
+          state.WriteRegister(operand.reg(), mnemonic_node,
+                              instruction_index);
+          break;
+        case OperandKind::kMemory:
+          state.WriteMemory(mnemonic_node, instruction_index);
+          break;
+        default:
+          GRANITE_PANIC("write to non-register, non-memory operand in "
+                        << instruction.ToString());
+      }
+    }
+    if (implicit_apply) {
+      for (Register reg : semantics.implicit_writes) {
+        state.WriteRegister(reg, mnemonic_node, instruction_index);
+      }
+    }
+    if (semantics.writes_flags) {
+      state.WriteRegister(assembly::FlagsRegister(), mnemonic_node,
+                          instruction_index);
+    }
+    if (semantics.implicit_memory_write) {
+      state.WriteMemory(mnemonic_node, instruction_index);
+    }
+  }
+  return state.Take();
+}
+
+}  // namespace granite::graph

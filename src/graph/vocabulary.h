@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Token vocabulary for graph nodes.
+ *
+ * Every graph node carries one assembly-language token (paper Table 2):
+ * instruction mnemonics, prefixes, register names, and shared special
+ * tokens for immediates, FP immediates, address computations and memory
+ * values. The vocabulary assigns dense indices used by the learned node
+ * embedding table, so its contents must be fixed before training.
+ */
+#ifndef GRANITE_GRAPH_VOCABULARY_H_
+#define GRANITE_GRAPH_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace granite::graph {
+
+/** Immutable token-to-index mapping. */
+class Vocabulary {
+ public:
+  /** Special token shared by all integer immediate value nodes. */
+  static constexpr const char* kImmediateToken = "_IMMEDIATE_";
+  /** Special token shared by all FP immediate value nodes. */
+  static constexpr const char* kFpImmediateToken = "_FP_IMMEDIATE_";
+  /** Special token shared by all address computation nodes. */
+  static constexpr const char* kAddressToken = "_ADDRESS_";
+  /** Special token shared by all memory value nodes. */
+  static constexpr const char* kMemoryToken = "_MEMORY_";
+  /** Fallback token for out-of-vocabulary mnemonics. */
+  static constexpr const char* kUnknownToken = "_UNKNOWN_";
+
+  /**
+   * Builds the default vocabulary: special tokens, all register names,
+   * all instruction prefixes, and every mnemonic of the semantics catalog.
+   */
+  static Vocabulary CreateDefault();
+
+  /** Builds a vocabulary from an explicit token list (for tests). */
+  explicit Vocabulary(std::vector<std::string> tokens);
+
+  /** Number of tokens. */
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /**
+   * Returns the index of `token`, or the index of kUnknownToken when the
+   * token is not in the vocabulary.
+   */
+  int TokenIndex(const std::string& token) const;
+
+  /** True when `token` is present (kUnknownToken does not count). */
+  bool Contains(const std::string& token) const;
+
+  /** The token string at `index`. */
+  const std::string& TokenName(int index) const;
+
+  /** All tokens in index order. */
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> index_;
+  int unknown_index_ = 0;
+};
+
+}  // namespace granite::graph
+
+#endif  // GRANITE_GRAPH_VOCABULARY_H_

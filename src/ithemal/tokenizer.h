@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The Ithemal token scheme (paper §2.2).
+ *
+ * Each instruction is flattened into the token stream
+ *   MNEMONIC <S> source-tokens... <D> destination-tokens... <E>
+ * where register operands contribute their register name, immediates a
+ * shared immediate token, and memory operands their address registers
+ * followed by a shared memory token. Read-write operands appear in both
+ * the source and the destination lists.
+ */
+#ifndef GRANITE_ITHEMAL_TOKENIZER_H_
+#define GRANITE_ITHEMAL_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "asm/instruction.h"
+#include "graph/vocabulary.h"
+
+namespace granite::ithemal {
+
+/** Separator token between the mnemonic and the source operands. */
+inline constexpr const char* kSourcesToken = "<S>";
+/** Separator token between sources and destinations. */
+inline constexpr const char* kDestinationsToken = "<D>";
+/** End-of-instruction token. */
+inline constexpr const char* kEndToken = "<E>";
+
+/**
+ * Builds the vocabulary used by the Ithemal models: the default GRANITE
+ * vocabulary plus the three separator tokens.
+ */
+graph::Vocabulary CreateIthemalVocabulary();
+
+/** Flattens one instruction into its token strings. */
+std::vector<std::string> TokenizeInstruction(
+    const assembly::Instruction& instruction);
+
+/** Maps an instruction to vocabulary indices. */
+std::vector<int> TokenizeInstructionToIndices(
+    const assembly::Instruction& instruction,
+    const graph::Vocabulary& vocabulary);
+
+}  // namespace granite::ithemal
+
+#endif  // GRANITE_ITHEMAL_TOKENIZER_H_

@@ -1,0 +1,137 @@
+#include "ml/layers.h"
+
+#include "base/logging.h"
+
+namespace granite::ml {
+
+Embedding::Embedding(ParameterStore* store, const std::string& name,
+                     int vocabulary_size, int embedding_size)
+    : vocabulary_size_(vocabulary_size), embedding_size_(embedding_size) {
+  GRANITE_CHECK_GT(vocabulary_size, 0);
+  GRANITE_CHECK_GT(embedding_size, 0);
+  table_ = store->Create(name + "/table", vocabulary_size, embedding_size,
+                         Initializer::kNormalScaled);
+}
+
+Var Embedding::Lookup(Tape& tape, const std::vector<int>& token_indices) const {
+  return tape.GatherRows(tape.Param(table_), token_indices);
+}
+
+Mlp::Mlp(ParameterStore* store, const std::string& name,
+         const MlpConfig& config)
+    : config_(config) {
+  GRANITE_CHECK_GT(config.input_size, 0);
+  GRANITE_CHECK_GT(config.output_size, 0);
+  if (config.residual) {
+    GRANITE_CHECK_MSG(config.input_size == config.output_size,
+                      "residual MLP needs matching input/output sizes");
+  }
+  if (config.layer_norm_at_input) {
+    norm_gain_ = store->Create(name + "/norm_gain", 1, config.input_size,
+                               Initializer::kOne);
+    norm_bias_ = store->Create(name + "/norm_bias", 1, config.input_size,
+                               Initializer::kZero);
+  }
+  int previous_size = config.input_size;
+  for (std::size_t layer = 0; layer < config.hidden_sizes.size(); ++layer) {
+    const int size = config.hidden_sizes[layer];
+    const std::string prefix = name + "/hidden" + std::to_string(layer);
+    weights_.push_back(store->Create(prefix + "/weight", previous_size, size,
+                                     Initializer::kGlorotUniform));
+    biases_.push_back(
+        store->Create(prefix + "/bias", 1, size, Initializer::kZero));
+    previous_size = size;
+  }
+  weights_.push_back(store->Create(name + "/output/weight", previous_size,
+                                   config.output_size,
+                                   Initializer::kGlorotUniform));
+  biases_.push_back(store->Create(name + "/output/bias", 1,
+                                  config.output_size, Initializer::kZero));
+  if (config.output_bias_init != 0.0f) {
+    biases_.back()->value.Fill(config.output_bias_init);
+  }
+}
+
+Var Mlp::Apply(Tape& tape, Var input) const {
+  GRANITE_CHECK_EQ(tape.value(input).cols(), config_.input_size);
+  Var activation = input;
+  if (config_.layer_norm_at_input) {
+    activation = tape.LayerNorm(activation, tape.Param(norm_gain_),
+                                tape.Param(norm_bias_));
+  }
+  for (std::size_t layer = 0; layer < weights_.size(); ++layer) {
+    activation = tape.AddRowBroadcast(
+        tape.MatMul(activation, tape.Param(weights_[layer])),
+        tape.Param(biases_[layer]));
+    // ReLU after every hidden layer; the output layer stays linear.
+    if (layer + 1 < weights_.size()) activation = tape.Relu(activation);
+  }
+  if (config_.residual) activation = tape.Add(activation, input);
+  return activation;
+}
+
+namespace {
+constexpr const char* kGateNames[] = {"input", "forget", "candidate",
+                                      "output"};
+}  // namespace
+
+LstmCell::LstmCell(ParameterStore* store, const std::string& name,
+                   int input_size, int hidden_size)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  GRANITE_CHECK_GT(input_size, 0);
+  GRANITE_CHECK_GT(hidden_size, 0);
+  for (const char* gate : kGateNames) {
+    const std::string prefix = name + "/" + gate;
+    input_weights_.push_back(store->Create(prefix + "/input_weight",
+                                           input_size, hidden_size,
+                                           Initializer::kGlorotUniform));
+    hidden_weights_.push_back(store->Create(prefix + "/hidden_weight",
+                                            hidden_size, hidden_size,
+                                            Initializer::kGlorotUniform));
+    gate_biases_.push_back(store->Create(prefix + "/bias", 1, hidden_size,
+                                         Initializer::kZero));
+  }
+  // Standard trick: bias the forget gate toward remembering at the start
+  // of training.
+  gate_biases_[1]->value.Fill(1.0f);
+}
+
+LstmCell::State LstmCell::InitialState(Tape& tape, int batch_size) const {
+  return State{tape.Constant(Tensor(batch_size, hidden_size_)),
+               tape.Constant(Tensor(batch_size, hidden_size_))};
+}
+
+Var LstmCell::Gate(Tape& tape, Var input, Var hidden, int gate_index) const {
+  Var preactivation =
+      tape.Add(tape.MatMul(input, tape.Param(input_weights_[gate_index])),
+               tape.MatMul(hidden, tape.Param(hidden_weights_[gate_index])));
+  return tape.AddRowBroadcast(preactivation,
+                              tape.Param(gate_biases_[gate_index]));
+}
+
+LstmCell::State LstmCell::Step(Tape& tape, Var input,
+                               const State& state) const {
+  const Var input_gate = tape.Sigmoid(Gate(tape, input, state.hidden, 0));
+  const Var forget_gate = tape.Sigmoid(Gate(tape, input, state.hidden, 1));
+  const Var candidate = tape.Tanh(Gate(tape, input, state.hidden, 2));
+  const Var output_gate = tape.Sigmoid(Gate(tape, input, state.hidden, 3));
+  const Var cell = tape.Add(tape.Mul(forget_gate, state.cell),
+                            tape.Mul(input_gate, candidate));
+  const Var hidden = tape.Mul(output_gate, tape.Tanh(cell));
+  return State{hidden, cell};
+}
+
+LstmCell::State LstmCell::MaskedStep(Tape& tape, Var input,
+                                     const State& state, Var mask) const {
+  const State stepped = Step(tape, input, state);
+  // new = mask * stepped + (1 - mask) * old.
+  const Var inverse_mask = tape.AddConstant(tape.Scale(mask, -1.0f), 1.0f);
+  const Var hidden =
+      tape.Add(tape.MulColumnBroadcast(stepped.hidden, mask),
+               tape.MulColumnBroadcast(state.hidden, inverse_mask));
+  const Var cell = tape.Add(tape.MulColumnBroadcast(stepped.cell, mask),
+                            tape.MulColumnBroadcast(state.cell, inverse_mask));
+  return State{hidden, cell};
+}
+
+}  // namespace granite::ml

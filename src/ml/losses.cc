@@ -1,0 +1,45 @@
+#include "ml/losses.h"
+
+#include "base/logging.h"
+
+namespace granite::ml {
+
+std::string LossFunctionName(LossFunction loss) {
+  switch (loss) {
+    case LossFunction::kMeanAbsolutePercentageError:
+      return "MAPE";
+    case LossFunction::kMeanSquaredError:
+      return "MSE";
+    case LossFunction::kRelativeMeanSquaredError:
+      return "Relative MSE";
+    case LossFunction::kHuber:
+      return "Huber";
+    case LossFunction::kRelativeHuber:
+      return "Relative Huber";
+  }
+  return "?";
+}
+
+Var ComputeLoss(Tape& tape, Var predicted, Var actual, LossFunction loss,
+                float huber_delta) {
+  GRANITE_CHECK_EQ(tape.value(predicted).cols(), 1);
+  GRANITE_CHECK_EQ(tape.value(actual).cols(), 1);
+  GRANITE_CHECK_EQ(tape.value(predicted).rows(), tape.value(actual).rows());
+  const Var error = tape.Sub(predicted, actual);
+  switch (loss) {
+    case LossFunction::kMeanAbsolutePercentageError:
+      // mean |actual - predicted| / |actual| (paper §4).
+      return tape.MeanAll(tape.Div(tape.Abs(error), tape.Abs(actual)));
+    case LossFunction::kMeanSquaredError:
+      return tape.MeanAll(tape.Square(error));
+    case LossFunction::kRelativeMeanSquaredError:
+      return tape.MeanAll(tape.Square(tape.Div(error, actual)));
+    case LossFunction::kHuber:
+      return tape.MeanAll(tape.Huber(error, huber_delta));
+    case LossFunction::kRelativeHuber:
+      return tape.MeanAll(tape.Huber(tape.Div(error, actual), huber_delta));
+  }
+  GRANITE_PANIC("unknown loss function");
+}
+
+}  // namespace granite::ml

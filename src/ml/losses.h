@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The five loss functions studied in the paper (§4 and Table 9): MAPE
+ * (the default training loss), MSE, relative MSE, Huber, and relative
+ * Huber (delta = 1 in all Huber experiments).
+ */
+#ifndef GRANITE_ML_LOSSES_H_
+#define GRANITE_ML_LOSSES_H_
+
+#include <string>
+
+#include "ml/tape.h"
+
+namespace granite::ml {
+
+/** Identifiers for the loss functions of Table 9. */
+enum class LossFunction {
+  kMeanAbsolutePercentageError,
+  kMeanSquaredError,
+  kRelativeMeanSquaredError,
+  kHuber,
+  kRelativeHuber,
+};
+
+/** Human-readable loss name (matches the rows of Table 9). */
+std::string LossFunctionName(LossFunction loss);
+
+/**
+ * Builds the training loss on the tape.
+ *
+ * @param tape Recording tape.
+ * @param predicted Model output, an [N, 1] column.
+ * @param actual Ground-truth throughputs, an [N, 1] column (constant).
+ * @param loss Which loss of Table 9 to apply.
+ * @param huber_delta Threshold for the Huber losses (paper uses 1.0).
+ * @return A 1x1 loss node suitable for Tape::Backward.
+ */
+Var ComputeLoss(Tape& tape, Var predicted, Var actual, LossFunction loss,
+                float huber_delta = 1.0f);
+
+}  // namespace granite::ml
+
+#endif  // GRANITE_ML_LOSSES_H_

@@ -1,0 +1,67 @@
+#include "ml/optimizer.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace granite::ml {
+
+AdamOptimizer::AdamOptimizer(const AdamConfig& config) : config_(config) {
+  GRANITE_CHECK_GT(config.learning_rate, 0.0f);
+}
+
+void AdamOptimizer::SetLearningRate(float learning_rate) {
+  GRANITE_CHECK_GT(learning_rate, 0.0f);
+  config_.learning_rate = learning_rate;
+}
+
+void AdamOptimizer::Step(ParameterStore& store) {
+  ++step_count_;
+  if (config_.gradient_clip_norm > 0.0f) {
+    ClipGradientsByGlobalNorm(store, config_.gradient_clip_norm);
+  }
+  const double bias_correction1 =
+      1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
+  const double bias_correction2 =
+      1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+  for (const auto& parameter : store.parameters()) {
+    Tensor& value = parameter->value;
+    Tensor& grad = parameter->grad;
+    Tensor& m = parameter->adam_m;
+    Tensor& v = parameter->adam_v;
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      const float g = grad.data()[i];
+      m.data()[i] = config_.beta1 * m.data()[i] + (1.0f - config_.beta1) * g;
+      v.data()[i] =
+          config_.beta2 * v.data()[i] + (1.0f - config_.beta2) * g * g;
+      const double m_hat = m.data()[i] / bias_correction1;
+      const double v_hat = v.data()[i] / bias_correction2;
+      value.data()[i] -= static_cast<float>(
+          config_.learning_rate * m_hat /
+          (std::sqrt(v_hat) + config_.epsilon));
+    }
+    grad.SetZero();
+  }
+}
+
+double ClipGradientsByGlobalNorm(ParameterStore& store, double max_norm) {
+  GRANITE_CHECK_GT(max_norm, 0.0);
+  double total_squared = 0.0;
+  for (const auto& parameter : store.parameters()) {
+    const Tensor& grad = parameter->grad;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      total_squared += static_cast<double>(grad.data()[i]) * grad.data()[i];
+    }
+  }
+  const double norm = std::sqrt(total_squared);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const auto& parameter : store.parameters()) {
+      Tensor& grad = parameter->grad;
+      for (std::size_t i = 0; i < grad.size(); ++i) grad.data()[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace granite::ml

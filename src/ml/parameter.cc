@@ -1,0 +1,164 @@
+#include "ml/parameter.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+#include "base/logging.h"
+
+namespace granite::ml {
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x4752414E49544531ull;  // "GRANITE1"
+
+void InitializeTensor(Tensor& tensor, Initializer init, Rng& rng) {
+  const int fan_in = tensor.rows();
+  const int fan_out = tensor.cols();
+  switch (init) {
+    case Initializer::kZero:
+      tensor.SetZero();
+      break;
+    case Initializer::kOne:
+      tensor.Fill(1.0f);
+      break;
+    case Initializer::kGlorotUniform: {
+      const float limit =
+          std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+      for (std::size_t i = 0; i < tensor.size(); ++i) {
+        tensor.data()[i] = rng.NextUniform(-limit, limit);
+      }
+      break;
+    }
+    case Initializer::kNormalScaled: {
+      const float scale =
+          1.0f / std::sqrt(static_cast<float>(std::max(1, fan_out)));
+      for (std::size_t i = 0; i < tensor.size(); ++i) {
+        tensor.data()[i] = static_cast<float>(rng.NextGaussian()) * scale;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ParameterStore::ParameterStore(uint64_t seed) : rng_(seed) {}
+
+Parameter* ParameterStore::Create(const std::string& name, int rows, int cols,
+                                  Initializer init) {
+  GRANITE_CHECK_MSG(!Contains(name), "duplicate parameter: " << name);
+  auto parameter = std::make_unique<Parameter>();
+  parameter->name = name;
+  parameter->value = Tensor(rows, cols);
+  parameter->grad = Tensor(rows, cols);
+  parameter->adam_m = Tensor(rows, cols);
+  parameter->adam_v = Tensor(rows, cols);
+  InitializeTensor(parameter->value, init, rng_);
+  Parameter* raw = parameter.get();
+  by_name_.emplace(name, raw);
+  parameters_.push_back(std::move(parameter));
+  return raw;
+}
+
+Parameter* ParameterStore::Get(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  GRANITE_CHECK_MSG(it != by_name_.end(), "unknown parameter: " << name);
+  return it->second;
+}
+
+bool ParameterStore::Contains(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+std::size_t ParameterStore::TotalWeights() const {
+  std::size_t total = 0;
+  for (const auto& parameter : parameters_) total += parameter->value.size();
+  return total;
+}
+
+void ParameterStore::ZeroAllGrads() {
+  for (const auto& parameter : parameters_) parameter->ZeroGrad();
+}
+
+void ParameterStore::Save(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) GRANITE_FATAL("cannot write checkpoint: " << path);
+  file.write(reinterpret_cast<const char*>(&kCheckpointMagic),
+             sizeof(kCheckpointMagic));
+  const uint64_t count = parameters_.size();
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& parameter : parameters_) {
+    const uint64_t name_size = parameter->name.size();
+    file.write(reinterpret_cast<const char*>(&name_size), sizeof(name_size));
+    file.write(parameter->name.data(),
+               static_cast<std::streamsize>(name_size));
+    const int32_t rows = parameter->value.rows();
+    const int32_t cols = parameter->value.cols();
+    file.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    file.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    file.write(reinterpret_cast<const char*>(parameter->value.data()),
+               static_cast<std::streamsize>(parameter->value.size() *
+                                            sizeof(float)));
+  }
+}
+
+void ParameterStore::Load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) GRANITE_FATAL("cannot read checkpoint: " << path);
+  uint64_t magic = 0;
+  file.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  GRANITE_CHECK_MSG(magic == kCheckpointMagic,
+                    "not a GRANITE checkpoint: " << path);
+  uint64_t count = 0;
+  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  GRANITE_CHECK_EQ(count, parameters_.size());
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_size = 0;
+    file.read(reinterpret_cast<char*>(&name_size), sizeof(name_size));
+    std::string name(name_size, '\0');
+    file.read(name.data(), static_cast<std::streamsize>(name_size));
+    int32_t rows = 0;
+    int32_t cols = 0;
+    file.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    file.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    Parameter* parameter = Get(name);
+    GRANITE_CHECK_EQ(parameter->value.rows(), rows);
+    GRANITE_CHECK_EQ(parameter->value.cols(), cols);
+    file.read(reinterpret_cast<char*>(parameter->value.data()),
+              static_cast<std::streamsize>(parameter->value.size() *
+                                           sizeof(float)));
+  }
+  GRANITE_CHECK_MSG(file.good(), "truncated checkpoint: " << path);
+}
+
+std::vector<Tensor> ParameterStore::SnapshotValues() const {
+  std::vector<Tensor> snapshot;
+  snapshot.reserve(parameters_.size());
+  for (const auto& parameter : parameters_) {
+    snapshot.push_back(parameter->value);
+  }
+  return snapshot;
+}
+
+void ParameterStore::RestoreValues(const std::vector<Tensor>& snapshot) {
+  GRANITE_CHECK_EQ(snapshot.size(), parameters_.size());
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    GRANITE_CHECK_EQ(snapshot[i].rows(), parameters_[i]->value.rows());
+    GRANITE_CHECK_EQ(snapshot[i].cols(), parameters_[i]->value.cols());
+    parameters_[i]->value = snapshot[i];
+  }
+}
+
+void ParameterStore::CopyValuesFrom(const ParameterStore& other) {
+  GRANITE_CHECK_EQ(parameters_.size(), other.parameters_.size());
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    GRANITE_CHECK_EQ(parameters_[i]->name, other.parameters_[i]->name);
+    GRANITE_CHECK_EQ(parameters_[i]->value.rows(),
+                     other.parameters_[i]->value.rows());
+    GRANITE_CHECK_EQ(parameters_[i]->value.cols(),
+                     other.parameters_[i]->value.cols());
+    parameters_[i]->value = other.parameters_[i]->value;
+  }
+}
+
+}  // namespace granite::ml

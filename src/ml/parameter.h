@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trainable parameters and the parameter store.
+ *
+ * A Parameter owns a value tensor, an accumulated-gradient tensor, and the
+ * Adam moment estimates. The ParameterStore owns all parameters of a model,
+ * provides name-based lookup, and (de)serializes checkpoints. Checkpoint
+ * selection by validation loss (paper §4) is implemented in src/train.
+ */
+#ifndef GRANITE_ML_PARAMETER_H_
+#define GRANITE_ML_PARAMETER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.h"
+#include "ml/tensor.h"
+
+namespace granite::ml {
+
+/** How a freshly created parameter tensor is initialized. */
+enum class Initializer {
+  kZero,          ///< All zeros (biases).
+  kOne,           ///< All ones (layer-norm gains).
+  kGlorotUniform, ///< Uniform(-limit, limit), limit = sqrt(6/(fan_in+fan_out)).
+  kNormalScaled,  ///< N(0, 1/sqrt(fan_in)); used for embedding tables.
+};
+
+/** One trainable tensor with its gradient and Adam state. */
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  Tensor adam_m;
+  Tensor adam_v;
+
+  /** Resets the accumulated gradient to zero. */
+  void ZeroGrad() { grad.SetZero(); }
+};
+
+/** Owns every trainable parameter of a model. */
+class ParameterStore {
+ public:
+  /** Creates a store whose initializers draw from `seed`. */
+  explicit ParameterStore(uint64_t seed = 42);
+
+  ParameterStore(const ParameterStore&) = delete;
+  ParameterStore& operator=(const ParameterStore&) = delete;
+
+  /**
+   * Creates (and owns) a new parameter. Fails if `name` already exists.
+   * @return a stable pointer, valid for the lifetime of the store.
+   */
+  Parameter* Create(const std::string& name, int rows, int cols,
+                    Initializer init);
+
+  /** Returns the parameter registered under `name`, or fails. */
+  Parameter* Get(const std::string& name) const;
+
+  /** True when a parameter with `name` exists. */
+  bool Contains(const std::string& name) const;
+
+  /** All parameters, in creation order. */
+  const std::vector<std::unique_ptr<Parameter>>& parameters() const {
+    return parameters_;
+  }
+
+  /** Total number of scalar weights across all parameters. */
+  std::size_t TotalWeights() const;
+
+  /** Zeroes every parameter's gradient. */
+  void ZeroAllGrads();
+
+  /**
+   * Serializes all parameter values to a binary checkpoint file.
+   * Format: magic, count, then (name, rows, cols, data) records.
+   */
+  void Save(const std::string& path) const;
+
+  /**
+   * Restores parameter values from a checkpoint written by Save(). All
+   * names and shapes must match the current store contents exactly.
+   */
+  void Load(const std::string& path);
+
+  /** Copies all parameter values from another store (same structure). */
+  void CopyValuesFrom(const ParameterStore& other);
+
+  /** Captures a copy of all parameter values (for best-checkpoint
+   * tracking during training). */
+  std::vector<Tensor> SnapshotValues() const;
+
+  /** Restores values captured by SnapshotValues(). */
+  void RestoreValues(const std::vector<Tensor>& snapshot);
+
+ private:
+  Rng rng_;
+  std::vector<std::unique_ptr<Parameter>> parameters_;
+  std::unordered_map<std::string, Parameter*> by_name_;
+};
+
+}  // namespace granite::ml
+
+#endif  // GRANITE_ML_PARAMETER_H_

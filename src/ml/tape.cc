@@ -1,0 +1,587 @@
+#include "ml/tape.h"
+
+#include <cmath>
+#include <utility>
+
+#include "base/logging.h"
+#include "ml/tensor_ops.h"
+
+namespace granite::ml {
+
+Var Tape::MakeNode(Tensor value, bool requires_grad,
+                   std::function<void(Tape&, int)> backward,
+                   Parameter* parameter) {
+  Node node;
+  node.requires_grad = requires_grad;
+  node.parameter = parameter;
+  if (requires_grad) node.grad = Tensor(value.rows(), value.cols());
+  node.value = std::move(value);
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Tape::Node& Tape::node(Var v) {
+  GRANITE_CHECK(v.tape() == this);
+  GRANITE_CHECK(v.id() >= 0 && v.id() < static_cast<int>(nodes_.size()));
+  return nodes_[v.id()];
+}
+
+const Tape::Node& Tape::node(Var v) const {
+  GRANITE_CHECK(v.tape() == this);
+  GRANITE_CHECK(v.id() >= 0 && v.id() < static_cast<int>(nodes_.size()));
+  return nodes_[v.id()];
+}
+
+bool Tape::RequiresGrad(Var v) const { return node(v).requires_grad; }
+
+void Tape::AccumulateGrad(int id, const Tensor& delta) {
+  Node& target = nodes_[id];
+  if (!target.requires_grad) return;
+  AccumulateAdd(delta, target.grad);
+}
+
+const Tensor& Tape::value(Var v) const { return node(v).value; }
+
+const Tensor& Tape::grad(Var v) const {
+  const Node& n = node(v);
+  GRANITE_CHECK_MSG(n.requires_grad, "grad() on a non-differentiable node");
+  return n.grad;
+}
+
+Var Tape::Constant(Tensor value) {
+  return MakeNode(std::move(value), /*requires_grad=*/false, nullptr);
+}
+
+Var Tape::Param(Parameter* parameter) {
+  GRANITE_CHECK(parameter != nullptr);
+  return MakeNode(parameter->value, /*requires_grad=*/true,
+                  [](Tape& tape, int self) {
+                    Node& node = tape.nodes_[self];
+                    AccumulateAdd(node.grad, node.parameter->grad);
+                  },
+                  parameter);
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  const Tensor& a_value = value(a);
+  const Tensor& b_value = value(b);
+  Tensor out = ml::MatMul(a_value, b_value);
+  const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
+  const int a_id = a.id();
+  const int b_id = b.id();
+  return MakeNode(std::move(out), needs_grad,
+                  [a_id, b_id](Tape& tape, int self) {
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    Node& a_node = tape.nodes_[a_id];
+                    Node& b_node = tape.nodes_[b_id];
+                    if (a_node.requires_grad) {
+                      // dA = dC * B^T
+                      AccumulateMatMulTransposeB(out_grad, b_node.value,
+                                                 a_node.grad);
+                    }
+                    if (b_node.requires_grad) {
+                      // dB = A^T * dC
+                      AccumulateMatMulTransposeA(a_node.value, out_grad,
+                                                 b_node.grad);
+                    }
+                  });
+}
+
+Var Tape::Add(Var a, Var b) {
+  Tensor out = ml::Add(value(a), value(b));
+  const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
+  const int a_id = a.id();
+  const int b_id = b.id();
+  return MakeNode(std::move(out), needs_grad,
+                  [a_id, b_id](Tape& tape, int self) {
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    tape.AccumulateGrad(a_id, out_grad);
+                    tape.AccumulateGrad(b_id, out_grad);
+                  });
+}
+
+Var Tape::Sub(Var a, Var b) {
+  Tensor out = ml::Sub(value(a), value(b));
+  const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
+  const int a_id = a.id();
+  const int b_id = b.id();
+  return MakeNode(std::move(out), needs_grad,
+                  [a_id, b_id](Tape& tape, int self) {
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    tape.AccumulateGrad(a_id, out_grad);
+                    if (tape.nodes_[b_id].requires_grad) {
+                      AccumulateScaled(out_grad, -1.0f, tape.nodes_[b_id].grad);
+                    }
+                  });
+}
+
+Var Tape::Mul(Var a, Var b) {
+  Tensor out = ml::Mul(value(a), value(b));
+  const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
+  const int a_id = a.id();
+  const int b_id = b.id();
+  return MakeNode(std::move(out), needs_grad,
+                  [a_id, b_id](Tape& tape, int self) {
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    Node& a_node = tape.nodes_[a_id];
+                    Node& b_node = tape.nodes_[b_id];
+                    if (a_node.requires_grad) {
+                      AccumulateAdd(ml::Mul(out_grad, b_node.value),
+                                    a_node.grad);
+                    }
+                    if (b_node.requires_grad) {
+                      AccumulateAdd(ml::Mul(out_grad, a_node.value),
+                                    b_node.grad);
+                    }
+                  });
+}
+
+Var Tape::Div(Var a, Var b) {
+  Tensor out = ml::Div(value(a), value(b));
+  const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
+  const int a_id = a.id();
+  const int b_id = b.id();
+  return MakeNode(
+      std::move(out), needs_grad, [a_id, b_id](Tape& tape, int self) {
+        const Tensor& out_grad = tape.nodes_[self].grad;
+        Node& a_node = tape.nodes_[a_id];
+        Node& b_node = tape.nodes_[b_id];
+        if (a_node.requires_grad) {
+          AccumulateAdd(ml::Div(out_grad, b_node.value), a_node.grad);
+        }
+        if (b_node.requires_grad) {
+          // d/db (a/b) = -a / b^2
+          Tensor delta = ml::Div(ml::Mul(out_grad, a_node.value),
+                                 ml::Mul(b_node.value, b_node.value));
+          AccumulateScaled(delta, -1.0f, b_node.grad);
+        }
+      });
+}
+
+Var Tape::Scale(Var a, float factor) {
+  Tensor out = ml::Scale(value(a), factor);
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id, factor](Tape& tape, int self) {
+                    if (!tape.nodes_[a_id].requires_grad) return;
+                    AccumulateScaled(tape.nodes_[self].grad, factor,
+                                     tape.nodes_[a_id].grad);
+                  });
+}
+
+Var Tape::AddConstant(Var a, float constant) {
+  const Tensor& a_value = value(a);
+  Tensor out(a_value.rows(), a_value.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = a_value.data()[i] + constant;
+  }
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id](Tape& tape, int self) {
+                    tape.AccumulateGrad(a_id, tape.nodes_[self].grad);
+                  });
+}
+
+Var Tape::AddRowBroadcast(Var a, Var bias) {
+  Tensor out = ml::AddRowBroadcast(value(a), value(bias));
+  const bool needs_grad = RequiresGrad(a) || RequiresGrad(bias);
+  const int a_id = a.id();
+  const int bias_id = bias.id();
+  return MakeNode(std::move(out), needs_grad,
+                  [a_id, bias_id](Tape& tape, int self) {
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    tape.AccumulateGrad(a_id, out_grad);
+                    Node& bias_node = tape.nodes_[bias_id];
+                    if (bias_node.requires_grad) {
+                      // Sum adjoints over rows.
+                      for (int r = 0; r < out_grad.rows(); ++r) {
+                        const float* row = out_grad.row_data(r);
+                        float* grad = bias_node.grad.row_data(0);
+                        for (int c = 0; c < out_grad.cols(); ++c) {
+                          grad[c] += row[c];
+                        }
+                      }
+                    }
+                  });
+}
+
+Var Tape::MulColumnBroadcast(Var a, Var column) {
+  const Tensor& a_value = value(a);
+  const Tensor& column_value = value(column);
+  GRANITE_CHECK_EQ(column_value.cols(), 1);
+  GRANITE_CHECK_EQ(column_value.rows(), a_value.rows());
+  Tensor out(a_value.rows(), a_value.cols());
+  for (int r = 0; r < a_value.rows(); ++r) {
+    const float scale = column_value.at(r, 0);
+    const float* source = a_value.row_data(r);
+    float* dest = out.row_data(r);
+    for (int c = 0; c < a_value.cols(); ++c) dest[c] = source[c] * scale;
+  }
+  const bool needs_grad = RequiresGrad(a) || RequiresGrad(column);
+  const int a_id = a.id();
+  const int column_id = column.id();
+  return MakeNode(
+      std::move(out), needs_grad, [a_id, column_id](Tape& tape, int self) {
+        const Tensor& out_grad = tape.nodes_[self].grad;
+        Node& a_node = tape.nodes_[a_id];
+        Node& column_node = tape.nodes_[column_id];
+        if (a_node.requires_grad) {
+          for (int r = 0; r < out_grad.rows(); ++r) {
+            const float scale = column_node.value.at(r, 0);
+            const float* source = out_grad.row_data(r);
+            float* dest = a_node.grad.row_data(r);
+            for (int c = 0; c < out_grad.cols(); ++c) {
+              dest[c] += source[c] * scale;
+            }
+          }
+        }
+        if (column_node.requires_grad) {
+          for (int r = 0; r < out_grad.rows(); ++r) {
+            const float* g_row = out_grad.row_data(r);
+            const float* a_row = a_node.value.row_data(r);
+            float total = 0.0f;
+            for (int c = 0; c < out_grad.cols(); ++c) {
+              total += g_row[c] * a_row[c];
+            }
+            column_node.grad.at(r, 0) += total;
+          }
+        }
+      });
+}
+
+namespace {
+
+/** Shared implementation for element-wise unary ops whose derivative can be
+ * computed from the input and output values. */
+template <typename ForwardFn>
+Tensor ElementwiseForward(const Tensor& input, ForwardFn fn) {
+  Tensor out(input.rows(), input.cols());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    out.data()[i] = fn(input.data()[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Var Tape::Relu(Var a) {
+  Tensor out = ElementwiseForward(
+      value(a), [](float x) { return x > 0.0f ? x : 0.0f; });
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id](Tape& tape, int self) {
+                    Node& a_node = tape.nodes_[a_id];
+                    if (!a_node.requires_grad) return;
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    for (std::size_t i = 0; i < out_grad.size(); ++i) {
+                      if (a_node.value.data()[i] > 0.0f) {
+                        a_node.grad.data()[i] += out_grad.data()[i];
+                      }
+                    }
+                  });
+}
+
+Var Tape::Sigmoid(Var a) {
+  Tensor out = ElementwiseForward(
+      value(a), [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id](Tape& tape, int self) {
+                    Node& a_node = tape.nodes_[a_id];
+                    if (!a_node.requires_grad) return;
+                    const Node& self_node = tape.nodes_[self];
+                    for (std::size_t i = 0; i < self_node.grad.size(); ++i) {
+                      const float y = self_node.value.data()[i];
+                      a_node.grad.data()[i] +=
+                          self_node.grad.data()[i] * y * (1.0f - y);
+                    }
+                  });
+}
+
+Var Tape::Tanh(Var a) {
+  Tensor out =
+      ElementwiseForward(value(a), [](float x) { return std::tanh(x); });
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id](Tape& tape, int self) {
+                    Node& a_node = tape.nodes_[a_id];
+                    if (!a_node.requires_grad) return;
+                    const Node& self_node = tape.nodes_[self];
+                    for (std::size_t i = 0; i < self_node.grad.size(); ++i) {
+                      const float y = self_node.value.data()[i];
+                      a_node.grad.data()[i] +=
+                          self_node.grad.data()[i] * (1.0f - y * y);
+                    }
+                  });
+}
+
+Var Tape::Abs(Var a) {
+  Tensor out =
+      ElementwiseForward(value(a), [](float x) { return std::abs(x); });
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id](Tape& tape, int self) {
+                    Node& a_node = tape.nodes_[a_id];
+                    if (!a_node.requires_grad) return;
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    for (std::size_t i = 0; i < out_grad.size(); ++i) {
+                      const float x = a_node.value.data()[i];
+                      const float sign = x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+                      a_node.grad.data()[i] += out_grad.data()[i] * sign;
+                    }
+                  });
+}
+
+Var Tape::Square(Var a) {
+  Tensor out = ElementwiseForward(value(a), [](float x) { return x * x; });
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id](Tape& tape, int self) {
+                    Node& a_node = tape.nodes_[a_id];
+                    if (!a_node.requires_grad) return;
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    for (std::size_t i = 0; i < out_grad.size(); ++i) {
+                      a_node.grad.data()[i] +=
+                          out_grad.data()[i] * 2.0f * a_node.value.data()[i];
+                    }
+                  });
+}
+
+Var Tape::Huber(Var a, float delta) {
+  GRANITE_CHECK_GT(delta, 0.0f);
+  Tensor out = ElementwiseForward(value(a), [delta](float x) {
+    const float absolute = std::abs(x);
+    if (absolute <= delta) return 0.5f * x * x;
+    return delta * (absolute - 0.5f * delta);
+  });
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id, delta](Tape& tape, int self) {
+                    Node& a_node = tape.nodes_[a_id];
+                    if (!a_node.requires_grad) return;
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    for (std::size_t i = 0; i < out_grad.size(); ++i) {
+                      const float x = a_node.value.data()[i];
+                      // Derivative: x inside the quadratic region, else
+                      // delta * sign(x).
+                      float derivative = x;
+                      if (x > delta) derivative = delta;
+                      if (x < -delta) derivative = -delta;
+                      a_node.grad.data()[i] += out_grad.data()[i] * derivative;
+                    }
+                  });
+}
+
+Var Tape::LayerNorm(Var x, Var gain, Var bias, float epsilon) {
+  const Tensor& x_value = value(x);
+  const Tensor& gain_value = value(gain);
+  const Tensor& bias_value = value(bias);
+  GRANITE_CHECK_EQ(gain_value.rows(), 1);
+  GRANITE_CHECK_EQ(bias_value.rows(), 1);
+  GRANITE_CHECK_EQ(gain_value.cols(), x_value.cols());
+  GRANITE_CHECK_EQ(bias_value.cols(), x_value.cols());
+  const int rows = x_value.rows();
+  const int cols = x_value.cols();
+
+  // Cache the normalized activations and inverse stddev for the backward
+  // pass; both are captured by value in the closure.
+  Tensor normalized(rows, cols);
+  std::vector<float> inv_stddev(rows);
+  Tensor out(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    const float* x_row = x_value.row_data(r);
+    double mean = 0.0;
+    for (int c = 0; c < cols; ++c) mean += x_row[c];
+    mean /= cols;
+    double variance = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      const double centered = x_row[c] - mean;
+      variance += centered * centered;
+    }
+    variance /= cols;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(variance) + epsilon);
+    inv_stddev[r] = inv;
+    float* norm_row = normalized.row_data(r);
+    float* out_row = out.row_data(r);
+    for (int c = 0; c < cols; ++c) {
+      norm_row[c] = (x_row[c] - static_cast<float>(mean)) * inv;
+      out_row[c] = norm_row[c] * gain_value.at(0, c) + bias_value.at(0, c);
+    }
+  }
+
+  const bool needs_grad =
+      RequiresGrad(x) || RequiresGrad(gain) || RequiresGrad(bias);
+  const int x_id = x.id();
+  const int gain_id = gain.id();
+  const int bias_id = bias.id();
+  return MakeNode(
+      std::move(out), needs_grad,
+      [x_id, gain_id, bias_id, normalized = std::move(normalized),
+       inv_stddev = std::move(inv_stddev)](Tape& tape, int self) {
+        const Tensor& out_grad = tape.nodes_[self].grad;
+        Node& x_node = tape.nodes_[x_id];
+        Node& gain_node = tape.nodes_[gain_id];
+        Node& bias_node = tape.nodes_[bias_id];
+        const int rows = out_grad.rows();
+        const int cols = out_grad.cols();
+        for (int r = 0; r < rows; ++r) {
+          const float* g_row = out_grad.row_data(r);
+          const float* n_row = normalized.row_data(r);
+          if (bias_node.requires_grad) {
+            float* b_grad = bias_node.grad.row_data(0);
+            for (int c = 0; c < cols; ++c) b_grad[c] += g_row[c];
+          }
+          if (gain_node.requires_grad) {
+            float* g_grad = gain_node.grad.row_data(0);
+            for (int c = 0; c < cols; ++c) g_grad[c] += g_row[c] * n_row[c];
+          }
+          if (x_node.requires_grad) {
+            // dL/dxhat = dL/dy * gain. Then the standard layer-norm
+            // backward: dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
+            //                * inv_stddev.
+            const float* gain_row = gain_node.value.row_data(0);
+            double mean_dxhat = 0.0;
+            double mean_dxhat_xhat = 0.0;
+            for (int c = 0; c < cols; ++c) {
+              const double dxhat = static_cast<double>(g_row[c]) * gain_row[c];
+              mean_dxhat += dxhat;
+              mean_dxhat_xhat += dxhat * n_row[c];
+            }
+            mean_dxhat /= cols;
+            mean_dxhat_xhat /= cols;
+            float* x_grad = x_node.grad.row_data(r);
+            for (int c = 0; c < cols; ++c) {
+              const double dxhat = static_cast<double>(g_row[c]) * gain_row[c];
+              x_grad[c] += static_cast<float>(
+                  (dxhat - mean_dxhat - n_row[c] * mean_dxhat_xhat) *
+                  inv_stddev[r]);
+            }
+          }
+        }
+      });
+}
+
+Var Tape::GatherRows(Var table, std::vector<int> indices) {
+  Tensor out = ml::GatherRows(value(table), indices);
+  const int table_id = table.id();
+  return MakeNode(std::move(out), RequiresGrad(table),
+                  [table_id, indices = std::move(indices)](Tape& tape,
+                                                           int self) {
+                    Node& table_node = tape.nodes_[table_id];
+                    if (!table_node.requires_grad) return;
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    for (std::size_t i = 0; i < indices.size(); ++i) {
+                      const float* source =
+                          out_grad.row_data(static_cast<int>(i));
+                      float* dest = table_node.grad.row_data(indices[i]);
+                      for (int c = 0; c < out_grad.cols(); ++c) {
+                        dest[c] += source[c];
+                      }
+                    }
+                  });
+}
+
+Var Tape::SegmentSum(Var rows, std::vector<int> segment_ids,
+                     int num_segments) {
+  Tensor out = SegmentSumRows(value(rows), segment_ids, num_segments);
+  const int rows_id = rows.id();
+  return MakeNode(std::move(out), RequiresGrad(rows),
+                  [rows_id, segment_ids = std::move(segment_ids)](Tape& tape,
+                                                                  int self) {
+                    Node& rows_node = tape.nodes_[rows_id];
+                    if (!rows_node.requires_grad) return;
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    for (std::size_t r = 0; r < segment_ids.size(); ++r) {
+                      const float* source = out_grad.row_data(segment_ids[r]);
+                      float* dest = rows_node.grad.row_data(static_cast<int>(r));
+                      for (int c = 0; c < out_grad.cols(); ++c) {
+                        dest[c] += source[c];
+                      }
+                    }
+                  });
+}
+
+Var Tape::ConcatCols(const std::vector<Var>& parts) {
+  GRANITE_CHECK(!parts.empty());
+  std::vector<Tensor> part_values;
+  part_values.reserve(parts.size());
+  bool needs_grad = false;
+  std::vector<int> part_ids;
+  std::vector<int> part_cols;
+  for (Var part : parts) {
+    part_values.push_back(value(part));
+    needs_grad = needs_grad || RequiresGrad(part);
+    part_ids.push_back(part.id());
+    part_cols.push_back(value(part).cols());
+  }
+  Tensor out = ml::ConcatCols(part_values);
+  return MakeNode(
+      std::move(out), needs_grad,
+      [part_ids = std::move(part_ids),
+       part_cols = std::move(part_cols)](Tape& tape, int self) {
+        const Tensor& out_grad = tape.nodes_[self].grad;
+        int offset = 0;
+        for (std::size_t p = 0; p < part_ids.size(); ++p) {
+          Node& part_node = tape.nodes_[part_ids[p]];
+          if (part_node.requires_grad) {
+            for (int r = 0; r < out_grad.rows(); ++r) {
+              const float* source = out_grad.row_data(r) + offset;
+              float* dest = part_node.grad.row_data(r);
+              for (int c = 0; c < part_cols[p]; ++c) dest[c] += source[c];
+            }
+          }
+          offset += part_cols[p];
+        }
+      });
+}
+
+Var Tape::SumAll(Var a) {
+  Tensor out = Tensor::Scalar(static_cast<float>(ml::SumAll(value(a))));
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id](Tape& tape, int self) {
+                    Node& a_node = tape.nodes_[a_id];
+                    if (!a_node.requires_grad) return;
+                    const float seed = tape.nodes_[self].grad.scalar();
+                    for (std::size_t i = 0; i < a_node.grad.size(); ++i) {
+                      a_node.grad.data()[i] += seed;
+                    }
+                  });
+}
+
+Var Tape::MeanAll(Var a) {
+  const Tensor& a_value = value(a);
+  const float inverse_count =
+      1.0f / static_cast<float>(std::max<std::size_t>(1, a_value.size()));
+  Tensor out = Tensor::Scalar(
+      static_cast<float>(ml::SumAll(a_value)) * inverse_count);
+  const int a_id = a.id();
+  return MakeNode(std::move(out), RequiresGrad(a),
+                  [a_id, inverse_count](Tape& tape, int self) {
+                    Node& a_node = tape.nodes_[a_id];
+                    if (!a_node.requires_grad) return;
+                    const float seed =
+                        tape.nodes_[self].grad.scalar() * inverse_count;
+                    for (std::size_t i = 0; i < a_node.grad.size(); ++i) {
+                      a_node.grad.data()[i] += seed;
+                    }
+                  });
+}
+
+void Tape::Backward(Var loss) {
+  Node& loss_node = node(loss);
+  GRANITE_CHECK_MSG(loss_node.requires_grad,
+                    "Backward() on a non-differentiable loss");
+  GRANITE_CHECK_MSG(
+      loss_node.value.rows() == 1 && loss_node.value.cols() == 1,
+      "loss must be a 1x1 tensor");
+  loss_node.grad.at(0, 0) = 1.0f;
+  for (int id = loss.id(); id >= 0; --id) {
+    Node& current = nodes_[id];
+    if (!current.requires_grad || !current.backward) continue;
+    current.backward(*this, id);
+  }
+}
+
+}  // namespace granite::ml

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tape-based reverse-mode automatic differentiation.
+ *
+ * A Tape records a dynamic computation graph: every operation appends a node
+ * holding its output value and a backward closure that propagates adjoints
+ * to its inputs. Calling Backward(loss) seeds the loss adjoint with 1 and
+ * replays the tape in reverse. Gradients of Parameter leaves accumulate into
+ * Parameter::grad, so one tape pass per batch plus an optimizer step yields
+ * standard minibatch SGD/Adam training.
+ *
+ * The op set is exactly what the GRANITE GNN (gather / segment-sum /
+ * concat / MLP / layer norm), the Ithemal LSTMs (sigmoid / tanh / masking)
+ * and the paper's five loss functions (§5.2) require. Every op's gradient
+ * is verified against central finite differences in tests/ml_grad_test.cc.
+ */
+#ifndef GRANITE_ML_TAPE_H_
+#define GRANITE_ML_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "ml/parameter.h"
+#include "ml/tensor.h"
+
+namespace granite::ml {
+
+class Tape;
+
+/** Lightweight handle to a node on a Tape. */
+class Var {
+ public:
+  Var() = default;
+
+  /** The producing tape, or nullptr for a default-constructed handle. */
+  Tape* tape() const { return tape_; }
+
+  /** Index of the node on the tape. */
+  int id() const { return id_; }
+
+  /** True for a handle returned by a tape operation. */
+  bool valid() const { return tape_ != nullptr; }
+
+ private:
+  friend class Tape;
+  Var(Tape* tape, int id) : tape_(tape), id_(id) {}
+
+  Tape* tape_ = nullptr;
+  int id_ = -1;
+};
+
+/** Records operations and computes gradients by reverse accumulation. */
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // ---- Leaves -----------------------------------------------------------
+
+  /** A constant leaf; no gradient flows into it. */
+  Var Constant(Tensor value);
+
+  /** A leaf bound to a trainable parameter; Backward() accumulates into
+   * `parameter->grad`. The parameter must outlive the tape. */
+  Var Param(Parameter* parameter);
+
+  // ---- Linear algebra ---------------------------------------------------
+
+  /** Matrix product a[m,k] * b[k,n]. */
+  Var MatMul(Var a, Var b);
+
+  /** Element-wise sum; shapes must match. */
+  Var Add(Var a, Var b);
+
+  /** Element-wise difference. */
+  Var Sub(Var a, Var b);
+
+  /** Element-wise product. */
+  Var Mul(Var a, Var b);
+
+  /** Element-wise quotient. The denominator must be nonzero everywhere. */
+  Var Div(Var a, Var b);
+
+  /** Multiplication by a compile-time constant. */
+  Var Scale(Var a, float factor);
+
+  /** Adds a scalar constant to every element. */
+  Var AddConstant(Var a, float constant);
+
+  /** Adds a 1xN bias row to every row of a. */
+  Var AddRowBroadcast(Var a, Var bias);
+
+  /** Broadcasts an Nx1 column against every column of a[N,M] (used for
+   * sequence masking in the LSTM runner). */
+  Var MulColumnBroadcast(Var a, Var column);
+
+  // ---- Non-linearities --------------------------------------------------
+
+  /** max(x, 0). */
+  Var Relu(Var a);
+
+  /** Logistic sigmoid. */
+  Var Sigmoid(Var a);
+
+  /** Hyperbolic tangent. */
+  Var Tanh(Var a);
+
+  /** |x|; the derivative at 0 is taken as 0. */
+  Var Abs(Var a);
+
+  /** x^2. */
+  Var Square(Var a);
+
+  /**
+   * Element-wise Huber transform with threshold `delta` (paper §5.2):
+   * 0.5 x^2 for |x| <= delta, else delta * (|x| - 0.5 delta).
+   */
+  Var Huber(Var a, float delta);
+
+  /**
+   * Per-row layer normalization with learnable gain/bias (1xN each):
+   * y = gain * (x - mean) / sqrt(var + epsilon) + bias.
+   */
+  Var LayerNorm(Var x, Var gain, Var bias, float epsilon = 1e-5f);
+
+  // ---- Structure ops (GNN plumbing) --------------------------------------
+
+  /** Picks rows of `table` by index; gradient scatters back into the rows. */
+  Var GatherRows(Var table, std::vector<int> indices);
+
+  /** Sums rows into `num_segments` buckets by `segment_ids`. */
+  Var SegmentSum(Var rows, std::vector<int> segment_ids, int num_segments);
+
+  /** Horizontal concatenation of equal-height matrices. */
+  Var ConcatCols(const std::vector<Var>& parts);
+
+  /** Sum of all elements, as a 1x1 tensor. */
+  Var SumAll(Var a);
+
+  /** Mean of all elements, as a 1x1 tensor. */
+  Var MeanAll(Var a);
+
+  // ---- Introspection / execution -----------------------------------------
+
+  /** The forward value of a node. */
+  const Tensor& value(Var v) const;
+
+  /** The accumulated adjoint of a node (valid after Backward). */
+  const Tensor& grad(Var v) const;
+
+  /**
+   * Runs reverse accumulation from `loss`, which must be 1x1. Parameter
+   * leaves accumulate into their Parameter::grad tensors.
+   */
+  void Backward(Var loss);
+
+  /** Number of nodes currently recorded. */
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    bool requires_grad = false;
+    Parameter* parameter = nullptr;
+    // Propagates this node's adjoint into its inputs' adjoints.
+    std::function<void(Tape&, int self)> backward;
+  };
+
+  Var MakeNode(Tensor value, bool requires_grad,
+               std::function<void(Tape&, int)> backward,
+               Parameter* parameter = nullptr);
+
+  Node& node(Var v);
+  const Node& node(Var v) const;
+  bool RequiresGrad(Var v) const;
+  /** Adds `delta` into the adjoint of node `id` if it requires grad. */
+  void AccumulateGrad(int id, const Tensor& delta);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace granite::ml
+
+#endif  // GRANITE_ML_TAPE_H_

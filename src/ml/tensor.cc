@@ -1,0 +1,100 @@
+#include "ml/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace granite::ml {
+
+Tensor::Tensor(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0.0f) {
+  GRANITE_CHECK_GE(rows, 0);
+  GRANITE_CHECK_GE(cols, 0);
+}
+
+Tensor::Tensor(int rows, int cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  GRANITE_CHECK_EQ(data_.size(), static_cast<std::size_t>(rows) * cols);
+}
+
+Tensor Tensor::Zeros(int rows, int cols) { return Tensor(rows, cols); }
+
+Tensor Tensor::Constant(int rows, int cols, float value) {
+  Tensor result(rows, cols);
+  result.Fill(value);
+  return result;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor result(1, 1);
+  result.at(0, 0) = value;
+  return result;
+}
+
+Tensor Tensor::Row(const std::vector<float>& values) {
+  return Tensor(1, static_cast<int>(values.size()), values);
+}
+
+Tensor Tensor::Column(const std::vector<float>& values) {
+  return Tensor(static_cast<int>(values.size()), 1, values);
+}
+
+float& Tensor::at(int row, int col) {
+  GRANITE_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  return data_[static_cast<std::size_t>(row) * cols_ + col];
+}
+
+float Tensor::at(int row, int col) const {
+  GRANITE_CHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  return data_[static_cast<std::size_t>(row) * cols_ + col];
+}
+
+float* Tensor::row_data(int row) {
+  GRANITE_CHECK(row >= 0 && row < rows_);
+  return data_.data() + static_cast<std::size_t>(row) * cols_;
+}
+
+const float* Tensor::row_data(int row) const {
+  GRANITE_CHECK(row >= 0 && row < rows_);
+  return data_.data() + static_cast<std::size_t>(row) * cols_;
+}
+
+void Tensor::Fill(float value) {
+  for (float& element : data_) element = value;
+}
+
+float Tensor::scalar() const {
+  GRANITE_CHECK_MSG(rows_ == 1 && cols_ == 1,
+                    "scalar() on " << rows_ << "x" << cols_ << " tensor");
+  return data_[0];
+}
+
+bool Tensor::operator==(const Tensor& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+bool Tensor::AllClose(const Tensor& other, float tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor(" << rows_ << "x" << cols_ << ")[";
+  for (int r = 0; r < rows_; ++r) {
+    if (r > 0) out << "; ";
+    for (int c = 0; c < cols_; ++c) {
+      if (c > 0) out << ", ";
+      out << at(r, c);
+    }
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace granite::ml

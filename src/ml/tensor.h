@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dense 2-D float tensor, the storage type of the GRANITE ML library.
+ *
+ * All model state (embeddings, weight matrices, activations) is represented
+ * as row-major matrices of 32-bit floats. Vectors are 1xN or Nx1 matrices;
+ * scalars are 1x1. The class is deliberately minimal: arithmetic lives in
+ * tensor_ops.h so that the autodiff tape can reuse the same kernels for
+ * forward and backward passes.
+ */
+#ifndef GRANITE_ML_TENSOR_H_
+#define GRANITE_ML_TENSOR_H_
+
+#include <string>
+#include <vector>
+
+namespace granite::ml {
+
+/** A row-major matrix of floats. */
+class Tensor {
+ public:
+  /** Creates an empty 0x0 tensor. */
+  Tensor() = default;
+
+  /** Creates a `rows` x `cols` tensor initialized to zero. */
+  Tensor(int rows, int cols);
+
+  /** Creates a tensor from explicit data (size must be rows*cols). */
+  Tensor(int rows, int cols, std::vector<float> data);
+
+  /** Returns a rows x cols tensor of zeros. */
+  static Tensor Zeros(int rows, int cols);
+
+  /** Returns a rows x cols tensor filled with `value`. */
+  static Tensor Constant(int rows, int cols, float value);
+
+  /** Returns a 1x1 tensor holding `value`. */
+  static Tensor Scalar(float value);
+
+  /** Returns a 1xN row vector from `values`. */
+  static Tensor Row(const std::vector<float>& values);
+
+  /** Returns an Nx1 column vector from `values`. */
+  static Tensor Column(const std::vector<float>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /** Total number of elements. */
+  std::size_t size() const { return data_.size(); }
+
+  /** True when the tensor holds no elements. */
+  bool empty() const { return data_.empty(); }
+
+  /** Mutable element access with bounds checks in debug builds. */
+  float& at(int row, int col);
+
+  /** Const element access. */
+  float at(int row, int col) const;
+
+  /** Raw storage pointers (row-major). */
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /** Mutable pointer to the start of `row`. */
+  float* row_data(int row);
+  const float* row_data(int row) const;
+
+  /** Sets every element to `value`. */
+  void Fill(float value);
+
+  /** Sets every element to zero. */
+  void SetZero() { Fill(0.0f); }
+
+  /** Returns the single element of a 1x1 tensor. */
+  float scalar() const;
+
+  /** True if both shape and all elements match exactly. */
+  bool operator==(const Tensor& other) const;
+
+  /** Element-wise closeness within `tolerance`. Shapes must match. */
+  bool AllClose(const Tensor& other, float tolerance = 1e-5f) const;
+
+  /** Human-readable rendering for diagnostics. */
+  std::string ToString() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace granite::ml
+
+#endif  // GRANITE_ML_TENSOR_H_

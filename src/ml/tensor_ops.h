@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dense linear-algebra kernels shared by the forward and backward passes of
+ * the autodiff tape. All functions check shapes and either return fresh
+ * tensors or accumulate into an output argument (the `Accumulate*` family,
+ * used for gradient accumulation).
+ */
+#ifndef GRANITE_ML_TENSOR_OPS_H_
+#define GRANITE_ML_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace granite::ml {
+
+/** C = A * B. A is [m,k], B is [k,n]. */
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/** out += A * B. */
+void AccumulateMatMul(const Tensor& a, const Tensor& b, Tensor& out);
+
+/** out += A^T * B. A is [k,m], B is [k,n], out is [m,n]. */
+void AccumulateMatMulTransposeA(const Tensor& a, const Tensor& b, Tensor& out);
+
+/** out += A * B^T. A is [m,k], B is [n,k], out is [m,n]. */
+void AccumulateMatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& out);
+
+/** Element-wise sum; shapes must match. */
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/** Element-wise difference; shapes must match. */
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/** Element-wise (Hadamard) product; shapes must match. */
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/** Element-wise quotient; shapes must match. */
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/** Returns a scaled by `factor`. */
+Tensor Scale(const Tensor& a, float factor);
+
+/** out += a (element-wise); shapes must match. */
+void AccumulateAdd(const Tensor& a, Tensor& out);
+
+/** out += a * factor. */
+void AccumulateScaled(const Tensor& a, float factor, Tensor& out);
+
+/** Adds the 1xN row vector `bias` to every row of `a`. */
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+
+/** Sum of all elements, as a double for accuracy. */
+double SumAll(const Tensor& a);
+
+/** Frobenius norm. */
+double Norm(const Tensor& a);
+
+/** Gathers rows of `table` by index into a new tensor. */
+Tensor GatherRows(const Tensor& table, const std::vector<int>& indices);
+
+/**
+ * Sums rows of `rows` into `num_segments` buckets selected by
+ * `segment_ids[i]` (must be in [0, num_segments)). Empty buckets are zero.
+ */
+Tensor SegmentSumRows(const Tensor& rows, const std::vector<int>& segment_ids,
+                      int num_segments);
+
+/** Horizontal concatenation; all inputs share the same row count. */
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+}  // namespace granite::ml
+
+#endif  // GRANITE_ML_TENSOR_OPS_H_

@@ -1,0 +1,173 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/csv_writer.h"
+#include "base/logging.h"
+#include "base/statistics.h"
+
+namespace granite::train {
+namespace {
+
+double HuberValue(double x, double delta) {
+  const double absolute = std::abs(x);
+  if (absolute <= delta) return 0.5 * x * x;
+  return delta * (absolute - 0.5 * delta);
+}
+
+}  // namespace
+
+EvaluationResult Evaluate(const std::vector<double>& actual,
+                          const std::vector<double>& predicted) {
+  GRANITE_CHECK_EQ(actual.size(), predicted.size());
+  EvaluationResult result;
+  result.count = actual.size();
+  result.mape = MeanAbsolutePercentageError(actual, predicted);
+  result.mse = MeanSquaredError(actual, predicted);
+  result.spearman = SpearmanCorrelation(actual, predicted);
+  result.pearson = PearsonCorrelation(actual, predicted);
+  double relative_mse = 0.0;
+  double huber = 0.0;
+  double relative_huber = 0.0;
+  std::size_t relative_count = 0;
+  constexpr double kDelta = 1.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double error = predicted[i] - actual[i];
+    huber += HuberValue(error, kDelta);
+    if (std::abs(actual[i]) > 1e-9) {
+      const double relative = error / actual[i];
+      relative_mse += relative * relative;
+      relative_huber += HuberValue(relative, kDelta);
+      ++relative_count;
+    }
+  }
+  if (!actual.empty()) {
+    result.mean_huber = huber / static_cast<double>(actual.size());
+  }
+  if (relative_count > 0) {
+    result.relative_mse = relative_mse / static_cast<double>(relative_count);
+    result.mean_relative_huber =
+        relative_huber / static_cast<double>(relative_count);
+  }
+  return result;
+}
+
+Heatmap BuildHeatmap(const std::vector<double>& actual,
+                     const std::vector<double>& predicted, int bins,
+                     double min_value, double max_value, double scale) {
+  GRANITE_CHECK_EQ(actual.size(), predicted.size());
+  GRANITE_CHECK_GT(bins, 0);
+  GRANITE_CHECK_GT(max_value, min_value);
+  GRANITE_CHECK_GT(scale, 0.0);
+  Heatmap heatmap;
+  heatmap.bins = bins;
+  heatmap.min_value = min_value;
+  heatmap.max_value = max_value;
+  heatmap.counts.assign(static_cast<std::size_t>(bins) * bins, 0);
+  const double span = max_value - min_value;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double x = actual[i] / scale;
+    const double y = predicted[i] / scale;
+    if (x < min_value || x >= max_value || y < min_value || y >= max_value) {
+      continue;
+    }
+    const int x_bin = static_cast<int>((x - min_value) / span * bins);
+    const int y_bin = static_cast<int>((y - min_value) / span * bins);
+    ++heatmap.counts[static_cast<std::size_t>(y_bin) * bins + x_bin];
+  }
+  return heatmap;
+}
+
+std::string RenderHeatmap(const Heatmap& heatmap) {
+  static constexpr const char* kGlyphs = " .:-=+*#%@";
+  int max_count = 0;
+  for (int count : heatmap.counts) max_count = std::max(max_count, count);
+  std::ostringstream out;
+  // Render with the prediction axis (y) growing upward, like the paper.
+  for (int y = heatmap.bins - 1; y >= 0; --y) {
+    out << "|";
+    for (int x = 0; x < heatmap.bins; ++x) {
+      const int count = heatmap.At(x, y);
+      int glyph = 0;
+      if (max_count > 0 && count > 0) {
+        glyph = 1 + static_cast<int>(8.0 * std::log1p(count) /
+                                     std::log1p(max_count));
+        glyph = std::min(glyph, 9);
+      }
+      out << kGlyphs[glyph];
+    }
+    out << "|\n";
+  }
+  out << "+" << std::string(heatmap.bins, '-') << "+  x: measured, y: predicted ["
+      << heatmap.min_value << ", " << heatmap.max_value << ") cycles\n";
+  return out.str();
+}
+
+void WriteHeatmapCsv(const Heatmap& heatmap, const std::string& path) {
+  CsvWriter writer(path, {"actual_bin", "predicted_bin", "count"});
+  for (int y = 0; y < heatmap.bins; ++y) {
+    for (int x = 0; x < heatmap.bins; ++x) {
+      writer.WriteRow(std::vector<double>{static_cast<double>(x),
+                                          static_cast<double>(y),
+                                          static_cast<double>(heatmap.At(x, y))});
+    }
+  }
+}
+
+ErrorHistogram BuildErrorHistogram(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted,
+                                   int bins, double min_value,
+                                   double max_value) {
+  GRANITE_CHECK_EQ(actual.size(), predicted.size());
+  GRANITE_CHECK_GT(bins, 0);
+  GRANITE_CHECK_GT(max_value, min_value);
+  ErrorHistogram histogram;
+  histogram.bins = bins;
+  histogram.min_value = min_value;
+  histogram.max_value = max_value;
+  histogram.counts.assign(bins, 0);
+  const double span = max_value - min_value;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::abs(actual[i]) < 1e-9) continue;
+    const double relative = (predicted[i] - actual[i]) / actual[i];
+    if (relative < min_value || relative >= max_value) continue;
+    const int bin = static_cast<int>((relative - min_value) / span * bins);
+    ++histogram.counts[bin];
+  }
+  return histogram;
+}
+
+std::string RenderErrorHistogram(const ErrorHistogram& histogram,
+                                 int height) {
+  int max_count = 0;
+  for (int count : histogram.counts) max_count = std::max(max_count, count);
+  std::ostringstream out;
+  for (int row = height; row >= 1; --row) {
+    const double threshold =
+        static_cast<double>(row) / height * std::max(1, max_count);
+    out << "|";
+    for (int count : histogram.counts) {
+      out << (count >= threshold ? '#' : ' ');
+    }
+    out << "|\n";
+  }
+  out << "+" << std::string(histogram.bins, '-') << "+  relative error ["
+      << histogram.min_value << ", " << histogram.max_value << ")\n";
+  return out.str();
+}
+
+void WriteErrorHistogramCsv(const ErrorHistogram& histogram,
+                            const std::string& path) {
+  CsvWriter writer(path, {"bin_center", "count"});
+  const double width =
+      (histogram.max_value - histogram.min_value) / histogram.bins;
+  for (int bin = 0; bin < histogram.bins; ++bin) {
+    const double center = histogram.min_value + (bin + 0.5) * width;
+    writer.WriteRow(
+        std::vector<double>{center, static_cast<double>(histogram.counts[bin])});
+  }
+}
+
+}  // namespace granite::train

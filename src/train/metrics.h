@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Evaluation metrics and figure-data exporters.
+ *
+ * Tables 5/6 report MAPE plus Spearman and Pearson correlations; Figures
+ * 3/5 are ground-truth-vs-prediction density heatmaps for throughputs
+ * under 10 cycles (per single iteration); Figure 4 shows relative-error
+ * histograms. This module computes all of them from (actual, predicted)
+ * series and renders ASCII previews for the benchmark binaries.
+ */
+#ifndef GRANITE_TRAIN_METRICS_H_
+#define GRANITE_TRAIN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace granite::train {
+
+/** The accuracy metrics of Tables 5/6 plus the loss-study metrics of
+ * Table 9. */
+struct EvaluationResult {
+  double mape = 0.0;
+  double spearman = 0.0;
+  double pearson = 0.0;
+  double mse = 0.0;
+  double relative_mse = 0.0;
+  double mean_huber = 0.0;
+  double mean_relative_huber = 0.0;
+  std::size_t count = 0;
+};
+
+/** Computes all metrics of a prediction series against the ground truth.
+ * Huber metrics use delta = 1 (paper §5.2). */
+EvaluationResult Evaluate(const std::vector<double>& actual,
+                          const std::vector<double>& predicted);
+
+/** A 2-D density grid for the Figure 3/5 heatmaps. */
+struct Heatmap {
+  int bins = 0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /** counts[y * bins + x]: x indexes ground truth, y the prediction. */
+  std::vector<int> counts;
+
+  int At(int x, int y) const { return counts[y * bins + x]; }
+};
+
+/**
+ * Builds a heatmap of (actual, predicted) pairs, both normalized to a
+ * single block iteration by `scale` (the paper divides the per-100-
+ * iteration values by 100 and plots the sub-10-cycle range).
+ * Pairs outside [min_value, max_value] in either coordinate are dropped.
+ */
+Heatmap BuildHeatmap(const std::vector<double>& actual,
+                     const std::vector<double>& predicted, int bins,
+                     double min_value, double max_value, double scale);
+
+/** Renders a heatmap as ASCII art (density glyphs), for bench output. */
+std::string RenderHeatmap(const Heatmap& heatmap);
+
+/** Writes a heatmap as CSV rows (x_bin, y_bin, count). */
+void WriteHeatmapCsv(const Heatmap& heatmap, const std::string& path);
+
+/** A histogram of relative errors (predicted-actual)/actual (Figure 4). */
+struct ErrorHistogram {
+  int bins = 0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::vector<int> counts;
+};
+
+/** Builds the Figure 4 histogram over [-1.5, 1.5] by default. */
+ErrorHistogram BuildErrorHistogram(const std::vector<double>& actual,
+                                   const std::vector<double>& predicted,
+                                   int bins = 60, double min_value = -1.5,
+                                   double max_value = 1.5);
+
+/** Renders the histogram as ASCII art. */
+std::string RenderErrorHistogram(const ErrorHistogram& histogram,
+                                 int height = 10);
+
+/** Writes the histogram as CSV rows (bin_center, count). */
+void WriteErrorHistogramCsv(const ErrorHistogram& histogram,
+                            const std::string& path);
+
+}  // namespace granite::train
+
+#endif  // GRANITE_TRAIN_METRICS_H_

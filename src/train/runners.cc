@@ -1,0 +1,72 @@
+#include "train/runners.h"
+
+#include "base/logging.h"
+#include "ithemal/tokenizer.h"
+
+namespace granite::train {
+
+GraniteRunner::GraniteRunner(const core::GraniteConfig& model_config,
+                             const TrainerConfig& trainer_config) {
+  GRANITE_CHECK_EQ(static_cast<std::size_t>(model_config.num_tasks),
+                   trainer_config.tasks.size());
+  vocabulary_ = std::make_unique<graph::Vocabulary>(
+      graph::Vocabulary::CreateDefault());
+  model_ = std::make_unique<core::GraniteModel>(vocabulary_.get(),
+                                                model_config);
+  core::GraniteModel* model = model_.get();
+  trainer_ = std::make_unique<Trainer>(
+      [model](ml::Tape& tape,
+              const std::vector<const assembly::BasicBlock*>& blocks) {
+        return model->Forward(tape, blocks);
+      },
+      &model_->parameters(), trainer_config);
+}
+
+TrainingResult GraniteRunner::Train(const dataset::Dataset& train_data,
+                                    const dataset::Dataset& validation) {
+  return trainer_->Train(train_data, validation);
+}
+
+EvaluationResult GraniteRunner::Evaluate(const dataset::Dataset& data,
+                                         int task) const {
+  return trainer_->EvaluateTask(data, task);
+}
+
+std::vector<double> GraniteRunner::Predict(const dataset::Dataset& data,
+                                           int task) const {
+  return trainer_->Predict(data, task);
+}
+
+IthemalRunner::IthemalRunner(const ithemal::IthemalConfig& model_config,
+                             const TrainerConfig& trainer_config) {
+  GRANITE_CHECK_EQ(static_cast<std::size_t>(model_config.num_tasks),
+                   trainer_config.tasks.size());
+  vocabulary_ = std::make_unique<graph::Vocabulary>(
+      ithemal::CreateIthemalVocabulary());
+  model_ = std::make_unique<ithemal::IthemalModel>(vocabulary_.get(),
+                                                   model_config);
+  ithemal::IthemalModel* model = model_.get();
+  trainer_ = std::make_unique<Trainer>(
+      [model](ml::Tape& tape,
+              const std::vector<const assembly::BasicBlock*>& blocks) {
+        return model->Forward(tape, blocks);
+      },
+      &model_->parameters(), trainer_config);
+}
+
+TrainingResult IthemalRunner::Train(const dataset::Dataset& train_data,
+                                    const dataset::Dataset& validation) {
+  return trainer_->Train(train_data, validation);
+}
+
+EvaluationResult IthemalRunner::Evaluate(const dataset::Dataset& data,
+                                         int task) const {
+  return trainer_->EvaluateTask(data, task);
+}
+
+std::vector<double> IthemalRunner::Predict(const dataset::Dataset& data,
+                                           int task) const {
+  return trainer_->Predict(data, task);
+}
+
+}  // namespace granite::train

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Self-contained model runners bundling a vocabulary, a model and a
+ * Trainer. These are the top-level convenience objects used by the
+ * examples and by every benchmark binary: construct, Train(), Evaluate().
+ */
+#ifndef GRANITE_TRAIN_RUNNERS_H_
+#define GRANITE_TRAIN_RUNNERS_H_
+
+#include <memory>
+
+#include "core/granite_model.h"
+#include "ithemal/ithemal_model.h"
+#include "train/trainer.h"
+
+namespace granite::train {
+
+/** GRANITE model + trainer bundle. */
+class GraniteRunner {
+ public:
+  /**
+   * @param model_config GRANITE hyper-parameters. num_tasks must equal
+   *   trainer_config.tasks.size().
+   * @param trainer_config Training-run configuration.
+   */
+  GraniteRunner(const core::GraniteConfig& model_config,
+                const TrainerConfig& trainer_config);
+
+  /** Trains on `train_data`, selecting checkpoints on `validation`. */
+  TrainingResult Train(const dataset::Dataset& train_data,
+                       const dataset::Dataset& validation);
+
+  /** Evaluates one task head against its microarchitecture labels. */
+  EvaluationResult Evaluate(const dataset::Dataset& data, int task) const;
+
+  /** Whole-dataset inference for one task. */
+  std::vector<double> Predict(const dataset::Dataset& data,
+                              int task) const;
+
+  core::GraniteModel& model() { return *model_; }
+  Trainer& trainer() { return *trainer_; }
+
+ private:
+  std::unique_ptr<graph::Vocabulary> vocabulary_;
+  std::unique_ptr<core::GraniteModel> model_;
+  std::unique_ptr<Trainer> trainer_;
+};
+
+/** Ithemal / Ithemal+ model + trainer bundle. */
+class IthemalRunner {
+ public:
+  IthemalRunner(const ithemal::IthemalConfig& model_config,
+                const TrainerConfig& trainer_config);
+
+  TrainingResult Train(const dataset::Dataset& train_data,
+                       const dataset::Dataset& validation);
+
+  EvaluationResult Evaluate(const dataset::Dataset& data, int task) const;
+
+  std::vector<double> Predict(const dataset::Dataset& data,
+                              int task) const;
+
+  ithemal::IthemalModel& model() { return *model_; }
+  Trainer& trainer() { return *trainer_; }
+
+ private:
+  std::unique_ptr<graph::Vocabulary> vocabulary_;
+  std::unique_ptr<ithemal::IthemalModel> model_;
+  std::unique_ptr<Trainer> trainer_;
+};
+
+}  // namespace granite::train
+
+#endif  // GRANITE_TRAIN_RUNNERS_H_

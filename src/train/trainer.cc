@@ -1,0 +1,164 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace granite::train {
+namespace {
+
+/** Extracts the ground-truth column of one task from batch samples. */
+ml::Tensor TargetColumn(const dataset::Dataset& data,
+                        const std::vector<std::size_t>& indices,
+                        uarch::Microarchitecture microarchitecture,
+                        double target_scale) {
+  ml::Tensor column(static_cast<int>(indices.size()), 1);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    column.at(static_cast<int>(i), 0) = static_cast<float>(
+        data[indices[i]].throughput[static_cast<int>(microarchitecture)] /
+        target_scale);
+  }
+  return column;
+}
+
+}  // namespace
+
+Trainer::Trainer(ForwardFn forward, ml::ParameterStore* parameters,
+                 const TrainerConfig& config)
+    : forward_(std::move(forward)),
+      parameters_(parameters),
+      config_(config),
+      optimizer_(config.adam) {
+  GRANITE_CHECK(parameters_ != nullptr);
+  GRANITE_CHECK(!config_.tasks.empty());
+  GRANITE_CHECK_GT(config_.batch_size, 0);
+}
+
+TrainingResult Trainer::Train(const dataset::Dataset& train_data,
+                              const dataset::Dataset& validation_data) {
+  GRANITE_CHECK(!train_data.empty());
+  dataset::BatchSampler sampler(train_data.size(),
+                                static_cast<std::size_t>(config_.batch_size),
+                                config_.seed);
+  TrainingResult result;
+  std::vector<ml::Tensor> best_snapshot;
+  double best_validation = 0.0;
+  const int loss_sample_every = std::max(1, config_.num_steps / 50);
+
+  const float initial_learning_rate = config_.adam.learning_rate;
+  for (int step = 1; step <= config_.num_steps; ++step) {
+    if (config_.final_learning_rate > 0.0f && config_.num_steps > 1) {
+      const float progress = static_cast<float>(step - 1) /
+                             static_cast<float>(config_.num_steps - 1);
+      optimizer_.SetLearningRate(initial_learning_rate +
+                                 progress * (config_.final_learning_rate -
+                                             initial_learning_rate));
+    }
+    const std::vector<std::size_t> indices = sampler.NextBatch();
+    std::vector<const assembly::BasicBlock*> blocks;
+    blocks.reserve(indices.size());
+    for (const std::size_t index : indices) {
+      blocks.push_back(&train_data[index].block);
+    }
+
+    ml::Tape tape;
+    const std::vector<ml::Var> predictions = forward_(tape, blocks);
+    GRANITE_CHECK_GE(predictions.size(), config_.tasks.size());
+
+    // Multi-task training updates the weights for all target
+    // microarchitectures at the same time (paper §5.3); the batch loss is
+    // the mean of the per-task losses.
+    ml::Var total_loss;
+    for (std::size_t task = 0; task < config_.tasks.size(); ++task) {
+      const ml::Var target = tape.Constant(
+          TargetColumn(train_data, indices, config_.tasks[task],
+                       config_.target_scale));
+      const ml::Var task_loss =
+          ml::ComputeLoss(tape, predictions[task], target, config_.loss,
+                          config_.huber_delta);
+      total_loss =
+          task == 0 ? task_loss : tape.Add(total_loss, task_loss);
+    }
+    if (config_.tasks.size() > 1) {
+      total_loss = tape.Scale(
+          total_loss, 1.0f / static_cast<float>(config_.tasks.size()));
+    }
+
+    tape.Backward(total_loss);
+    optimizer_.Step(*parameters_);
+
+    const double loss_value = tape.value(total_loss).scalar();
+    result.final_train_loss = loss_value;
+    if (step % loss_sample_every == 0 || step == 1) {
+      result.loss_history.emplace_back(step, loss_value);
+    }
+
+    if (config_.validation_every > 0 && !validation_data.empty() &&
+        (step % config_.validation_every == 0 ||
+         step == config_.num_steps)) {
+      const double validation_mape = ValidationMape(validation_data);
+      if (result.best_step < 0 || validation_mape < best_validation) {
+        best_validation = validation_mape;
+        result.best_step = step;
+        best_snapshot = parameters_->SnapshotValues();
+      }
+      if (config_.verbose) {
+        GRANITE_INFO("step " << step << ": train loss " << loss_value
+                             << ", validation MAPE " << validation_mape);
+      }
+    } else if (config_.verbose && step % loss_sample_every == 0) {
+      GRANITE_INFO("step " << step << ": train loss " << loss_value);
+    }
+  }
+
+  if (!best_snapshot.empty()) {
+    parameters_->RestoreValues(best_snapshot);
+    result.best_validation_mape = best_validation;
+  }
+  return result;
+}
+
+std::vector<double> Trainer::Predict(const dataset::Dataset& data,
+                                     int task) const {
+  GRANITE_CHECK_GE(task, 0);
+  std::vector<double> predictions;
+  predictions.reserve(data.size());
+  const std::size_t batch_size =
+      static_cast<std::size_t>(std::max(1, config_.eval_batch_size));
+  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, data.size());
+    std::vector<const assembly::BasicBlock*> blocks;
+    blocks.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      blocks.push_back(&data[i].block);
+    }
+    ml::Tape tape;
+    const std::vector<ml::Var> outputs = forward_(tape, blocks);
+    GRANITE_CHECK_LT(static_cast<std::size_t>(task), outputs.size());
+    const ml::Tensor& column = tape.value(outputs[task]);
+    for (int row = 0; row < column.rows(); ++row) {
+      predictions.push_back(column.at(row, 0) * config_.target_scale);
+    }
+  }
+  return predictions;
+}
+
+EvaluationResult Trainer::EvaluateTask(const dataset::Dataset& data,
+                                       int task) const {
+  GRANITE_CHECK_LT(static_cast<std::size_t>(task), config_.tasks.size());
+  const std::vector<double> actual =
+      data.Throughputs(config_.tasks[task]);
+  const std::vector<double> predicted = Predict(data, task);
+  return Evaluate(actual, predicted);
+}
+
+double Trainer::ValidationMape(
+    const dataset::Dataset& validation_data) const {
+  double total = 0.0;
+  for (std::size_t task = 0; task < config_.tasks.size(); ++task) {
+    total += EvaluateTask(validation_data, static_cast<int>(task)).mape;
+  }
+  return total / static_cast<double>(config_.tasks.size());
+}
+
+}  // namespace granite::train

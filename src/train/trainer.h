@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Training and evaluation harness.
+ *
+ * The trainer is model-agnostic: GRANITE and the Ithemal baselines are
+ * both driven through a ForwardFn closure returning one prediction column
+ * per task, so every experiment of the evaluation section uses the same
+ * training loop (Adam, configurable loss, per-step multi-task updates,
+ * validation-based best-checkpoint selection; paper §4).
+ */
+#ifndef GRANITE_TRAIN_TRAINER_H_
+#define GRANITE_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "ml/losses.h"
+#include "ml/optimizer.h"
+#include "ml/parameter.h"
+#include "ml/tape.h"
+#include "train/metrics.h"
+
+namespace granite::train {
+
+/** Runs a model on a batch of blocks; returns one [N, 1] column per task. */
+using ForwardFn = std::function<std::vector<ml::Var>(
+    ml::Tape&, const std::vector<const assembly::BasicBlock*>&)>;
+
+/** Hyper-parameters of a training run. */
+struct TrainerConfig {
+  int num_steps = 1000;
+  /** Paper: 100 basic blocks per batch. */
+  int batch_size = 100;
+  ml::LossFunction loss = ml::LossFunction::kMeanAbsolutePercentageError;
+  float huber_delta = 1.0f;
+  ml::AdamConfig adam;
+  /**
+   * When positive, the learning rate decays linearly from adam.learning_rate
+   * to this floor over the run. MAPE's gradients do not shrink near the
+   * optimum (they are sign-based), so a constant learning rate leaves a
+   * noise floor proportional to it; decaying removes that floor.
+   */
+  float final_learning_rate = 0.0f;
+  /**
+   * Tasks trained simultaneously; entry i gives the microarchitecture
+   * whose ground truth supervises forward head i. Single-task training
+   * uses a one-element list.
+   */
+  std::vector<uarch::Microarchitecture> tasks = {
+      uarch::Microarchitecture::kIvyBridge};
+  /** Validate (and possibly snapshot) every this many steps; 0 disables
+   * best-checkpoint selection. */
+  int validation_every = 100;
+  /** Batch size used for inference/evaluation passes. */
+  int eval_batch_size = 100;
+  /**
+   * Targets are divided by this factor during training and predictions
+   * multiplied by it during inference. The paper trains directly on
+   * cycles-per-100-iterations values over >=6M steps; at the scaled-down
+   * step counts used here, training on cycles-per-iteration values
+   * (target_scale = 100) converges orders of magnitude faster while all
+   * reported metrics remain on the paper's value scale.
+   */
+  double target_scale = 1.0;
+  uint64_t seed = 123;
+  /** Prints progress lines when true. */
+  bool verbose = false;
+};
+
+/** Summary of a training run. */
+struct TrainingResult {
+  /** Sampled (step, training loss) pairs. */
+  std::vector<std::pair<int, double>> loss_history;
+  /** Best validation MAPE (averaged over tasks) and the step it was
+   * reached; meaningful when validation ran. */
+  double best_validation_mape = 0.0;
+  int best_step = -1;
+  double final_train_loss = 0.0;
+};
+
+/** The reusable training/evaluation loop. */
+class Trainer {
+ public:
+  /**
+   * @param forward Model forward closure.
+   * @param parameters The model's parameter store (owned by the model).
+   * @param config Run configuration.
+   */
+  Trainer(ForwardFn forward, ml::ParameterStore* parameters,
+          const TrainerConfig& config);
+
+  /**
+   * Runs the configured number of steps on `train_data`, tracking the
+   * validation MAPE on `validation_data` and restoring the best
+   * checkpoint at the end (paper §4: "we use the validation split to
+   * select the best checkpoint").
+   */
+  TrainingResult Train(const dataset::Dataset& train_data,
+                       const dataset::Dataset& validation_data);
+
+  /** Inference over a whole dataset for one task head. */
+  std::vector<double> Predict(const dataset::Dataset& data, int task) const;
+
+  /** Full metric suite of one task head against its ground truth. */
+  EvaluationResult EvaluateTask(const dataset::Dataset& data,
+                                int task) const;
+
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  /** Mean validation MAPE across all task heads. */
+  double ValidationMape(const dataset::Dataset& validation_data) const;
+
+  ForwardFn forward_;
+  ml::ParameterStore* parameters_;
+  TrainerConfig config_;
+  ml::AdamOptimizer optimizer_;
+};
+
+}  // namespace granite::train
+
+#endif  // GRANITE_TRAIN_TRAINER_H_

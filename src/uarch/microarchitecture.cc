@@ -1,0 +1,205 @@
+#include "uarch/microarchitecture.h"
+
+#include "base/logging.h"
+
+namespace granite::uarch {
+
+using assembly::InstructionCategory;
+
+std::string_view MicroarchitectureName(Microarchitecture microarchitecture) {
+  switch (microarchitecture) {
+    case Microarchitecture::kIvyBridge:
+      return "Ivy Bridge";
+    case Microarchitecture::kHaswell:
+      return "Haswell";
+    case Microarchitecture::kSkylake:
+      return "Skylake";
+  }
+  return "?";
+}
+
+const std::vector<Microarchitecture>& AllMicroarchitectures() {
+  static const std::vector<Microarchitecture>* const all =
+      new std::vector<Microarchitecture>{Microarchitecture::kIvyBridge,
+                                         Microarchitecture::kHaswell,
+                                         Microarchitecture::kSkylake};
+  return *all;
+}
+
+const CategoryTiming& UarchParams::TimingFor(
+    InstructionCategory category) const {
+  const auto it = timing.find(category);
+  GRANITE_CHECK_MSG(it != timing.end(),
+                    "no timing for category "
+                        << assembly::InstructionCategoryName(category)
+                        << " on " << name);
+  return it->second;
+}
+
+namespace {
+
+/** Shorthand for building timing tables. */
+CategoryTiming T(int uops, PortSet ports, int latency) {
+  CategoryTiming timing;
+  timing.compute_uops = uops;
+  timing.compute_ports = ports;
+  timing.latency = latency;
+  return timing;
+}
+
+UarchParams BuildIvyBridge() {
+  UarchParams params;
+  params.name = "Ivy Bridge";
+  params.num_ports = 6;
+  params.issue_width = 4;
+  params.load_latency = 5;
+  params.store_forward_latency = 6;
+  params.load_ports = {2, 3};
+  params.store_address_ports = {2, 3};
+  params.store_data_ports = {4};
+  const PortSet alu = {0, 1, 5};
+  auto& t = params.timing;
+  t[InstructionCategory::kMove] = T(1, alu, 1);
+  t[InstructionCategory::kMoveExtend] = T(1, alu, 1);
+  t[InstructionCategory::kLea] = T(1, {0, 1}, 1);
+  t[InstructionCategory::kAluSimple] = T(1, alu, 1);
+  t[InstructionCategory::kAluCarry] = T(2, alu, 2);
+  t[InstructionCategory::kAluCompare] = T(1, alu, 1);
+  t[InstructionCategory::kShift] = T(1, {0, 5}, 1);
+  t[InstructionCategory::kShiftDouble] = T(2, {0, 5}, 4);
+  t[InstructionCategory::kBitTest] = T(1, {0, 5}, 1);
+  t[InstructionCategory::kBitScan] = T(1, {1}, 3);
+  t[InstructionCategory::kMulInteger] = T(1, {1}, 3);
+  t[InstructionCategory::kDivInteger] = T(10, {0}, 26);
+  t[InstructionCategory::kConditionalMove] = T(2, alu, 2);
+  t[InstructionCategory::kSetcc] = T(1, alu, 1);
+  t[InstructionCategory::kPush] = T(0, {}, 1);
+  t[InstructionCategory::kPop] = T(0, {}, 1);
+  t[InstructionCategory::kSignExtend] = T(1, alu, 1);
+  t[InstructionCategory::kNop] = T(1, {}, 0);
+  t[InstructionCategory::kExchange] = T(3, alu, 2);
+  t[InstructionCategory::kVecMove] = T(1, {0, 1, 5}, 1);
+  t[InstructionCategory::kVecFpAdd] = T(1, {1}, 3);
+  t[InstructionCategory::kVecFpMul] = T(1, {0}, 5);
+  t[InstructionCategory::kVecFpDiv] = T(1, {0}, 14);
+  t[InstructionCategory::kVecFpSqrt] = T(1, {0}, 21);
+  t[InstructionCategory::kVecFpCompare] = T(1, {1}, 3);
+  t[InstructionCategory::kVecInt] = T(1, {1, 5}, 1);
+  t[InstructionCategory::kVecIntMul] = T(1, {0}, 5);
+  t[InstructionCategory::kVecShuffle] = T(1, {5}, 1);
+  t[InstructionCategory::kConvert] = T(2, {0, 1}, 5);
+  t[InstructionCategory::kString] = T(4, alu, 4);
+  return params;
+}
+
+UarchParams BuildHaswell() {
+  UarchParams params;
+  params.name = "Haswell";
+  params.num_ports = 8;
+  params.issue_width = 4;
+  params.load_latency = 5;
+  params.store_forward_latency = 5;
+  params.load_ports = {2, 3};
+  params.store_address_ports = {2, 3, 7};
+  params.store_data_ports = {4};
+  const PortSet alu = {0, 1, 5, 6};
+  auto& t = params.timing;
+  t[InstructionCategory::kMove] = T(1, alu, 1);
+  t[InstructionCategory::kMoveExtend] = T(1, alu, 1);
+  t[InstructionCategory::kLea] = T(1, {1, 5}, 1);
+  t[InstructionCategory::kAluSimple] = T(1, alu, 1);
+  t[InstructionCategory::kAluCarry] = T(2, alu, 2);
+  t[InstructionCategory::kAluCompare] = T(1, alu, 1);
+  t[InstructionCategory::kShift] = T(1, {0, 6}, 1);
+  t[InstructionCategory::kShiftDouble] = T(2, {0, 6}, 3);
+  t[InstructionCategory::kBitTest] = T(1, {0, 6}, 1);
+  t[InstructionCategory::kBitScan] = T(1, {1}, 3);
+  t[InstructionCategory::kMulInteger] = T(1, {1}, 3);
+  t[InstructionCategory::kDivInteger] = T(9, {0}, 23);
+  t[InstructionCategory::kConditionalMove] = T(2, alu, 2);
+  t[InstructionCategory::kSetcc] = T(1, alu, 1);
+  t[InstructionCategory::kPush] = T(0, {}, 1);
+  t[InstructionCategory::kPop] = T(0, {}, 1);
+  t[InstructionCategory::kSignExtend] = T(1, alu, 1);
+  t[InstructionCategory::kNop] = T(1, {}, 0);
+  t[InstructionCategory::kExchange] = T(3, alu, 2);
+  t[InstructionCategory::kVecMove] = T(1, {0, 1, 5}, 1);
+  t[InstructionCategory::kVecFpAdd] = T(1, {1}, 3);
+  t[InstructionCategory::kVecFpMul] = T(1, {0, 1}, 5);
+  t[InstructionCategory::kVecFpDiv] = T(1, {0}, 13);
+  t[InstructionCategory::kVecFpSqrt] = T(1, {0}, 19);
+  t[InstructionCategory::kVecFpCompare] = T(1, {1}, 3);
+  t[InstructionCategory::kVecInt] = T(1, {1, 5}, 1);
+  t[InstructionCategory::kVecIntMul] = T(1, {0}, 5);
+  t[InstructionCategory::kVecShuffle] = T(1, {5}, 1);
+  t[InstructionCategory::kConvert] = T(2, {0, 1}, 4);
+  t[InstructionCategory::kString] = T(4, alu, 4);
+  return params;
+}
+
+UarchParams BuildSkylake() {
+  UarchParams params;
+  params.name = "Skylake";
+  params.num_ports = 8;
+  params.issue_width = 4;
+  params.load_latency = 4;
+  params.store_forward_latency = 4;
+  params.load_ports = {2, 3};
+  params.store_address_ports = {2, 3, 7};
+  params.store_data_ports = {4};
+  const PortSet alu = {0, 1, 5, 6};
+  auto& t = params.timing;
+  t[InstructionCategory::kMove] = T(1, alu, 1);
+  t[InstructionCategory::kMoveExtend] = T(1, alu, 1);
+  t[InstructionCategory::kLea] = T(1, {1, 5}, 1);
+  t[InstructionCategory::kAluSimple] = T(1, alu, 1);
+  t[InstructionCategory::kAluCarry] = T(1, alu, 1);
+  t[InstructionCategory::kAluCompare] = T(1, alu, 1);
+  t[InstructionCategory::kShift] = T(1, {0, 6}, 1);
+  t[InstructionCategory::kShiftDouble] = T(1, {1}, 3);
+  t[InstructionCategory::kBitTest] = T(1, {0, 6}, 1);
+  t[InstructionCategory::kBitScan] = T(1, {1}, 3);
+  t[InstructionCategory::kMulInteger] = T(1, {1}, 3);
+  t[InstructionCategory::kDivInteger] = T(8, {0}, 21);
+  t[InstructionCategory::kConditionalMove] = T(1, alu, 1);
+  t[InstructionCategory::kSetcc] = T(1, alu, 1);
+  t[InstructionCategory::kPush] = T(0, {}, 1);
+  t[InstructionCategory::kPop] = T(0, {}, 1);
+  t[InstructionCategory::kSignExtend] = T(1, alu, 1);
+  t[InstructionCategory::kNop] = T(1, {}, 0);
+  t[InstructionCategory::kExchange] = T(3, alu, 2);
+  t[InstructionCategory::kVecMove] = T(1, {0, 1, 5}, 1);
+  // Skylake unified its FP add/mul onto two FMA ports: higher add latency
+  // but doubled multiply throughput versus Ivy Bridge.
+  t[InstructionCategory::kVecFpAdd] = T(1, {0, 1}, 4);
+  t[InstructionCategory::kVecFpMul] = T(1, {0, 1}, 4);
+  t[InstructionCategory::kVecFpDiv] = T(1, {0}, 11);
+  t[InstructionCategory::kVecFpSqrt] = T(1, {0}, 18);
+  t[InstructionCategory::kVecFpCompare] = T(1, {0, 1}, 4);
+  t[InstructionCategory::kVecInt] = T(1, {0, 1, 5}, 1);
+  t[InstructionCategory::kVecIntMul] = T(1, {0, 1}, 4);
+  t[InstructionCategory::kVecShuffle] = T(1, {5}, 1);
+  t[InstructionCategory::kConvert] = T(2, {0, 1}, 4);
+  t[InstructionCategory::kString] = T(4, alu, 4);
+  return params;
+}
+
+}  // namespace
+
+const UarchParams& GetUarchParams(Microarchitecture microarchitecture) {
+  static const UarchParams* const ivy_bridge =
+      new UarchParams(BuildIvyBridge());
+  static const UarchParams* const haswell = new UarchParams(BuildHaswell());
+  static const UarchParams* const skylake = new UarchParams(BuildSkylake());
+  switch (microarchitecture) {
+    case Microarchitecture::kIvyBridge:
+      return *ivy_bridge;
+    case Microarchitecture::kHaswell:
+      return *haswell;
+    case Microarchitecture::kSkylake:
+      return *skylake;
+  }
+  GRANITE_PANIC("unknown microarchitecture");
+}
+
+}  // namespace granite::uarch

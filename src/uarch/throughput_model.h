@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analytical steady-state throughput model.
+ *
+ * Estimates the cycles one iteration of a basic block takes when executed
+ * in a loop (the BHive measurement setup). The estimate is the maximum of
+ * three classic bounds, the same decomposition used by UiCA-style
+ * analytical models:
+ *
+ *  1. front-end bound: total uops / issue width;
+ *  2. port-pressure bound: the load of the busiest execution port under a
+ *     balanced fractional assignment of uops to their allowed ports;
+ *  3. dependency bound: the per-iteration growth of the data-flow critical
+ *     path across loop-carried register/flag/memory dependencies,
+ *     measured by unrolled data-flow simulation.
+ */
+#ifndef GRANITE_UARCH_THROUGHPUT_MODEL_H_
+#define GRANITE_UARCH_THROUGHPUT_MODEL_H_
+
+#include "asm/instruction.h"
+#include "uarch/microarchitecture.h"
+
+namespace granite::uarch {
+
+/** The three bounds plus their maximum, all in cycles per iteration. */
+struct ThroughputBreakdown {
+  double frontend_bound = 0.0;
+  double port_bound = 0.0;
+  double dependency_bound = 0.0;
+  /** max(frontend, port, dependency): the model's estimate. */
+  double cycles_per_iteration = 0.0;
+  /** Total uops of one block iteration. */
+  int total_uops = 0;
+};
+
+/** Steady-state throughput estimator for one microarchitecture. */
+class ThroughputModel {
+ public:
+  explicit ThroughputModel(Microarchitecture microarchitecture);
+
+  /** Full bound decomposition for `block`. All instructions must be
+   * supported by the semantics catalog. */
+  ThroughputBreakdown Estimate(const assembly::BasicBlock& block) const;
+
+  /** Shorthand for Estimate(block).cycles_per_iteration. */
+  double CyclesPerIteration(const assembly::BasicBlock& block) const;
+
+  Microarchitecture microarchitecture() const { return microarchitecture_; }
+
+ private:
+  Microarchitecture microarchitecture_;
+  const UarchParams& params_;
+};
+
+}  // namespace granite::uarch
+
+#endif  // GRANITE_UARCH_THROUGHPUT_MODEL_H_

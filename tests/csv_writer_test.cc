@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests of the CSV writer.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "base/csv_writer.h"
+
+namespace granite {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/csv_writer_test.csv";
+
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, HeaderAndRows) {
+  {
+    CsvWriter writer(path_, {"a", "b"});
+    writer.WriteRow(std::vector<std::string>{"1", "x"});
+    writer.WriteRow(std::vector<double>{2.5, 3.0});
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  EXPECT_EQ(ReadFile(path_), "a,b\n1,x\n2.5,3\n");
+}
+
+TEST_F(CsvWriterTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter writer(path_, {"text"});
+    writer.WriteRow(std::vector<std::string>{"has,comma"});
+    writer.WriteRow(std::vector<std::string>{"has\"quote"});
+  }
+  EXPECT_EQ(ReadFile(path_), "text\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(EscapeCsvCellTest, PlainCellsUntouched) {
+  EXPECT_EQ(EscapeCsvCell("plain"), "plain");
+  EXPECT_EQ(EscapeCsvCell(""), "");
+}
+
+TEST(EscapeCsvCellTest, NewlineTriggersQuoting) {
+  EXPECT_EQ(EscapeCsvCell("a\nb"), "\"a\nb\"");
+}
+
+}  // namespace
+}  // namespace granite

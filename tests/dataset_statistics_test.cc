@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests of the dataset statistics module.
+ */
+#include "gtest/gtest.h"
+#include "asm/parser.h"
+#include "dataset/statistics.h"
+
+namespace granite::dataset {
+namespace {
+
+Dataset HandMadeDataset() {
+  std::vector<Sample> samples;
+  const char* blocks[] = {
+      "ADD RAX, RBX",
+      "ADD RAX, RBX\nMOV RCX, QWORD PTR [RSI]",
+      "ADD RAX, RBX\nMOV RCX, 1\nIMUL RCX, RAX",
+  };
+  double label = 100.0;
+  for (const char* text : blocks) {
+    Sample sample;
+    sample.block = *assembly::ParseBasicBlock(text).value;
+    for (int u = 0; u < uarch::kNumMicroarchitectures; ++u) {
+      sample.throughput[u] = label;
+    }
+    label += 100.0;
+    samples.push_back(std::move(sample));
+  }
+  return Dataset(std::move(samples));
+}
+
+TEST(DatasetStatisticsTest, CountsAndLengths) {
+  const DatasetStatistics statistics = ComputeStatistics(HandMadeDataset());
+  EXPECT_EQ(statistics.num_blocks, 3u);
+  EXPECT_EQ(statistics.num_instructions, 6u);
+  EXPECT_DOUBLE_EQ(statistics.mean_block_length, 2.0);
+  EXPECT_EQ(statistics.min_block_length, 1u);
+  EXPECT_EQ(statistics.max_block_length, 3u);
+  EXPECT_EQ(statistics.block_length_histogram.at(1), 1u);
+  EXPECT_EQ(statistics.block_length_histogram.at(2), 1u);
+  EXPECT_EQ(statistics.block_length_histogram.at(3), 1u);
+}
+
+TEST(DatasetStatisticsTest, MnemonicFrequenciesSorted) {
+  const DatasetStatistics statistics = ComputeStatistics(HandMadeDataset());
+  ASSERT_FALSE(statistics.mnemonic_frequencies.empty());
+  EXPECT_EQ(statistics.mnemonic_frequencies[0].first, "ADD");
+  EXPECT_EQ(statistics.mnemonic_frequencies[0].second, 3u);
+  // Descending order throughout.
+  for (std::size_t i = 1; i < statistics.mnemonic_frequencies.size(); ++i) {
+    EXPECT_GE(statistics.mnemonic_frequencies[i - 1].second,
+              statistics.mnemonic_frequencies[i].second);
+  }
+}
+
+TEST(DatasetStatisticsTest, MemoryFraction) {
+  const DatasetStatistics statistics = ComputeStatistics(HandMadeDataset());
+  // 1 of 6 instructions touches memory.
+  EXPECT_NEAR(statistics.memory_instruction_fraction, 1.0 / 6.0, 1e-12);
+}
+
+TEST(DatasetStatisticsTest, ThroughputSummaries) {
+  const DatasetStatistics statistics = ComputeStatistics(HandMadeDataset());
+  for (int u = 0; u < uarch::kNumMicroarchitectures; ++u) {
+    EXPECT_DOUBLE_EQ(statistics.throughput[u].mean, 200.0);
+    EXPECT_DOUBLE_EQ(statistics.throughput[u].median, 200.0);
+    EXPECT_DOUBLE_EQ(statistics.throughput[u].min, 100.0);
+    EXPECT_DOUBLE_EQ(statistics.throughput[u].max, 300.0);
+  }
+}
+
+TEST(DatasetStatisticsTest, EmptyDatasetIsSafe) {
+  const DatasetStatistics statistics = ComputeStatistics(Dataset());
+  EXPECT_EQ(statistics.num_blocks, 0u);
+  EXPECT_EQ(statistics.num_instructions, 0u);
+}
+
+TEST(DatasetStatisticsTest, FormatMentionsKeyNumbers) {
+  const std::string report =
+      FormatStatistics(ComputeStatistics(HandMadeDataset()));
+  EXPECT_NE(report.find("blocks: 3"), std::string::npos);
+  EXPECT_NE(report.find("ADD(3)"), std::string::npos);
+  EXPECT_NE(report.find("Ivy Bridge"), std::string::npos);
+}
+
+TEST(DatasetStatisticsTest, SyntheticDatasetLooksLikeBHive) {
+  // Sanity check of the generator against BHive-like shape: short blocks
+  // (mean below 8), MOV-family among the most frequent mnemonics.
+  SynthesisConfig config;
+  config.num_blocks = 300;
+  config.seed = 5;
+  const DatasetStatistics statistics =
+      ComputeStatistics(SynthesizeDataset(config));
+  EXPECT_GT(statistics.mean_block_length, 1.5);
+  EXPECT_LT(statistics.mean_block_length, 9.0);
+  EXPECT_GT(statistics.memory_instruction_fraction, 0.05);
+  EXPECT_LT(statistics.memory_instruction_fraction, 0.7);
+}
+
+}  // namespace
+}  // namespace granite::dataset

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests of dataset synthesis, splits and batching.
+ */
+#include <set>
+
+#include "gtest/gtest.h"
+#include "dataset/dataset.h"
+
+namespace granite::dataset {
+namespace {
+
+SynthesisConfig SmallConfig(std::size_t num_blocks = 100) {
+  SynthesisConfig config;
+  config.num_blocks = num_blocks;
+  return config;
+}
+
+TEST(SynthesizeDatasetTest, ProducesRequestedCount) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig());
+  EXPECT_EQ(dataset.size(), 100u);
+}
+
+TEST(SynthesizeDatasetTest, AllSamplesHavePositiveLabels) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig());
+  for (const Sample& sample : dataset.samples()) {
+    for (const double throughput : sample.throughput) {
+      // Cycles per 100 iterations: at least ~100 (1 cycle/iteration).
+      EXPECT_GT(throughput, 50.0);
+      EXPECT_LT(throughput, 1e7);
+    }
+  }
+}
+
+TEST(SynthesizeDatasetTest, BlocksAreUnique) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig(200));
+  std::set<std::string> distinct;
+  for (const Sample& sample : dataset.samples()) {
+    distinct.insert(sample.block.ToString());
+  }
+  EXPECT_EQ(distinct.size(), dataset.size());
+}
+
+TEST(SynthesizeDatasetTest, DeterministicFromSeed) {
+  const Dataset a = SynthesizeDataset(SmallConfig());
+  const Dataset b = SynthesizeDataset(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].block.ToString(), b[i].block.ToString());
+    EXPECT_EQ(a[i].throughput, b[i].throughput);
+  }
+}
+
+TEST(SynthesizeDatasetTest, UarchLabelsDiffer) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig());
+  int differing = 0;
+  for (const Sample& sample : dataset.samples()) {
+    if (sample.throughput[0] != sample.throughput[2]) ++differing;
+  }
+  // Most blocks time differently on Ivy Bridge vs Skylake.
+  EXPECT_GT(differing, 50);
+}
+
+TEST(SplitTest, FractionsRespected) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig(200));
+  const DatasetSplit split = dataset.SplitFraction(0.83, 1);
+  EXPECT_EQ(split.first.size(), 166u);
+  EXPECT_EQ(split.second.size(), 34u);
+}
+
+TEST(SplitTest, DeterministicAndDisjoint) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig(100));
+  const DatasetSplit a = dataset.SplitFraction(0.8, 7);
+  const DatasetSplit b = dataset.SplitFraction(0.8, 7);
+  ASSERT_EQ(a.first.size(), b.first.size());
+  for (std::size_t i = 0; i < a.first.size(); ++i) {
+    EXPECT_EQ(a.first[i].block.ToString(), b.first[i].block.ToString());
+  }
+  // Disjoint and exhaustive.
+  std::set<std::string> first_blocks;
+  for (const Sample& sample : a.first.samples()) {
+    first_blocks.insert(sample.block.ToString());
+  }
+  for (const Sample& sample : a.second.samples()) {
+    EXPECT_EQ(first_blocks.count(sample.block.ToString()), 0u);
+  }
+  EXPECT_EQ(a.first.size() + a.second.size(), dataset.size());
+}
+
+TEST(SplitTest, DifferentSeedsShuffleDifferently) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig(100));
+  const DatasetSplit a = dataset.SplitFraction(0.5, 1);
+  const DatasetSplit b = dataset.SplitFraction(0.5, 2);
+  int common = 0;
+  std::set<std::string> a_blocks;
+  for (const Sample& sample : a.first.samples()) {
+    a_blocks.insert(sample.block.ToString());
+  }
+  for (const Sample& sample : b.first.samples()) {
+    if (a_blocks.count(sample.block.ToString())) ++common;
+  }
+  EXPECT_LT(common, 40);  // ~25 expected by chance out of 50.
+}
+
+TEST(RelabelDatasetTest, KeepsBlocksChangesLabels) {
+  SynthesisConfig config = SmallConfig(50);
+  config.tool = uarch::MeasurementTool::kIthemalTool;
+  const Dataset ithemal_style = SynthesizeDataset(config);
+  const Dataset bhive_style =
+      RelabelDataset(ithemal_style, uarch::MeasurementTool::kBHiveTool);
+  ASSERT_EQ(ithemal_style.size(), bhive_style.size());
+  int label_changed = 0;
+  for (std::size_t i = 0; i < ithemal_style.size(); ++i) {
+    EXPECT_EQ(ithemal_style[i].block.ToString(),
+              bhive_style[i].block.ToString());
+    if (ithemal_style[i].throughput[0] != bhive_style[i].throughput[0]) {
+      ++label_changed;
+    }
+  }
+  EXPECT_EQ(label_changed, 50);
+}
+
+TEST(ThroughputsTest, ColumnMatchesSamples) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig(30));
+  const std::vector<double> column =
+      dataset.Throughputs(uarch::Microarchitecture::kHaswell);
+  ASSERT_EQ(column.size(), 30u);
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    EXPECT_EQ(column[i], dataset[i].throughput[1]);
+  }
+}
+
+TEST(BlocksTest, PointersMatchSamples) {
+  const Dataset dataset = SynthesizeDataset(SmallConfig(10));
+  const auto blocks = dataset.Blocks();
+  ASSERT_EQ(blocks.size(), 10u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i], &dataset[i].block);
+  }
+}
+
+TEST(BatchSamplerTest, CoversEpochWithoutRepeats) {
+  BatchSampler sampler(10, 5, 3);
+  std::set<std::size_t> seen;
+  for (int batch = 0; batch < 2; ++batch) {
+    for (const std::size_t index : sampler.NextBatch()) {
+      EXPECT_TRUE(seen.insert(index).second)
+          << "repeat within one epoch: " << index;
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(BatchSamplerTest, WrapsIntoNextEpoch) {
+  BatchSampler sampler(3, 2, 5);
+  // 2 batches of 2 cover 4 draws from a 3-element dataset: one element
+  // appears twice but every index stays in range.
+  for (int batch = 0; batch < 2; ++batch) {
+    for (const std::size_t index : sampler.NextBatch()) {
+      EXPECT_LT(index, 3u);
+    }
+  }
+}
+
+TEST(BatchSamplerTest, DeterministicFromSeed) {
+  BatchSampler a(20, 7, 11);
+  BatchSampler b(20, 7, 11);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(a.NextBatch(), b.NextBatch());
+}
+
+}  // namespace
+}  // namespace granite::dataset

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests of the extended ISA surface: AVX (VEX three-operand forms), FMA,
+ * BMI/BMI2 and explicit flag manipulation — instruction families that
+ * appear in BHive blocks beyond the SSE/legacy core.
+ */
+#include "gtest/gtest.h"
+#include "asm/parser.h"
+#include "asm/semantics.h"
+#include "graph/graph_builder.h"
+#include "uarch/throughput_model.h"
+
+namespace granite {
+namespace {
+
+using assembly::OperandUsage;
+using assembly::SemanticsCatalog;
+
+assembly::BasicBlock Parse(const char* text) {
+  const auto result = assembly::ParseBasicBlock(text);
+  EXPECT_TRUE(result.ok()) << result.error;
+  return *result.value;
+}
+
+TEST(AvxSemanticsTest, ThreeOperandNonDestructiveForms) {
+  const auto& vaddpd = SemanticsCatalog::Get().Require("VADDPD");
+  const auto usage = *vaddpd.UsageForArity(3);
+  EXPECT_EQ(usage[0], OperandUsage::kWrite);
+  EXPECT_EQ(usage[1], OperandUsage::kRead);
+  EXPECT_EQ(usage[2], OperandUsage::kRead);
+}
+
+TEST(AvxSemanticsTest, FmaAccumulatesIntoDestination) {
+  const auto& fma = SemanticsCatalog::Get().Require("VFMADD231PD");
+  const auto usage = *fma.UsageForArity(3);
+  EXPECT_EQ(usage[0], OperandUsage::kReadWrite);
+}
+
+TEST(AvxSemanticsTest, ParseAndGraphThreeOperandAvx) {
+  const assembly::BasicBlock block =
+      Parse("VADDPD YMM0, YMM1, YMM2\nVMULPD YMM3, YMM0, YMM1");
+  const graph::Vocabulary vocabulary = graph::Vocabulary::CreateDefault();
+  const graph::GraphBuilder builder(&vocabulary);
+  const graph::BlockGraph graph = builder.Build(block);
+  // VADDPD writes YMM0 which VMULPD reads: a dataflow edge chain exists.
+  // Value nodes: YMM1, YMM2 (inputs), YMM0 (output of VADDPD, input of
+  // VMULPD via canonical XMM0), YMM3 (output).
+  EXPECT_EQ(graph.CountNodes(graph::NodeType::kRegister), 4);
+  const int vmulpd = graph.mnemonic_nodes[1];
+  bool consumes_vaddpd_result = false;
+  for (const graph::Edge& edge : graph.edges) {
+    if (edge.type == graph::EdgeType::kInputOperand &&
+        edge.target == vmulpd &&
+        graph.nodes[edge.source].instruction_index == 0) {
+      consumes_vaddpd_result = true;
+    }
+  }
+  EXPECT_TRUE(consumes_vaddpd_result);
+}
+
+TEST(AvxSemanticsTest, YmmAliasesXmmInDependencies) {
+  // Writing XMM0 then reading YMM0 must produce a dependency.
+  const assembly::BasicBlock block =
+      Parse("MOVAPD XMM0, XMM1\nVADDPD YMM2, YMM0, YMM3");
+  const graph::Vocabulary vocabulary = graph::Vocabulary::CreateDefault();
+  const graph::GraphBuilder builder(&vocabulary);
+  const graph::BlockGraph graph = builder.Build(block);
+  const int vaddpd = graph.mnemonic_nodes[1];
+  bool depends_on_movapd = false;
+  for (const graph::Edge& edge : graph.edges) {
+    if (edge.type == graph::EdgeType::kInputOperand &&
+        edge.target == vaddpd &&
+        graph.nodes[edge.source].instruction_index == 0) {
+      depends_on_movapd = true;
+    }
+  }
+  EXPECT_TRUE(depends_on_movapd);
+}
+
+TEST(BmiSemanticsTest, MulxSkipsFlags) {
+  const auto& mulx = SemanticsCatalog::Get().Require("MULX");
+  EXPECT_FALSE(mulx.writes_flags);
+  const auto usage = *mulx.UsageForArity(3);
+  EXPECT_EQ(usage[0], OperandUsage::kWrite);
+  EXPECT_EQ(usage[1], OperandUsage::kWrite);
+  EXPECT_EQ(usage[2], OperandUsage::kRead);
+  ASSERT_EQ(mulx.implicit_reads.size(), 1u);
+  EXPECT_EQ(assembly::RegisterName(mulx.implicit_reads[0]), "RDX");
+}
+
+TEST(BmiSemanticsTest, ShlxSkipsFlagsButShlWritesThem) {
+  EXPECT_FALSE(SemanticsCatalog::Get().Require("SHLX").writes_flags);
+  EXPECT_TRUE(SemanticsCatalog::Get().Require("SHL").writes_flags);
+}
+
+TEST(BmiSemanticsTest, AndnWritesFlags) {
+  EXPECT_TRUE(SemanticsCatalog::Get().Require("ANDN").writes_flags);
+}
+
+TEST(FlagOpsTest, ClcBreaksFlagDependencies) {
+  // ADC chains serialize on EFLAGS; CLC rewrites EFLAGS without reading
+  // it, so inserting CLC shortens the loop-carried flag chain.
+  const uarch::ThroughputModel model(uarch::Microarchitecture::kHaswell);
+  const assembly::BasicBlock chained = Parse(
+      "ADC RAX, RBX\nADC RCX, RDX\nADC RSI, RDI\nADC R8, R9");
+  const assembly::BasicBlock broken = Parse(
+      "CLC\nADC RAX, RBX\nADC RCX, RDX\nADC RSI, RDI\nADC R8, R9");
+  EXPECT_LE(model.Estimate(broken).dependency_bound,
+            model.Estimate(chained).dependency_bound);
+}
+
+TEST(FlagOpsTest, LahfSahfRoundTripSemantics) {
+  const auto& lahf = SemanticsCatalog::Get().Require("LAHF");
+  EXPECT_TRUE(lahf.reads_flags);
+  EXPECT_FALSE(lahf.writes_flags);
+  EXPECT_EQ(lahf.implicit_writes.size(), 1u);
+  const auto& sahf = SemanticsCatalog::Get().Require("SAHF");
+  EXPECT_TRUE(sahf.writes_flags);
+  EXPECT_EQ(sahf.implicit_reads.size(), 1u);
+}
+
+TEST(ExtendedIsaTest, AllNewMnemonicsTimeOnAllUarchs) {
+  // Every new mnemonic must run end-to-end through the oracle.
+  const char* blocks[] = {
+      "VADDPD YMM0, YMM1, YMM2",
+      "VFMADD231PD YMM0, YMM1, YMM2",
+      "VDIVPD YMM0, YMM1, YMM2",
+      "VPXOR XMM0, XMM1, XMM2",
+      "ANDN RAX, RBX, RCX",
+      "MULX RAX, RBX, RCX",
+      "SHLX RAX, RBX, RCX",
+      "PDEP RAX, RBX, RCX",
+      "RORX RAX, RBX, 7",
+      "CLC",
+      "LAHF",
+      "SAHF",
+      "VZEROUPPER",
+  };
+  for (const char* text : blocks) {
+    const assembly::BasicBlock block = Parse(text);
+    for (const uarch::Microarchitecture microarchitecture :
+         uarch::AllMicroarchitectures()) {
+      const uarch::ThroughputModel model(microarchitecture);
+      EXPECT_GE(model.CyclesPerIteration(block), 1.0) << text;
+    }
+  }
+}
+
+TEST(ExtendedIsaTest, VexDivSlowerThanVexAdd) {
+  const uarch::ThroughputModel model(uarch::Microarchitecture::kSkylake);
+  EXPECT_GT(model.CyclesPerIteration(Parse("VDIVPD YMM0, YMM0, YMM1")),
+            model.CyclesPerIteration(Parse("VADDPD YMM0, YMM2, YMM1")));
+}
+
+}  // namespace
+}  // namespace granite

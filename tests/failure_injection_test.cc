@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Failure-injection tests: misuse of the APIs must be caught by the
+ * GRANITE_CHECK machinery (abort with a diagnostic), not silently
+ * corrupt state. These are gtest death tests.
+ */
+#include "gtest/gtest.h"
+#include "asm/semantics.h"
+#include "graph/vocabulary.h"
+#include "ml/layers.h"
+#include "ml/losses.h"
+#include "ml/tape.h"
+
+namespace granite {
+namespace {
+
+using assembly::SemanticsCatalog;
+
+TEST(SemanticsDeathTest, RequireUnknownMnemonicAborts) {
+  EXPECT_DEATH(SemanticsCatalog::Get().Require("FROBNICATE"),
+               "unknown mnemonic");
+}
+
+TEST(SemanticsDeathTest, UnsupportedArityAborts) {
+  assembly::Instruction add;
+  add.mnemonic = "ADD";
+  add.operands = {assembly::Operand::Imm(1)};
+  EXPECT_DEATH(assembly::OperandUsageFor(add), "unsupported arity");
+}
+
+TEST(RegistersDeathTest, UnknownRegisterByNameAborts) {
+  EXPECT_DEATH(assembly::RegisterByName("RFOO"), "unknown register");
+}
+
+TEST(TensorDeathTest, OutOfBoundsAccessAborts) {
+  ml::Tensor tensor(2, 2);
+  EXPECT_DEATH(tensor.at(2, 0), "Check failed");
+  EXPECT_DEATH(tensor.at(0, -1), "Check failed");
+}
+
+TEST(TensorDeathTest, ScalarOnNonScalarAborts) {
+  ml::Tensor tensor(2, 2);
+  EXPECT_DEATH(tensor.scalar(), "scalar");
+}
+
+TEST(TapeDeathTest, ShapeMismatchAborts) {
+  ml::Tape tape;
+  const ml::Var a = tape.Constant(ml::Tensor(2, 3));
+  const ml::Var b = tape.Constant(ml::Tensor(3, 2));
+  EXPECT_DEATH(tape.Add(a, b), "shape mismatch");
+}
+
+TEST(TapeDeathTest, BackwardOnNonScalarAborts) {
+  ml::ParameterStore store(1);
+  ml::Parameter* p = store.Create("p", 2, 2, ml::Initializer::kOne);
+  ml::Tape tape;
+  const ml::Var v = tape.Param(p);
+  EXPECT_DEATH(tape.Backward(v), "1x1");
+}
+
+TEST(TapeDeathTest, BackwardOnConstantAborts) {
+  ml::Tape tape;
+  const ml::Var c = tape.Constant(ml::Tensor::Scalar(1.0f));
+  EXPECT_DEATH(tape.Backward(c), "non-differentiable");
+}
+
+TEST(TapeDeathTest, GatherOutOfRangeAborts) {
+  ml::Tape tape;
+  const ml::Var table = tape.Constant(ml::Tensor(3, 2));
+  EXPECT_DEATH(tape.GatherRows(table, {3}), "Check failed");
+}
+
+TEST(TapeDeathTest, SegmentSumBadSegmentAborts) {
+  ml::Tape tape;
+  const ml::Var rows = tape.Constant(ml::Tensor(2, 2));
+  EXPECT_DEATH(tape.SegmentSum(rows, {0, 5}, 2), "Check failed");
+}
+
+TEST(ParameterStoreDeathTest, DuplicateNameAborts) {
+  ml::ParameterStore store(2);
+  store.Create("w", 1, 1, ml::Initializer::kZero);
+  EXPECT_DEATH(store.Create("w", 1, 1, ml::Initializer::kZero),
+               "duplicate parameter");
+}
+
+TEST(ParameterStoreDeathTest, UnknownNameAborts) {
+  ml::ParameterStore store(3);
+  EXPECT_DEATH(store.Get("missing"), "unknown parameter");
+}
+
+TEST(MlpDeathTest, WrongInputWidthAborts) {
+  ml::ParameterStore store(4);
+  ml::MlpConfig config;
+  config.input_size = 4;
+  config.output_size = 2;
+  config.layer_norm_at_input = false;
+  const ml::Mlp mlp(&store, "mlp", config);
+  ml::Tape tape;
+  EXPECT_DEATH(mlp.Apply(tape, tape.Constant(ml::Tensor(1, 5))),
+               "Check failed");
+}
+
+TEST(MlpDeathTest, ResidualShapeMismatchAborts) {
+  ml::ParameterStore store(5);
+  ml::MlpConfig config;
+  config.input_size = 4;
+  config.output_size = 3;
+  config.residual = true;
+  EXPECT_DEATH(ml::Mlp(&store, "mlp", config), "residual");
+}
+
+TEST(VocabularyDeathTest, DuplicateTokenAborts) {
+  EXPECT_DEATH(
+      graph::Vocabulary({graph::Vocabulary::kUnknownToken, "A", "A"}),
+      "duplicate token");
+}
+
+TEST(VocabularyDeathTest, MissingUnknownTokenAborts) {
+  EXPECT_DEATH(graph::Vocabulary({"A", "B"}), "_UNKNOWN_");
+}
+
+TEST(LossDeathTest, ShapeMismatchAborts) {
+  ml::Tape tape;
+  const ml::Var predicted = tape.Constant(ml::Tensor(3, 1));
+  const ml::Var actual = tape.Constant(ml::Tensor(2, 1));
+  EXPECT_DEATH(
+      ml::ComputeLoss(tape, predicted, actual,
+                      ml::LossFunction::kMeanAbsolutePercentageError),
+      "Check failed");
+}
+
+}  // namespace
+}  // namespace granite

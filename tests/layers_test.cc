@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests of the NN building blocks: Embedding, Mlp, LstmCell.
+ */
+#include "gtest/gtest.h"
+#include "ml/layers.h"
+
+namespace granite::ml {
+namespace {
+
+TEST(EmbeddingTest, LookupReturnsTableRows) {
+  ParameterStore store(5);
+  Embedding embedding(&store, "emb", 4, 3);
+  Parameter* table = store.Get("emb/table");
+  Tape tape;
+  const Tensor rows = tape.value(embedding.Lookup(tape, {2, 0, 2}));
+  EXPECT_EQ(rows.rows(), 3);
+  EXPECT_EQ(rows.cols(), 3);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(rows.at(0, c), table->value.at(2, c));
+    EXPECT_EQ(rows.at(1, c), table->value.at(0, c));
+    EXPECT_EQ(rows.at(2, c), table->value.at(2, c));
+  }
+}
+
+TEST(MlpTest, OutputShape) {
+  ParameterStore store(6);
+  MlpConfig config;
+  config.input_size = 5;
+  config.hidden_sizes = {7, 6};
+  config.output_size = 2;
+  Mlp mlp(&store, "mlp", config);
+  Tape tape;
+  const Var out = mlp.Apply(tape, tape.Constant(Tensor(4, 5)));
+  EXPECT_EQ(tape.value(out).rows(), 4);
+  EXPECT_EQ(tape.value(out).cols(), 2);
+}
+
+TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  ParameterStore store(7);
+  MlpConfig config;
+  config.input_size = 3;
+  config.hidden_sizes = {4};
+  config.output_size = 2;
+  config.layer_norm_at_input = true;
+  Mlp mlp(&store, "mlp", config);
+  // norm gain+bias: 3+3; hidden: 3*4+4; output: 4*2+2.
+  EXPECT_EQ(store.TotalWeights(), 3u + 3u + 12u + 4u + 8u + 2u);
+}
+
+TEST(MlpTest, ResidualAddsInput) {
+  ParameterStore store(8);
+  MlpConfig config;
+  config.input_size = 3;
+  config.hidden_sizes = {};
+  config.output_size = 3;
+  config.layer_norm_at_input = false;
+  config.residual = true;
+  Mlp mlp(&store, "mlp", config);
+  // Zero the linear layer so the output equals the residual input.
+  store.Get("mlp/output/weight")->value.SetZero();
+  Tape tape;
+  const Tensor input(2, 3, {1, 2, 3, 4, 5, 6});
+  const Var out = mlp.Apply(tape, tape.Constant(input));
+  EXPECT_TRUE(tape.value(out) == input);
+}
+
+TEST(MlpTest, ReluClampsHiddenActivations) {
+  ParameterStore store(9);
+  MlpConfig config;
+  config.input_size = 1;
+  config.hidden_sizes = {1};
+  config.output_size = 1;
+  config.layer_norm_at_input = false;
+  Mlp mlp(&store, "mlp", config);
+  // hidden = relu(-5 * x), output = 1 * hidden.
+  store.Get("mlp/hidden0/weight")->value.at(0, 0) = -5.0f;
+  store.Get("mlp/output/weight")->value.at(0, 0) = 1.0f;
+  Tape tape;
+  const Var out =
+      mlp.Apply(tape, tape.Constant(Tensor(1, 1, {2.0f})));
+  EXPECT_EQ(tape.value(out).at(0, 0), 0.0f);  // relu(-10) = 0.
+}
+
+TEST(LstmCellTest, InitialStateIsZero) {
+  ParameterStore store(10);
+  LstmCell cell(&store, "lstm", 3, 4);
+  Tape tape;
+  const auto state = cell.InitialState(tape, 2);
+  EXPECT_TRUE(tape.value(state.hidden) == Tensor(2, 4));
+  EXPECT_TRUE(tape.value(state.cell) == Tensor(2, 4));
+}
+
+TEST(LstmCellTest, StepChangesState) {
+  ParameterStore store(11);
+  LstmCell cell(&store, "lstm", 3, 4);
+  Tape tape;
+  auto state = cell.InitialState(tape, 2);
+  Tensor input(2, 3);
+  input.Fill(1.0f);
+  state = cell.Step(tape, tape.Constant(input), state);
+  // Hidden values are bounded by tanh and not all zero.
+  const Tensor& hidden = tape.value(state.hidden);
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    EXPECT_LE(std::abs(hidden.data()[i]), 1.0f);
+    if (hidden.data()[i] != 0.0f) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(LstmCellTest, MaskedStepFreezesMaskedRows) {
+  ParameterStore store(12);
+  LstmCell cell(&store, "lstm", 2, 3);
+  Tape tape;
+  auto state = cell.InitialState(tape, 2);
+  Tensor input(2, 2);
+  input.Fill(0.5f);
+  state = cell.Step(tape, tape.Constant(input), state);
+  const Tensor hidden_before = tape.value(state.hidden);
+
+  // Step again with row 1 masked out.
+  Tensor mask(2, 1);
+  mask.at(0, 0) = 1.0f;
+  mask.at(1, 0) = 0.0f;
+  const auto masked = cell.MaskedStep(tape, tape.Constant(input), state,
+                                      tape.Constant(mask));
+  const Tensor& hidden_after = tape.value(masked.hidden);
+  // Row 0 changed, row 1 kept its previous state.
+  bool row0_changed = false;
+  for (int c = 0; c < 3; ++c) {
+    if (hidden_after.at(0, c) != hidden_before.at(0, c)) row0_changed = true;
+    EXPECT_EQ(hidden_after.at(1, c), hidden_before.at(1, c));
+  }
+  EXPECT_TRUE(row0_changed);
+}
+
+TEST(LstmCellTest, DeterministicAcrossIdenticalStores) {
+  ParameterStore store_a(13);
+  ParameterStore store_b(13);
+  LstmCell cell_a(&store_a, "lstm", 2, 3);
+  LstmCell cell_b(&store_b, "lstm", 2, 3);
+  Tape tape_a;
+  Tape tape_b;
+  Tensor input(1, 2, {0.3f, -0.7f});
+  auto state_a = cell_a.Step(tape_a, tape_a.Constant(input),
+                             cell_a.InitialState(tape_a, 1));
+  auto state_b = cell_b.Step(tape_b, tape_b.Constant(input),
+                             cell_b.InitialState(tape_b, 1));
+  EXPECT_TRUE(tape_a.value(state_a.hidden) == tape_b.value(state_b.hidden));
+}
+
+}  // namespace
+}  // namespace granite::ml

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests of the Table 9 loss functions.
+ */
+#include "gtest/gtest.h"
+#include "ml/losses.h"
+
+namespace granite::ml {
+namespace {
+
+class LossTest : public ::testing::Test {
+ protected:
+  double LossValue(LossFunction loss, const std::vector<float>& predicted,
+                   const std::vector<float>& actual) {
+    Tape tape;
+    const Var p = tape.Constant(Tensor::Column(predicted));
+    const Var a = tape.Constant(Tensor::Column(actual));
+    // Route the prediction through a differentiable node so ComputeLoss
+    // sees a gradient path (mirrors real use).
+    return tape.value(ComputeLoss(tape, p, a, loss)).scalar();
+  }
+};
+
+TEST_F(LossTest, PerfectPredictionIsZeroForAllLosses) {
+  for (const LossFunction loss :
+       {LossFunction::kMeanAbsolutePercentageError,
+        LossFunction::kMeanSquaredError,
+        LossFunction::kRelativeMeanSquaredError, LossFunction::kHuber,
+        LossFunction::kRelativeHuber}) {
+    EXPECT_FLOAT_EQ(LossValue(loss, {1, 2, 3}, {1, 2, 3}), 0.0f)
+        << LossFunctionName(loss);
+  }
+}
+
+TEST_F(LossTest, MapeMatchesDefinition) {
+  // |5-4|/4 = 0.25, |10-12|/12 = 1/6; mean ~ 0.2083.
+  EXPECT_NEAR(LossValue(LossFunction::kMeanAbsolutePercentageError, {5, 10},
+                        {4, 12}),
+              (0.25 + 1.0 / 6.0) / 2.0, 1e-6);
+}
+
+TEST_F(LossTest, MseMatchesDefinition) {
+  EXPECT_NEAR(LossValue(LossFunction::kMeanSquaredError, {5, 10}, {4, 12}),
+              (1.0 + 4.0) / 2.0, 1e-6);
+}
+
+TEST_F(LossTest, RelativeMseNormalizesByActual) {
+  EXPECT_NEAR(
+      LossValue(LossFunction::kRelativeMeanSquaredError, {5, 10}, {4, 12}),
+      (0.0625 + 4.0 / 144.0) / 2.0, 1e-6);
+}
+
+TEST_F(LossTest, HuberIsLessThanMseForLargeErrors) {
+  const double huber =
+      LossValue(LossFunction::kHuber, {100}, {4});
+  const double mse = LossValue(LossFunction::kMeanSquaredError, {100}, {4});
+  EXPECT_LT(huber, mse);
+  // Linear regime value: delta*(|e| - delta/2) with delta=1, e=96.
+  EXPECT_NEAR(huber, 96.0 - 0.5, 1e-4);
+}
+
+TEST_F(LossTest, RelativeLossesAreScaleInvariant) {
+  const double small = LossValue(LossFunction::kRelativeMeanSquaredError,
+                                 {1.1f}, {1.0f});
+  const double large = LossValue(LossFunction::kRelativeMeanSquaredError,
+                                 {1100.0f}, {1000.0f});
+  EXPECT_NEAR(small, large, 1e-4);
+}
+
+TEST(LossFunctionNameTest, AllNamed) {
+  EXPECT_EQ(LossFunctionName(LossFunction::kMeanAbsolutePercentageError),
+            "MAPE");
+  EXPECT_EQ(LossFunctionName(LossFunction::kMeanSquaredError), "MSE");
+  EXPECT_EQ(LossFunctionName(LossFunction::kRelativeMeanSquaredError),
+            "Relative MSE");
+  EXPECT_EQ(LossFunctionName(LossFunction::kHuber), "Huber");
+  EXPECT_EQ(LossFunctionName(LossFunction::kRelativeHuber),
+            "Relative Huber");
+}
+
+}  // namespace
+}  // namespace granite::ml

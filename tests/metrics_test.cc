@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of the evaluation metrics and figure exporters.
+ */
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "train/metrics.h"
+
+namespace granite::train {
+namespace {
+
+TEST(EvaluateTest, PerfectPrediction) {
+  const EvaluationResult result = Evaluate({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(result.mape, 0.0);
+  EXPECT_DOUBLE_EQ(result.mse, 0.0);
+  EXPECT_NEAR(result.spearman, 1.0, 1e-12);
+  EXPECT_NEAR(result.pearson, 1.0, 1e-12);
+  EXPECT_EQ(result.count, 3u);
+}
+
+TEST(EvaluateTest, KnownErrors) {
+  const EvaluationResult result = Evaluate({10, 20}, {11, 18});
+  EXPECT_NEAR(result.mape, (0.1 + 0.1) / 2.0, 1e-12);
+  EXPECT_NEAR(result.mse, (1.0 + 4.0) / 2.0, 1e-12);
+  EXPECT_NEAR(result.relative_mse, (0.01 + 0.01) / 2.0, 1e-12);
+}
+
+TEST(EvaluateTest, HuberMetricsUseDeltaOne) {
+  // error = 3 -> huber = 3 - 0.5 = 2.5; relative error = 0.3 -> 0.045.
+  const EvaluationResult result = Evaluate({10}, {13});
+  EXPECT_NEAR(result.mean_huber, 2.5, 1e-12);
+  EXPECT_NEAR(result.mean_relative_huber, 0.5 * 0.09, 1e-12);
+}
+
+TEST(HeatmapTest, BinsCountsAndDrops) {
+  // Scale 100: per-100-iteration values become per-iteration cycles.
+  const std::vector<double> actual = {100, 250, 950, 1500};
+  const std::vector<double> predicted = {150, 250, 850, 900};
+  const Heatmap heatmap =
+      BuildHeatmap(actual, predicted, /*bins=*/10, /*min_value=*/0.0,
+                   /*max_value=*/10.0, /*scale=*/100.0);
+  // The (15, 9) pair falls outside the 10-cycle window and is dropped.
+  int total = 0;
+  for (const int count : heatmap.counts) total += count;
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(heatmap.At(1, 1), 1);  // (1.0, 1.5) -> bins (1, 1).
+  EXPECT_EQ(heatmap.At(2, 2), 1);  // (2.5, 2.5).
+  EXPECT_EQ(heatmap.At(9, 8), 1);  // (9.5, 8.5).
+}
+
+TEST(HeatmapTest, RenderShowsAxes) {
+  const Heatmap heatmap = BuildHeatmap({100}, {100}, 5, 0, 10, 100.0);
+  const std::string art = RenderHeatmap(heatmap);
+  EXPECT_NE(art.find("measured"), std::string::npos);
+  EXPECT_NE(art.find("predicted"), std::string::npos);
+  // 5 rows plus the axis line.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 6);
+}
+
+TEST(HeatmapTest, CsvExportHasAllCells) {
+  const std::string path = ::testing::TempDir() + "/heatmap_test.csv";
+  const Heatmap heatmap = BuildHeatmap({100}, {100}, 4, 0, 10, 100.0);
+  WriteHeatmapCsv(heatmap, path);
+  std::ifstream file(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(file, line)) ++lines;
+  EXPECT_EQ(lines, 1 + 16);  // header + 4x4 cells
+  std::remove(path.c_str());
+}
+
+TEST(ErrorHistogramTest, CentersPerfectPredictions) {
+  const std::vector<double> actual = {10, 20, 30};
+  const ErrorHistogram histogram =
+      BuildErrorHistogram(actual, actual, /*bins=*/3, -1.5, 1.5);
+  // All relative errors are 0 -> middle bin.
+  EXPECT_EQ(histogram.counts[1], 3);
+  EXPECT_EQ(histogram.counts[0], 0);
+  EXPECT_EQ(histogram.counts[2], 0);
+}
+
+TEST(ErrorHistogramTest, UnderestimatesFallLeft) {
+  // predicted < actual -> negative relative error -> left bins.
+  const ErrorHistogram histogram =
+      BuildErrorHistogram({10, 10}, {5, 4}, /*bins=*/2, -1.5, 1.5);
+  EXPECT_EQ(histogram.counts[0], 2);
+  EXPECT_EQ(histogram.counts[1], 0);
+}
+
+TEST(ErrorHistogramTest, OutOfRangeDropped) {
+  const ErrorHistogram histogram =
+      BuildErrorHistogram({10}, {100}, /*bins=*/4, -1.5, 1.5);
+  int total = 0;
+  for (const int count : histogram.counts) total += count;
+  EXPECT_EQ(total, 0);
+}
+
+TEST(ErrorHistogramTest, RenderAndCsv) {
+  const std::string path = ::testing::TempDir() + "/hist_test.csv";
+  const ErrorHistogram histogram =
+      BuildErrorHistogram({10, 10, 10}, {9, 10, 11}, 10, -1.5, 1.5);
+  const std::string art = RenderErrorHistogram(histogram, 4);
+  EXPECT_NE(art.find("relative error"), std::string::npos);
+  WriteErrorHistogramCsv(histogram, path);
+  std::ifstream file(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(file, line)) ++lines;
+  EXPECT_EQ(lines, 11);  // header + 10 bins
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace granite::train

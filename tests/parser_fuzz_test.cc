@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Robustness fuzzing of the parser: random byte soup and mutated valid
+ * instructions must produce a clean error or a valid instruction — never
+ * a crash — and accepted instructions must round-trip through the graph
+ * builder when the catalog supports them.
+ */
+#include <string>
+
+#include "gtest/gtest.h"
+#include "asm/parser.h"
+#include "asm/semantics.h"
+#include "base/rng.h"
+#include "dataset/generator.h"
+#include "graph/graph_builder.h"
+
+namespace granite::assembly {
+namespace {
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, RandomByteSoupNeverCrashes) {
+  Rng rng(GetParam());
+  constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,[]+-*:x.\t";
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    const int length = static_cast<int>(rng.NextBounded(40));
+    std::string line;
+    for (int i = 0; i < length; ++i) {
+      line += kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)];
+    }
+    const auto result = ParseInstruction(line);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error.empty()) << "silent failure on: " << line;
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidInstructionsNeverCrash) {
+  Rng rng(GetParam() + 100);
+  dataset::GeneratorConfig config;
+  dataset::BlockGenerator generator(config, GetParam());
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string text = generator.Generate().ToString();
+    // Apply 1-3 random single-character mutations.
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const std::size_t position = rng.NextBounded(text.size());
+      switch (rng.NextBounded(3)) {
+        case 0:
+          text[position] = static_cast<char>('A' + rng.NextBounded(26));
+          break;
+        case 1:
+          text.erase(position, 1);
+          break;
+        default:
+          text.insert(position, 1,
+                      static_cast<char>('0' + rng.NextBounded(10)));
+          break;
+      }
+    }
+    const auto result = ParseBasicBlock(text);
+    // Either outcome is fine; what matters is no crash and, when it
+    // parses and is catalog-supported, that the graph builder accepts
+    // the result.
+    if (result.ok()) {
+      bool supported = true;
+      for (const Instruction& instruction : result.value->instructions) {
+        if (!IsSupportedInstruction(instruction)) supported = false;
+      }
+      if (supported) {
+        const graph::Vocabulary vocabulary =
+            graph::Vocabulary::CreateDefault();
+        const graph::GraphBuilder builder(&vocabulary);
+        const graph::BlockGraph graph = builder.Build(*result.value);
+        EXPECT_GE(graph.num_nodes(), 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace granite::assembly

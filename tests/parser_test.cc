@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests of the Intel-syntax parser, including the example blocks printed
+ * in the paper (Table 1 and Figure 1) and round-trip properties over the
+ * synthetic block generator.
+ */
+#include "gtest/gtest.h"
+#include "asm/parser.h"
+#include "asm/registers.h"
+#include "dataset/generator.h"
+
+namespace granite::assembly {
+namespace {
+
+TEST(ParseOperandTest, Register) {
+  const auto result = ParseOperand("EAX");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->kind(), OperandKind::kRegister);
+  EXPECT_EQ(RegisterName(result.value->reg()), "EAX");
+}
+
+TEST(ParseOperandTest, RegisterCaseInsensitive) {
+  const auto result = ParseOperand("r15d");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(RegisterName(result.value->reg()), "R15D");
+}
+
+TEST(ParseOperandTest, DecimalImmediate) {
+  const auto result = ParseOperand("42");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->kind(), OperandKind::kImmediate);
+  EXPECT_EQ(result.value->imm(), 42);
+}
+
+TEST(ParseOperandTest, NegativeImmediate) {
+  const auto result = ParseOperand("-17");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->imm(), -17);
+}
+
+TEST(ParseOperandTest, HexImmediate) {
+  const auto result = ParseOperand("0x8");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->imm(), 8);
+}
+
+TEST(ParseOperandTest, FpImmediate) {
+  const auto result = ParseOperand("1.5");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->kind(), OperandKind::kFpImmediate);
+  EXPECT_DOUBLE_EQ(result.value->fp_imm(), 1.5);
+}
+
+TEST(ParseOperandTest, SimpleMemory) {
+  const auto result = ParseOperand("DWORD PTR [RAX]");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->kind(), OperandKind::kMemory);
+  EXPECT_EQ(result.value->width_bits(), 32);
+  EXPECT_EQ(RegisterName(result.value->mem().base), "RAX");
+  EXPECT_EQ(result.value->mem().index, kInvalidRegister);
+}
+
+TEST(ParseOperandTest, FullAddressingMode) {
+  const auto result = ParseOperand("QWORD PTR [RAX + 4*RBX - 8]");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const MemoryReference& mem = result.value->mem();
+  EXPECT_EQ(RegisterName(mem.base), "RAX");
+  EXPECT_EQ(RegisterName(mem.index), "RBX");
+  EXPECT_EQ(mem.scale, 4);
+  EXPECT_EQ(mem.displacement, -8);
+}
+
+TEST(ParseOperandTest, ScaleBeforeRegister) {
+  const auto result = ParseOperand("[8*RCX + 16]");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(RegisterName(result.value->mem().index), "RCX");
+  EXPECT_EQ(result.value->mem().scale, 8);
+  EXPECT_EQ(result.value->mem().displacement, 16);
+}
+
+TEST(ParseOperandTest, TwoPlainRegisters) {
+  const auto result = ParseOperand("[RAX + RBX]");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(RegisterName(result.value->mem().base), "RAX");
+  EXPECT_EQ(RegisterName(result.value->mem().index), "RBX");
+  EXPECT_EQ(result.value->mem().scale, 1);
+}
+
+TEST(ParseOperandTest, SegmentOverride) {
+  const auto result = ParseOperand("QWORD PTR FS:[0x28]");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(RegisterName(result.value->mem().segment), "FS");
+  EXPECT_EQ(result.value->mem().displacement, 0x28);
+  EXPECT_EQ(result.value->mem().base, kInvalidRegister);
+}
+
+TEST(ParseOperandTest, RipRelative) {
+  const auto result = ParseOperand("QWORD PTR [RIP + 0x100]");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->mem().base, InstructionPointerRegister());
+}
+
+TEST(ParseOperandTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseOperand("NOTAREG").ok());
+  EXPECT_FALSE(ParseOperand("[RAX + NOTAREG]").ok());
+  EXPECT_FALSE(ParseOperand("DWORD [RAX]").ok());  // Missing PTR.
+  EXPECT_FALSE(ParseOperand("[3*RAX]").ok());      // Invalid scale.
+  EXPECT_FALSE(ParseOperand("").ok());
+}
+
+TEST(ParseInstructionTest, TwoOperands) {
+  const auto result = ParseInstruction("SBB EAX, EAX");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->mnemonic, "SBB");
+  ASSERT_EQ(result.value->operands.size(), 2u);
+}
+
+TEST(ParseInstructionTest, LockPrefix) {
+  const auto result = ParseInstruction("LOCK ADD DWORD PTR [RAX], EBX");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->mnemonic, "ADD");
+  ASSERT_EQ(result.value->prefixes.size(), 1u);
+  EXPECT_EQ(result.value->prefixes[0], "LOCK");
+}
+
+TEST(ParseInstructionTest, LeaBecomesAddressOperand) {
+  const auto result = ParseInstruction("LEA RAX, [RBX + 2*RCX + 4]");
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.value->operands.size(), 2u);
+  EXPECT_EQ(result.value->operands[1].kind(), OperandKind::kAddress);
+}
+
+TEST(ParseInstructionTest, NoOperands) {
+  const auto result = ParseInstruction("CDQ");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.value->operands.empty());
+}
+
+TEST(ParseInstructionTest, LineLabelIsIgnored) {
+  const auto result = ParseInstruction("4: MOV DWORD PTR [RBP - 3], EAX");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->mnemonic, "MOV");
+}
+
+TEST(ParseInstructionTest, RejectsPrefixWithoutMnemonic) {
+  EXPECT_FALSE(ParseInstruction("LOCK").ok());
+  EXPECT_FALSE(ParseInstruction("").ok());
+}
+
+// The example basic block of the paper's Table 1 (BHive dataset).
+constexpr const char* kTable1Block = R"(
+0: CMP R15D, 1
+1: SBB EAX, EAX
+2: AND EAX, 0x8
+3: TEST ECX, ECX
+4: MOV DWORD PTR [RBP - 3], EAX
+5: MOV EAX, 1
+6: CMOVG EAX, ECX
+7: CMP EDX, EAX
+)";
+
+TEST(ParseBasicBlockTest, PaperTable1Block) {
+  const auto result = ParseBasicBlock(kTable1Block);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.value->size(), 8u);
+  EXPECT_EQ(result.value->instructions[0].mnemonic, "CMP");
+  EXPECT_EQ(result.value->instructions[1].mnemonic, "SBB");
+  EXPECT_EQ(result.value->instructions[6].mnemonic, "CMOVG");
+  // Instruction 4 stores to [RBP - 3].
+  const Operand& store = result.value->instructions[4].operands[0];
+  EXPECT_EQ(store.kind(), OperandKind::kMemory);
+  EXPECT_EQ(store.mem().displacement, -3);
+}
+
+// The example block of the paper's Figure 1.
+constexpr const char* kFigure1Block =
+    "MOV RAX, 12345\n"
+    "ADD DWORD PTR [RAX + 16], EBX\n";
+
+TEST(ParseBasicBlockTest, PaperFigure1Block) {
+  const auto result = ParseBasicBlock(kFigure1Block);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.value->size(), 2u);
+  EXPECT_EQ(result.value->instructions[0].operands[1].imm(), 12345);
+  EXPECT_EQ(result.value->instructions[1].operands[0].mem().displacement,
+            16);
+}
+
+TEST(ParseBasicBlockTest, CommentsAndBlankLinesSkipped) {
+  const auto result = ParseBasicBlock(
+      "# a comment\n\nMOV EAX, 1\n; another comment\nADD EAX, 2\n");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->size(), 2u);
+}
+
+TEST(ParseBasicBlockTest, ReportsBadLine) {
+  const auto result = ParseBasicBlock("MOV EAX, 1\nBOGUS FOO\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("BOGUS"), std::string::npos);
+}
+
+/** Property: printing and re-parsing a generated block is the identity. */
+class RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripTest, GeneratedBlocksRoundTrip) {
+  dataset::GeneratorConfig config;
+  dataset::BlockGenerator generator(config, GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const BasicBlock block = generator.Generate();
+    const auto reparsed = ParseBasicBlock(block.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.error << "\nblock:\n" << block.ToString();
+    EXPECT_EQ(*reparsed.value, block) << block.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace granite::assembly

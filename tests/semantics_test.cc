@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the instruction-semantics catalog.
+ */
+#include "gtest/gtest.h"
+#include "asm/parser.h"
+#include "asm/semantics.h"
+
+namespace granite::assembly {
+namespace {
+
+const InstructionSemantics& Sem(const char* mnemonic) {
+  return SemanticsCatalog::Get().Require(mnemonic);
+}
+
+TEST(SemanticsCatalogTest, CatalogIsLarge) {
+  // A reproduction that supports fewer than 100 mnemonics would not cover
+  // the BHive instruction mix.
+  EXPECT_GE(SemanticsCatalog::Get().size(), 100u);
+}
+
+TEST(SemanticsCatalogTest, FindIsCaseInsensitive) {
+  EXPECT_NE(SemanticsCatalog::Get().Find("add"), nullptr);
+  EXPECT_NE(SemanticsCatalog::Get().Find("Add"), nullptr);
+  EXPECT_EQ(SemanticsCatalog::Get().Find("NOTANOPCODE"), nullptr);
+}
+
+TEST(SemanticsCatalogTest, MovWritesDestReadsSource) {
+  const auto usage = *Sem("MOV").UsageForArity(2);
+  EXPECT_EQ(usage[0], OperandUsage::kWrite);
+  EXPECT_EQ(usage[1], OperandUsage::kRead);
+  EXPECT_FALSE(Sem("MOV").writes_flags);
+}
+
+TEST(SemanticsCatalogTest, AddIsReadModifyWriteAndWritesFlags) {
+  const auto usage = *Sem("ADD").UsageForArity(2);
+  EXPECT_EQ(usage[0], OperandUsage::kReadWrite);
+  EXPECT_EQ(usage[1], OperandUsage::kRead);
+  EXPECT_TRUE(Sem("ADD").writes_flags);
+  EXPECT_FALSE(Sem("ADD").reads_flags);
+}
+
+TEST(SemanticsCatalogTest, CmpOnlyReads) {
+  const auto usage = *Sem("CMP").UsageForArity(2);
+  EXPECT_EQ(usage[0], OperandUsage::kRead);
+  EXPECT_EQ(usage[1], OperandUsage::kRead);
+  EXPECT_TRUE(Sem("CMP").writes_flags);
+}
+
+TEST(SemanticsCatalogTest, SbbReadsAndWritesFlags) {
+  EXPECT_TRUE(Sem("SBB").reads_flags);
+  EXPECT_TRUE(Sem("SBB").writes_flags);
+}
+
+TEST(SemanticsCatalogTest, CmovReadsFlagsWithoutWriting) {
+  for (const char* mnemonic : {"CMOVE", "CMOVG", "CMOVLE", "CMOVNS"}) {
+    EXPECT_TRUE(Sem(mnemonic).reads_flags) << mnemonic;
+    EXPECT_FALSE(Sem(mnemonic).writes_flags) << mnemonic;
+    const auto usage = *Sem(mnemonic).UsageForArity(2);
+    EXPECT_EQ(usage[0], OperandUsage::kReadWrite) << mnemonic;
+  }
+}
+
+TEST(SemanticsCatalogTest, MulUsesAccumulator) {
+  const InstructionSemantics& mul = Sem("MUL");
+  ASSERT_EQ(mul.implicit_reads.size(), 1u);
+  EXPECT_EQ(RegisterName(mul.implicit_reads[0]), "RAX");
+  ASSERT_EQ(mul.implicit_writes.size(), 2u);
+}
+
+TEST(SemanticsCatalogTest, DivReadsAndWritesRaxRdx) {
+  const InstructionSemantics& div = Sem("DIV");
+  EXPECT_EQ(div.implicit_reads.size(), 2u);
+  EXPECT_EQ(div.implicit_writes.size(), 2u);
+}
+
+TEST(SemanticsCatalogTest, ImulArities) {
+  const InstructionSemantics& imul = Sem("IMUL");
+  EXPECT_NE(imul.UsageForArity(1), nullptr);
+  EXPECT_NE(imul.UsageForArity(2), nullptr);
+  EXPECT_NE(imul.UsageForArity(3), nullptr);
+  EXPECT_EQ(imul.UsageForArity(0), nullptr);
+  // Implicit accumulator applies only to the one-operand form.
+  EXPECT_TRUE(ImplicitOperandsApply(imul, 1));
+  EXPECT_FALSE(ImplicitOperandsApply(imul, 2));
+  EXPECT_FALSE(ImplicitOperandsApply(imul, 3));
+}
+
+TEST(SemanticsCatalogTest, PushPopTouchStack) {
+  const InstructionSemantics& push = Sem("PUSH");
+  EXPECT_TRUE(push.implicit_memory_write);
+  EXPECT_FALSE(push.implicit_memory_read);
+  ASSERT_EQ(push.implicit_reads.size(), 1u);
+  EXPECT_EQ(RegisterName(push.implicit_reads[0]), "RSP");
+  const InstructionSemantics& pop = Sem("POP");
+  EXPECT_TRUE(pop.implicit_memory_read);
+  EXPECT_FALSE(pop.implicit_memory_write);
+}
+
+TEST(SemanticsCatalogTest, StringOpsAreFlagged) {
+  EXPECT_TRUE(Sem("MOVSB").is_string_op);
+  EXPECT_TRUE(Sem("STOSQ").is_string_op);
+  EXPECT_FALSE(Sem("MOV").is_string_op);
+}
+
+TEST(SemanticsCatalogTest, ShiftSupportsBothArities) {
+  EXPECT_NE(Sem("SHL").UsageForArity(1), nullptr);
+  EXPECT_NE(Sem("SHL").UsageForArity(2), nullptr);
+}
+
+TEST(SemanticsCatalogTest, VectorCompareWritesFlags) {
+  EXPECT_TRUE(Sem("UCOMISD").writes_flags);
+  const auto usage = *Sem("UCOMISD").UsageForArity(2);
+  EXPECT_EQ(usage[0], OperandUsage::kRead);
+}
+
+TEST(OperandUsageForTest, ResolvesArity) {
+  const auto inc = ParseInstruction("INC RAX");
+  ASSERT_TRUE(inc.ok());
+  const auto usage = OperandUsageFor(*inc.value);
+  ASSERT_EQ(usage.size(), 1u);
+  EXPECT_EQ(usage[0], OperandUsage::kReadWrite);
+}
+
+TEST(IsSupportedInstructionTest, KnownAndUnknown) {
+  const auto add = ParseInstruction("ADD RAX, RBX");
+  ASSERT_TRUE(add.ok());
+  EXPECT_TRUE(IsSupportedInstruction(*add.value));
+
+  Instruction bogus;
+  bogus.mnemonic = "FROBNICATE";
+  EXPECT_FALSE(IsSupportedInstruction(bogus));
+
+  // Known mnemonic, unsupported arity.
+  Instruction add3;
+  add3.mnemonic = "ADD";
+  add3.operands = {Operand::Imm(1), Operand::Imm(2), Operand::Imm(3)};
+  EXPECT_FALSE(IsSupportedInstruction(add3));
+}
+
+TEST(SemanticsCatalogTest, EveryEntryHasAtLeastOneArity) {
+  for (const std::string& mnemonic : SemanticsCatalog::Get().Mnemonics()) {
+    EXPECT_FALSE(Sem(mnemonic.c_str()).usage_by_arity.empty()) << mnemonic;
+  }
+}
+
+TEST(SemanticsCatalogTest, CategoryNamesAreStable) {
+  EXPECT_EQ(InstructionCategoryName(InstructionCategory::kAluSimple),
+            "alu_simple");
+  EXPECT_EQ(InstructionCategoryName(InstructionCategory::kDivInteger),
+            "div_integer");
+}
+
+}  // namespace
+}  // namespace granite::assembly

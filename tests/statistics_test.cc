@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests of the statistics helpers (MAPE, correlations, ranks).
+ */
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "base/statistics.h"
+
+namespace granite {
+namespace {
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({7}), 7.0);
+}
+
+TEST(StandardDeviationTest, Basic) {
+  EXPECT_DOUBLE_EQ(StandardDeviation({2, 2, 2}), 0.0);
+  EXPECT_NEAR(StandardDeviation({1, 3}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(StandardDeviation({5}), 0.0);
+}
+
+TEST(MapeTest, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MeanAbsolutePercentageError({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(MapeTest, KnownValue) {
+  // Errors: |10-9|/10 = 0.1 and |20-22|/20 = 0.1.
+  EXPECT_NEAR(MeanAbsolutePercentageError({10, 20}, {9, 22}), 0.1, 1e-12);
+}
+
+TEST(MapeTest, SkipsZeroActuals) {
+  EXPECT_NEAR(MeanAbsolutePercentageError({0, 10}, {5, 11}), 0.1, 1e-12);
+}
+
+TEST(MseTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2}, {2, 4}), (1.0 + 4.0) / 2.0);
+}
+
+TEST(PearsonTest, PerfectLinearCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(PearsonTest, ShiftInvariant) {
+  const std::vector<double> a = {1, 5, 2, 9};
+  const std::vector<double> b = {3, 1, 4, 1};
+  std::vector<double> b_shifted;
+  for (double value : b) b_shifted.push_back(value + 100.0);
+  EXPECT_NEAR(PearsonCorrelation(a, b), PearsonCorrelation(a, b_shifted),
+              1e-12);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  // Spearman sees through monotone transforms; Pearson does not.
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double value : x) y.push_back(std::exp(value));
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 0.95);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  EXPECT_NEAR(SpearmanCorrelation({1, 2, 3}, {9, 5, 1}), -1.0, 1e-12);
+}
+
+TEST(FractionalRanksTest, TiesGetAverageRank) {
+  const auto ranks = FractionalRanks({10, 20, 20, 30});
+  ASSERT_EQ(ranks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(PercentileTest, Basic) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2}, 50), 1.5);
+}
+
+}  // namespace
+}  // namespace granite

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests of the string helpers.
+ */
+#include "gtest/gtest.h"
+#include "base/string_util.h"
+
+namespace granite {
+namespace {
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("\t\n abc\r "), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  const auto pieces = Split("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[2], "b");
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  EXPECT_EQ(Split("a,", ',').size(), 2u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(SplitAndStripTest, DropsEmptyAndStrips) {
+  const auto pieces = SplitAndStrip(" a , , b  ", ',');
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+}
+
+TEST(CaseConversionTest, UpperLower) {
+  EXPECT_EQ(ToUpper("mov eax, 1"), "MOV EAX, 1");
+  EXPECT_EQ(ToLower("MOV"), "mov");
+}
+
+TEST(EqualsIgnoreCaseTest, Matches) {
+  EXPECT_TRUE(EqualsIgnoreCase("DWORD", "dword"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("DWORD", "DWOR"));
+  EXPECT_FALSE(EqualsIgnoreCase("A", "B"));
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("QWORD PTR", "QWORD"));
+  EXPECT_FALSE(StartsWith("QW", "QWORD"));
+}
+
+TEST(ParseIntTest, DecimalForms) {
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt("-42"), -42);
+  EXPECT_EQ(ParseInt("+7"), 7);
+  EXPECT_EQ(ParseInt(" 13 "), 13);
+  EXPECT_EQ(ParseInt("0"), 0);
+}
+
+TEST(ParseIntTest, HexForms) {
+  EXPECT_EQ(ParseInt("0x10"), 16);
+  EXPECT_EQ(ParseInt("0XFF"), 255);
+  EXPECT_EQ(ParseInt("-0x8"), -8);
+}
+
+TEST(ParseIntTest, Malformed) {
+  EXPECT_EQ(ParseInt(""), std::nullopt);
+  EXPECT_EQ(ParseInt("abc"), std::nullopt);
+  EXPECT_EQ(ParseInt("12x"), std::nullopt);
+  EXPECT_EQ(ParseInt("-"), std::nullopt);
+  EXPECT_EQ(ParseInt("0x"), std::nullopt);
+  EXPECT_EQ(ParseInt("1.5"), std::nullopt);
+}
+
+TEST(ParseDoubleTest, Valid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-0.25"), -0.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("2e3"), 2000.0);
+}
+
+TEST(ParseDoubleTest, Malformed) {
+  EXPECT_EQ(ParseDouble(""), std::nullopt);
+  EXPECT_EQ(ParseDouble("x"), std::nullopt);
+  EXPECT_EQ(ParseDouble("1.5y"), std::nullopt);
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+}  // namespace
+}  // namespace granite

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Forward-value tests of the autodiff tape (gradients are covered by
+ * ml_grad_test.cc).
+ */
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "ml/parameter.h"
+#include "ml/tape.h"
+
+namespace granite::ml {
+namespace {
+
+TEST(TapeTest, ConstantHoldsValue) {
+  Tape tape;
+  const Var v = tape.Constant(Tensor(1, 2, {3, 4}));
+  EXPECT_TRUE(tape.value(v) == Tensor(1, 2, {3, 4}));
+  EXPECT_TRUE(v.valid());
+  EXPECT_FALSE(Var().valid());
+}
+
+TEST(TapeTest, ParamReflectsStoreValue) {
+  ParameterStore store(1);
+  Parameter* p = store.Create("p", 1, 2, Initializer::kZero);
+  p->value.at(0, 0) = 5.0f;
+  Tape tape;
+  EXPECT_EQ(tape.value(tape.Param(p)).at(0, 0), 5.0f);
+}
+
+TEST(TapeTest, ArithmeticForward) {
+  Tape tape;
+  const Var a = tape.Constant(Tensor(1, 2, {2, 8}));
+  const Var b = tape.Constant(Tensor(1, 2, {4, 2}));
+  EXPECT_TRUE(tape.value(tape.Add(a, b)) == Tensor(1, 2, {6, 10}));
+  EXPECT_TRUE(tape.value(tape.Sub(a, b)) == Tensor(1, 2, {-2, 6}));
+  EXPECT_TRUE(tape.value(tape.Mul(a, b)) == Tensor(1, 2, {8, 16}));
+  EXPECT_TRUE(tape.value(tape.Div(a, b)) == Tensor(1, 2, {0.5f, 4}));
+  EXPECT_TRUE(tape.value(tape.Scale(a, 3.0f)) == Tensor(1, 2, {6, 24}));
+  EXPECT_TRUE(tape.value(tape.AddConstant(a, 1.0f)) ==
+              Tensor(1, 2, {3, 9}));
+}
+
+TEST(TapeTest, NonLinearitiesForward) {
+  Tape tape;
+  const Var x = tape.Constant(Tensor(1, 3, {-2, 0, 2}));
+  EXPECT_TRUE(tape.value(tape.Relu(x)) == Tensor(1, 3, {0, 0, 2}));
+  EXPECT_TRUE(tape.value(tape.Abs(x)) == Tensor(1, 3, {2, 0, 2}));
+  EXPECT_TRUE(tape.value(tape.Square(x)) == Tensor(1, 3, {4, 0, 4}));
+  const Tensor sigmoid = tape.value(tape.Sigmoid(x));
+  EXPECT_NEAR(sigmoid.at(0, 1), 0.5f, 1e-6f);
+  EXPECT_NEAR(sigmoid.at(0, 2), 1.0f / (1.0f + std::exp(-2.0f)), 1e-6f);
+  const Tensor tanh = tape.value(tape.Tanh(x));
+  EXPECT_NEAR(tanh.at(0, 2), std::tanh(2.0f), 1e-6f);
+}
+
+TEST(TapeTest, HuberForward) {
+  Tape tape;
+  const Var x = tape.Constant(Tensor(1, 3, {0.5f, 2.0f, -3.0f}));
+  const Tensor huber = tape.value(tape.Huber(x, 1.0f));
+  EXPECT_NEAR(huber.at(0, 0), 0.125f, 1e-6f);        // quadratic regime
+  EXPECT_NEAR(huber.at(0, 1), 1.5f, 1e-6f);          // linear regime
+  EXPECT_NEAR(huber.at(0, 2), 2.5f, 1e-6f);
+}
+
+TEST(TapeTest, LayerNormNormalizesRows) {
+  Tape tape;
+  const Var x = tape.Constant(Tensor(2, 4, {1, 2, 3, 4, 10, 10, 10, 10}));
+  const Var gain = tape.Constant(Tensor::Constant(1, 4, 1.0f));
+  const Var bias = tape.Constant(Tensor(1, 4));
+  const Tensor normalized = tape.value(tape.LayerNorm(x, gain, bias));
+  // Row means ~0.
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 4; ++c) sum += normalized.at(r, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-5f);
+  }
+  // First row has unit variance (up to epsilon).
+  float sum_squared = 0;
+  for (int c = 0; c < 4; ++c) {
+    sum_squared += normalized.at(0, c) * normalized.at(0, c);
+  }
+  EXPECT_NEAR(sum_squared / 4.0f, 1.0f, 1e-3f);
+  // A constant row maps to zeros, not NaN.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(normalized.at(1, c), 0.0f, 1e-3f);
+  }
+}
+
+TEST(TapeTest, MulColumnBroadcastMasksRows) {
+  Tape tape;
+  const Var a = tape.Constant(Tensor(2, 2, {1, 2, 3, 4}));
+  const Var mask = tape.Constant(Tensor(2, 1, {1, 0}));
+  EXPECT_TRUE(tape.value(tape.MulColumnBroadcast(a, mask)) ==
+              Tensor(2, 2, {1, 2, 0, 0}));
+}
+
+TEST(TapeTest, GatherSegmentConcatForward) {
+  Tape tape;
+  const Var table = tape.Constant(Tensor(3, 1, {10, 20, 30}));
+  EXPECT_TRUE(tape.value(tape.GatherRows(table, {1, 1, 0})) ==
+              Tensor(3, 1, {20, 20, 10}));
+  const Var rows = tape.Constant(Tensor(3, 1, {1, 2, 3}));
+  EXPECT_TRUE(tape.value(tape.SegmentSum(rows, {1, 1, 0}, 2)) ==
+              Tensor(2, 1, {3, 3}));
+  EXPECT_TRUE(tape.value(tape.ConcatCols({rows, rows})) ==
+              Tensor(3, 2, {1, 1, 2, 2, 3, 3}));
+}
+
+TEST(TapeTest, SegmentSumLeavesEmptySegmentsZero) {
+  Tape tape;
+  const Var rows = tape.Constant(Tensor(1, 2, {5, 6}));
+  EXPECT_TRUE(tape.value(tape.SegmentSum(rows, {2}, 4)) ==
+              Tensor(4, 2, {0, 0, 0, 0, 5, 6, 0, 0}));
+}
+
+TEST(TapeTest, Reductions) {
+  Tape tape;
+  const Var a = tape.Constant(Tensor(2, 2, {1, 2, 3, 4}));
+  EXPECT_EQ(tape.value(tape.SumAll(a)).scalar(), 10.0f);
+  EXPECT_EQ(tape.value(tape.MeanAll(a)).scalar(), 2.5f);
+}
+
+TEST(TapeTest, BackwardThroughSharedSubexpression) {
+  // loss = sum(p * p) must see both uses of p: d/dp = 2p.
+  ParameterStore store(2);
+  Parameter* p = store.Create("p", 1, 2, Initializer::kZero);
+  p->value = Tensor(1, 2, {3, -4});
+  Tape tape;
+  const Var pv = tape.Param(p);
+  tape.Backward(tape.SumAll(tape.Mul(pv, pv)));
+  EXPECT_TRUE(p->grad.AllClose(Tensor(1, 2, {6, -8})));
+}
+
+TEST(TapeTest, GradAccumulatesAcrossBatches) {
+  ParameterStore store(3);
+  Parameter* p = store.Create("p", 1, 1, Initializer::kZero);
+  p->value.at(0, 0) = 1.0f;
+  for (int pass = 0; pass < 3; ++pass) {
+    Tape tape;
+    tape.Backward(tape.SumAll(tape.Scale(tape.Param(p), 2.0f)));
+  }
+  EXPECT_EQ(p->grad.at(0, 0), 6.0f);  // 3 passes x d(2p)/dp = 2.
+}
+
+}  // namespace
+}  // namespace granite::ml

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests of the dense linear-algebra kernels.
+ */
+#include "gtest/gtest.h"
+#include "ml/tensor_ops.h"
+
+namespace granite::ml {
+namespace {
+
+TEST(MatMulTest, KnownProduct) {
+  const Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  const Tensor a(2, 2, {1, 2, 3, 4});
+  const Tensor identity(2, 2, {1, 0, 0, 1});
+  EXPECT_TRUE(MatMul(a, identity) == a);
+  EXPECT_TRUE(MatMul(identity, a) == a);
+}
+
+TEST(MatMulTest, TransposeVariantsAgree) {
+  const Tensor a(3, 2, {1, 2, 3, 4, 5, 6});
+  const Tensor b(3, 4, {1, 0, 2, 1, 3, 1, 0, 2, 2, 2, 1, 1});
+  // A^T * B via the accumulate-transpose kernel.
+  Tensor at_b(2, 4);
+  AccumulateMatMulTransposeA(a, b, at_b);
+  // Reference: build A^T explicitly.
+  Tensor a_transposed(2, 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) a_transposed.at(c, r) = a.at(r, c);
+  }
+  EXPECT_TRUE(at_b.AllClose(MatMul(a_transposed, b)));
+
+  // A * B^T via the accumulate-transpose kernel.
+  const Tensor c(4, 2, {1, 1, 0, 2, 3, 0, 1, 1});
+  Tensor a_ct(3, 4);
+  AccumulateMatMulTransposeB(a, c, a_ct);
+  Tensor c_transposed(2, 4);
+  for (int r = 0; r < 4; ++r) {
+    for (int col = 0; col < 2; ++col) c_transposed.at(col, r) = c.at(r, col);
+  }
+  EXPECT_TRUE(a_ct.AllClose(MatMul(a, c_transposed)));
+}
+
+TEST(ElementwiseTest, AddSubMulDiv) {
+  const Tensor a(1, 4, {4, 9, 16, 25});
+  const Tensor b(1, 4, {2, 3, 4, 5});
+  EXPECT_TRUE(Add(a, b) == Tensor(1, 4, {6, 12, 20, 30}));
+  EXPECT_TRUE(Sub(a, b) == Tensor(1, 4, {2, 6, 12, 20}));
+  EXPECT_TRUE(Mul(a, b) == Tensor(1, 4, {8, 27, 64, 125}));
+  EXPECT_TRUE(Div(a, b) == Tensor(1, 4, {2, 3, 4, 5}));
+}
+
+TEST(ElementwiseTest, ScaleAndAccumulate) {
+  const Tensor a(1, 3, {1, 2, 3});
+  EXPECT_TRUE(Scale(a, 2.0f) == Tensor(1, 3, {2, 4, 6}));
+  Tensor out(1, 3, {10, 10, 10});
+  AccumulateAdd(a, out);
+  EXPECT_TRUE(out == Tensor(1, 3, {11, 12, 13}));
+  AccumulateScaled(a, -1.0f, out);
+  EXPECT_TRUE(out == Tensor(1, 3, {10, 10, 10}));
+}
+
+TEST(AddRowBroadcastTest, AddsBiasToEveryRow) {
+  const Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor bias(1, 3, {10, 20, 30});
+  EXPECT_TRUE(AddRowBroadcast(a, bias) ==
+              Tensor(2, 3, {11, 22, 33, 14, 25, 36}));
+}
+
+TEST(ReductionTest, SumAndNorm) {
+  const Tensor a(2, 2, {3, 4, 0, 0});
+  EXPECT_DOUBLE_EQ(SumAll(a), 7.0);
+  EXPECT_DOUBLE_EQ(Norm(a), 5.0);
+}
+
+TEST(GatherRowsTest, PicksAndRepeats) {
+  const Tensor table(3, 2, {1, 2, 3, 4, 5, 6});
+  const Tensor gathered = GatherRows(table, {2, 0, 2});
+  EXPECT_TRUE(gathered == Tensor(3, 2, {5, 6, 1, 2, 5, 6}));
+}
+
+TEST(SegmentSumTest, SumsIntoBuckets) {
+  const Tensor rows(4, 2, {1, 1, 2, 2, 3, 3, 4, 4});
+  const Tensor summed = SegmentSumRows(rows, {0, 1, 0, 1}, 3);
+  EXPECT_TRUE(summed == Tensor(3, 2, {4, 4, 6, 6, 0, 0}));
+}
+
+TEST(ConcatColsTest, Concatenates) {
+  const Tensor a(2, 1, {1, 2});
+  const Tensor b(2, 2, {3, 4, 5, 6});
+  EXPECT_TRUE(ConcatCols({a, b}) == Tensor(2, 3, {1, 3, 4, 2, 5, 6}));
+}
+
+TEST(ConcatColsTest, SingleInputIsCopy) {
+  const Tensor a(2, 2, {1, 2, 3, 4});
+  EXPECT_TRUE(ConcatCols({a}) == a);
+}
+
+}  // namespace
+}  // namespace granite::ml

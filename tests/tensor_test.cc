@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests of the Tensor storage class.
+ */
+#include "gtest/gtest.h"
+#include "ml/tensor.h"
+
+namespace granite::ml {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor tensor;
+  EXPECT_EQ(tensor.rows(), 0);
+  EXPECT_EQ(tensor.cols(), 0);
+  EXPECT_TRUE(tensor.empty());
+}
+
+TEST(TensorTest, ConstructionZeroInitializes) {
+  Tensor tensor(2, 3);
+  EXPECT_EQ(tensor.size(), 6u);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(tensor.at(r, c), 0.0f);
+  }
+}
+
+TEST(TensorTest, RowMajorLayout) {
+  Tensor tensor(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(tensor.at(0, 0), 1.0f);
+  EXPECT_EQ(tensor.at(0, 2), 3.0f);
+  EXPECT_EQ(tensor.at(1, 0), 4.0f);
+  EXPECT_EQ(tensor.row_data(1)[2], 6.0f);
+}
+
+TEST(TensorTest, Factories) {
+  EXPECT_EQ(Tensor::Scalar(3.5f).scalar(), 3.5f);
+  const Tensor row = Tensor::Row({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_EQ(row.cols(), 3);
+  const Tensor column = Tensor::Column({1, 2});
+  EXPECT_EQ(column.rows(), 2);
+  EXPECT_EQ(column.cols(), 1);
+  const Tensor constant = Tensor::Constant(2, 2, 7.0f);
+  EXPECT_EQ(constant.at(1, 1), 7.0f);
+}
+
+TEST(TensorTest, FillAndSetZero) {
+  Tensor tensor(2, 2);
+  tensor.Fill(5.0f);
+  EXPECT_EQ(tensor.at(0, 1), 5.0f);
+  tensor.SetZero();
+  EXPECT_EQ(tensor.at(0, 1), 0.0f);
+}
+
+TEST(TensorTest, EqualityAndCloseness) {
+  const Tensor a(2, 2, {1, 2, 3, 4});
+  const Tensor b(2, 2, {1, 2, 3, 4});
+  const Tensor c(2, 2, {1, 2, 3, 4.0001f});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a.AllClose(c, 1e-3f));
+  EXPECT_FALSE(a.AllClose(c, 1e-6f));
+  const Tensor d(1, 4, {1, 2, 3, 4});
+  EXPECT_FALSE(a.AllClose(d));
+}
+
+TEST(TensorTest, ToStringMentionsShape) {
+  const Tensor tensor(1, 2, {1.5f, -2});
+  const std::string text = tensor.ToString();
+  EXPECT_NE(text.find("1x2"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace granite::ml

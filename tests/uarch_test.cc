@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests of the microarchitecture tables and the analytical throughput
+ * model (the ground-truth oracle).
+ */
+#include "gtest/gtest.h"
+#include "asm/parser.h"
+#include "uarch/throughput_model.h"
+
+namespace granite::uarch {
+namespace {
+
+using assembly::BasicBlock;
+
+BasicBlock Parse(const char* text) {
+  const auto result = assembly::ParseBasicBlock(text);
+  EXPECT_TRUE(result.ok()) << result.error;
+  return *result.value;
+}
+
+TEST(UarchParamsTest, AllMicroarchitecturesHaveFullTables) {
+  for (const Microarchitecture microarchitecture : AllMicroarchitectures()) {
+    const UarchParams& params = GetUarchParams(microarchitecture);
+    EXPECT_GT(params.num_ports, 0);
+    EXPECT_GT(params.issue_width, 0);
+    EXPECT_FALSE(params.load_ports.empty());
+    EXPECT_FALSE(params.store_data_ports.empty());
+    // Every category used by the catalog must have a timing entry, and
+    // all its ports must exist.
+    for (const auto& [category, timing] : params.timing) {
+      (void)category;
+      for (int port = 0; port < 32; ++port) {
+        if (timing.compute_ports.Contains(port)) {
+          EXPECT_LT(port, params.num_ports) << params.name;
+        }
+      }
+      EXPECT_GE(timing.latency, 0);
+      EXPECT_GE(timing.compute_uops, 0);
+    }
+  }
+}
+
+TEST(UarchParamsTest, GenerationalDifferencesPreserved) {
+  const UarchParams& ivb = GetUarchParams(Microarchitecture::kIvyBridge);
+  const UarchParams& hsw = GetUarchParams(Microarchitecture::kHaswell);
+  const UarchParams& skl = GetUarchParams(Microarchitecture::kSkylake);
+  // Haswell/Skylake have more ports than Ivy Bridge.
+  EXPECT_LT(ivb.num_ports, hsw.num_ports);
+  // Division got faster across generations.
+  using assembly::InstructionCategory;
+  EXPECT_GT(ivb.TimingFor(InstructionCategory::kDivInteger).latency,
+            skl.TimingFor(InstructionCategory::kDivInteger).latency);
+  // Skylake doubled FP multiply throughput (two ports vs one).
+  EXPECT_GT(skl.TimingFor(InstructionCategory::kVecFpMul)
+                .compute_ports.Count(),
+            ivb.TimingFor(InstructionCategory::kVecFpMul)
+                .compute_ports.Count());
+}
+
+TEST(PortSetTest, BasicOperations) {
+  const PortSet ports({0, 2, 5});
+  EXPECT_TRUE(ports.Contains(0));
+  EXPECT_FALSE(ports.Contains(1));
+  EXPECT_TRUE(ports.Contains(5));
+  EXPECT_EQ(ports.Count(), 3);
+  EXPECT_FALSE(ports.empty());
+  EXPECT_TRUE(PortSet{}.empty());
+}
+
+class ThroughputModelTest
+    : public ::testing::TestWithParam<Microarchitecture> {
+ protected:
+  ThroughputModel model_{GetParam()};
+};
+
+TEST_P(ThroughputModelTest, EstimateIsMaxOfBounds) {
+  const BasicBlock block = Parse("ADD RAX, RBX\nIMUL RCX, RDX\nMOV RSI, 1");
+  const ThroughputBreakdown breakdown = model_.Estimate(block);
+  EXPECT_GE(breakdown.cycles_per_iteration, breakdown.frontend_bound);
+  EXPECT_GE(breakdown.cycles_per_iteration, breakdown.port_bound);
+  EXPECT_GE(breakdown.cycles_per_iteration, breakdown.dependency_bound);
+  EXPECT_GE(breakdown.cycles_per_iteration, 1.0);
+}
+
+TEST_P(ThroughputModelTest, EstimateIsDeterministic) {
+  const BasicBlock block = Parse("ADD RAX, RBX\nSUB RCX, RAX");
+  EXPECT_DOUBLE_EQ(model_.CyclesPerIteration(block),
+                   model_.CyclesPerIteration(block));
+}
+
+TEST_P(ThroughputModelTest, SerialChainSlowerThanParallel) {
+  // Eight multiplies through one register vs eight independent ones.
+  const BasicBlock serial = Parse(
+      "IMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX\n"
+      "IMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX");
+  const BasicBlock parallel = Parse(
+      "IMUL RAX, RBX\nIMUL RCX, RBX\nIMUL RDX, RBX\nIMUL RSI, RBX\n"
+      "IMUL RDI, RBX\nIMUL R8, RBX\nIMUL R9, RBX\nIMUL R10, RBX");
+  EXPECT_GT(model_.CyclesPerIteration(serial),
+            model_.CyclesPerIteration(parallel) * 1.5);
+}
+
+TEST_P(ThroughputModelTest, SerialImulChainIsLatencyBound) {
+  // A loop-carried IMUL chain of length 4 should cost ~4 * latency.
+  const BasicBlock block = Parse(
+      "IMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX");
+  const ThroughputBreakdown breakdown = model_.Estimate(block);
+  const int latency = GetUarchParams(GetParam())
+                          .TimingFor(assembly::InstructionCategory::kMulInteger)
+                          .latency;
+  EXPECT_NEAR(breakdown.dependency_bound, 4.0 * latency, 0.51);
+}
+
+TEST_P(ThroughputModelTest, DivisionIsExpensive) {
+  const BasicBlock div = Parse("DIV RCX");
+  const BasicBlock add = Parse("ADD RAX, RCX");
+  EXPECT_GT(model_.CyclesPerIteration(div),
+            5.0 * model_.CyclesPerIteration(add));
+}
+
+TEST_P(ThroughputModelTest, MovBreaksDependencyChain) {
+  // Rewriting the accumulator each iteration cuts the loop-carried chain.
+  const BasicBlock carried = Parse(
+      "IMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX");
+  const BasicBlock cut = Parse(
+      "MOV RAX, 7\nIMUL RAX, RBX\nIMUL RAX, RBX\nIMUL RAX, RBX\n"
+      "IMUL RAX, RBX");
+  EXPECT_LT(model_.Estimate(cut).dependency_bound,
+            model_.Estimate(carried).dependency_bound);
+}
+
+TEST_P(ThroughputModelTest, AppendingIndependentWorkNeverSpeedsUp) {
+  const BasicBlock base = Parse("ADD RAX, RBX\nADD RCX, RDX");
+  BasicBlock extended = base;
+  extended.instructions.push_back(
+      assembly::ParseInstruction("ADD R11, 1").value.value());
+  EXPECT_GE(model_.CyclesPerIteration(extended),
+            model_.CyclesPerIteration(base) - 1e-9);
+}
+
+TEST_P(ThroughputModelTest, StoreForwardingSerializesMemoryRoundTrip) {
+  // Store then load through (conservatively aliased) memory is slower
+  // than two independent loads.
+  const BasicBlock round_trip = Parse(
+      "MOV QWORD PTR [RDI], RAX\nMOV RBX, QWORD PTR [RSI]\n"
+      "ADD RAX, RBX");
+  const BasicBlock loads_only = Parse(
+      "MOV RCX, QWORD PTR [RDI]\nMOV RBX, QWORD PTR [RSI]\n"
+      "ADD RAX, RBX");
+  EXPECT_GE(model_.Estimate(round_trip).dependency_bound,
+            model_.Estimate(loads_only).dependency_bound);
+}
+
+TEST_P(ThroughputModelTest, LockPrefixAddsSerialization) {
+  const BasicBlock plain = Parse("ADD DWORD PTR [RAX], EBX");
+  const BasicBlock locked = Parse("LOCK ADD DWORD PTR [RAX], EBX");
+  EXPECT_GT(model_.CyclesPerIteration(locked),
+            model_.CyclesPerIteration(plain));
+}
+
+TEST_P(ThroughputModelTest, FrontendBoundForWideParallelBlocks) {
+  // 16 independent single-uop instructions on a 4-wide machine need at
+  // least 4 cycles.
+  std::string text;
+  const char* regs[] = {"RAX", "RBX", "RCX", "RDX", "RSI", "RDI", "R8",
+                        "R9",  "R10", "R11", "R12", "R13", "R14", "R15",
+                        "RBP", "RAX"};
+  for (int i = 0; i < 16; ++i) {
+    text += std::string("MOV ") + regs[i] + ", 1\n";
+  }
+  const ThroughputBreakdown breakdown = model_.Estimate(Parse(text.c_str()));
+  EXPECT_NEAR(breakdown.frontend_bound, 4.0, 1e-9);
+  EXPECT_GE(breakdown.cycles_per_iteration, 4.0);
+}
+
+TEST_P(ThroughputModelTest, EmptyBlockCostsOneCycle) {
+  EXPECT_DOUBLE_EQ(model_.CyclesPerIteration(BasicBlock{}), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUarchs, ThroughputModelTest,
+                         ::testing::ValuesIn(AllMicroarchitectures()),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Microarchitecture::kIvyBridge:
+                               return "IvyBridge";
+                             case Microarchitecture::kHaswell:
+                               return "Haswell";
+                             case Microarchitecture::kSkylake:
+                               return "Skylake";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ThroughputModelCrossUarchTest, SkylakeDividesFasterThanIvyBridge) {
+  const BasicBlock block = Parse("DIV RCX\nDIV RCX");
+  const ThroughputModel ivb(Microarchitecture::kIvyBridge);
+  const ThroughputModel skl(Microarchitecture::kSkylake);
+  EXPECT_GT(ivb.CyclesPerIteration(block), skl.CyclesPerIteration(block));
+}
+
+TEST(ThroughputModelCrossUarchTest, UarchsDisagreeOnFpHeavyCode) {
+  const BasicBlock block = Parse(
+      "MULSD XMM0, XMM1\nMULSD XMM2, XMM1\nMULSD XMM3, XMM1\n"
+      "MULSD XMM4, XMM1");
+  const ThroughputModel ivb(Microarchitecture::kIvyBridge);
+  const ThroughputModel skl(Microarchitecture::kSkylake);
+  // Skylake has two FP multiply ports; Ivy Bridge has one.
+  EXPECT_GT(ivb.CyclesPerIteration(block), skl.CyclesPerIteration(block));
+}
+
+}  // namespace
+}  // namespace granite::uarch

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests of the token vocabulary.
+ */
+#include "gtest/gtest.h"
+#include "asm/semantics.h"
+#include "graph/vocabulary.h"
+
+namespace granite::graph {
+namespace {
+
+TEST(VocabularyTest, DefaultContainsSpecialTokens) {
+  const Vocabulary vocabulary = Vocabulary::CreateDefault();
+  for (const char* token :
+       {Vocabulary::kImmediateToken, Vocabulary::kFpImmediateToken,
+        Vocabulary::kAddressToken, Vocabulary::kMemoryToken,
+        Vocabulary::kUnknownToken}) {
+    EXPECT_TRUE(vocabulary.Contains(token)) << token;
+  }
+}
+
+TEST(VocabularyTest, DefaultContainsAllMnemonicsAndRegisters) {
+  const Vocabulary vocabulary = Vocabulary::CreateDefault();
+  for (const std::string& mnemonic :
+       assembly::SemanticsCatalog::Get().Mnemonics()) {
+    EXPECT_TRUE(vocabulary.Contains(mnemonic)) << mnemonic;
+  }
+  for (const char* reg : {"RAX", "EAX", "XMM7", "EFLAGS", "FS"}) {
+    EXPECT_TRUE(vocabulary.Contains(reg)) << reg;
+  }
+  EXPECT_TRUE(vocabulary.Contains("LOCK"));
+}
+
+TEST(VocabularyTest, UnknownTokensMapToUnknownIndex) {
+  const Vocabulary vocabulary = Vocabulary::CreateDefault();
+  const int unknown = vocabulary.TokenIndex(Vocabulary::kUnknownToken);
+  EXPECT_EQ(vocabulary.TokenIndex("DEFINITELY_NOT_A_TOKEN"), unknown);
+  EXPECT_FALSE(vocabulary.Contains("DEFINITELY_NOT_A_TOKEN"));
+}
+
+TEST(VocabularyTest, IndicesRoundTrip) {
+  const Vocabulary vocabulary = Vocabulary::CreateDefault();
+  for (int index = 0; index < vocabulary.size(); ++index) {
+    EXPECT_EQ(vocabulary.TokenIndex(vocabulary.TokenName(index)), index);
+  }
+}
+
+TEST(VocabularyTest, CustomVocabulary) {
+  const Vocabulary vocabulary(
+      {Vocabulary::kUnknownToken, "FOO", "BAR"});
+  EXPECT_EQ(vocabulary.size(), 3);
+  EXPECT_EQ(vocabulary.TokenIndex("FOO"), 1);
+  EXPECT_EQ(vocabulary.TokenIndex("MISSING"), 0);
+}
+
+TEST(VocabularyTest, SizeIsStable) {
+  // The vocabulary size feeds the embedding table shape and the global
+  // feature width; creating it twice must agree.
+  EXPECT_EQ(Vocabulary::CreateDefault().size(),
+            Vocabulary::CreateDefault().size());
+}
+
+}  // namespace
+}  // namespace granite::graph
