@@ -1,0 +1,126 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace granite::base {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  GRANITE_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads - 1);
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // Shutting down with an empty queue.
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    GRANITE_CHECK_MSG(!shutting_down_, "Submit() on a destroyed ThreadPool");
+    ++in_flight_;
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  // The calling thread drains queued tasks instead of sleeping, so Wait()
+  // makes progress even on a pool with zero workers (num_threads == 1).
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (tasks_.empty()) {
+        all_done_.wait(lock, [this] { return in_flight_ == 0; });
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> ThreadPool::PartitionRange(
+    std::size_t total, int num_shards) {
+  GRANITE_CHECK_GE(num_shards, 1);
+  std::vector<std::pair<std::size_t, std::size_t>> shards;
+  shards.reserve(num_shards);
+  const std::size_t base = total / num_shards;
+  const std::size_t remainder = total % num_shards;
+  std::size_t cursor = 0;
+  for (int shard = 0; shard < num_shards; ++shard) {
+    const std::size_t length =
+        base + (static_cast<std::size_t>(shard) < remainder ? 1 : 0);
+    shards.emplace_back(cursor, cursor + length);
+    cursor += length;
+  }
+  return shards;
+}
+
+int ThreadPool::RunShards(
+    std::size_t begin, std::size_t end,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  GRANITE_CHECK_GE(end, begin);
+  const std::size_t total = end - begin;
+  const int num_shards =
+      static_cast<int>(std::min<std::size_t>(total, num_threads_));
+  if (num_shards <= 1) {
+    if (total > 0) fn(0, begin, end);
+    return total > 0 ? 1 : 0;
+  }
+  const auto shards = PartitionRange(total, num_shards);
+  for (int shard = 1; shard < num_shards; ++shard) {
+    Submit([&fn, &shards, shard, begin] {
+      fn(shard, begin + shards[shard].first, begin + shards[shard].second);
+    });
+  }
+  fn(0, begin + shards[0].first, begin + shards[0].second);
+  Wait();
+  return num_shards;
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn) {
+  RunShards(begin, end,
+            [&fn](int /*shard*/, std::size_t shard_begin,
+                  std::size_t shard_end) {
+              for (std::size_t i = shard_begin; i < shard_end; ++i) fn(i);
+            });
+}
+
+}  // namespace granite::base

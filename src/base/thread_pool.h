@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A fixed-size worker pool with a fork-join parallel-for primitive.
+ *
+ * The pool is the concurrency substrate of the data-parallel trainer and
+ * the batched-inference path: work is partitioned into contiguous shards,
+ * one per thread, and the calling thread participates as shard 0, so a
+ * pool constructed with `num_threads == 1` spawns no threads at all and
+ * runs everything inline (making the sequential path identical to the
+ * pre-pool code). Tasks must not throw; failures abort via GRANITE_CHECK
+ * like the rest of the codebase.
+ */
+#ifndef GRANITE_BASE_THREAD_POOL_H_
+#define GRANITE_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace granite::base {
+
+/** A fixed set of worker threads executing submitted tasks. */
+class ThreadPool {
+ public:
+  /**
+   * @param num_threads Total concurrency including the calling thread;
+   *   the pool spawns `num_threads - 1` workers. Must be >= 1.
+   */
+  explicit ThreadPool(int num_threads);
+
+  /** Joins all workers; pending tasks are completed first. */
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /** Total concurrency (workers + the calling thread). */
+  int num_threads() const { return num_threads_; }
+
+  /** Enqueues a task for asynchronous execution. */
+  void Submit(std::function<void()> task);
+
+  /** Blocks until every submitted task has finished. */
+  void Wait();
+
+  /**
+   * Partitions [begin, end) into at most num_threads() contiguous shards
+   * and runs `fn(shard_index, shard_begin, shard_end)` for each, using the
+   * calling thread for shard 0. Returns (after all shards finish) the
+   * number of shards used, which is < num_threads() when the range is
+   * shorter than the thread count.
+   */
+  int RunShards(std::size_t begin, std::size_t end,
+                const std::function<void(int, std::size_t, std::size_t)>& fn);
+
+  /**
+   * Runs `fn(index)` for every index in [begin, end), statically
+   * partitioned across the pool. Blocks until done.
+   */
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+  /**
+   * Splits [0, total) into `num_shards` near-equal contiguous
+   * (begin, end) ranges; the first `total % num_shards` shards are one
+   * element longer. Shards beyond `total` are empty.
+   */
+  static std::vector<std::pair<std::size_t, std::size_t>> PartitionRange(
+      std::size_t total, int num_shards);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace granite::base
+
+#endif  // GRANITE_BASE_THREAD_POOL_H_

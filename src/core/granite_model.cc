@@ -1,6 +1,9 @@
 #include "core/granite_model.h"
 
+#include <unordered_map>
+
 #include "base/logging.h"
+#include "uarch/measurement.h"
 
 namespace granite::core {
 
@@ -86,6 +89,7 @@ std::vector<ml::Var> GraniteModel::Forward(
 
 std::vector<ml::Var> GraniteModel::ForwardGraphs(
     ml::Tape& tape, const graph::BatchedGraph& batch) const {
+  num_forward_passes_.fetch_add(1, std::memory_order_relaxed);
   // Initial embeddings (paper §3.2): learned per-token node embeddings,
   // learned per-type edge embeddings, projected frequency vector for the
   // global feature.
@@ -160,6 +164,93 @@ std::vector<double> GraniteModel::Predict(
   std::vector<double> result(blocks.size());
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     result[i] = column.at(static_cast<int>(i), 0);
+  }
+  return result;
+}
+
+void GraniteModel::EnablePredictionCache(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (capacity == 0) {
+    prediction_cache_.reset();
+    return;
+  }
+  prediction_cache_ =
+      std::make_unique<base::LruCache<uint64_t, std::vector<double>>>(
+          capacity);
+}
+
+std::size_t GraniteModel::prediction_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return prediction_cache_ ? prediction_cache_->hits() : 0;
+}
+
+std::size_t GraniteModel::prediction_cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return prediction_cache_ ? prediction_cache_->misses() : 0;
+}
+
+std::vector<double> GraniteModel::PredictBatch(
+    const std::vector<const assembly::BasicBlock*>& blocks, int task) const {
+  GRANITE_CHECK(task >= 0 && task < config_.num_tasks);
+  if (blocks.empty()) return {};
+  bool cache_enabled;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_enabled = prediction_cache_ != nullptr;
+  }
+  // Forward passes run outside the cache lock, here and below, so
+  // concurrent PredictBatch callers are never serialized on the GNN.
+  if (!cache_enabled) return Predict(blocks, task);
+
+  std::vector<double> result(blocks.size());
+  // Distinct fingerprint → block indices that need a forward pass.
+  std::unordered_map<uint64_t, std::vector<std::size_t>> misses;
+  std::vector<uint64_t> miss_order;
+  std::vector<uint64_t> keys(blocks.size());
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      GRANITE_CHECK(blocks[i] != nullptr);
+      keys[i] = uarch::BlockFingerprint(*blocks[i]);
+      // The cache may have been reset since the enabled check above.
+      const std::vector<double>* cached =
+          prediction_cache_ ? prediction_cache_->Get(keys[i]) : nullptr;
+      if (cached != nullptr) {
+        result[i] = (*cached)[task];
+        continue;
+      }
+      auto [it, inserted] = misses.try_emplace(keys[i]);
+      if (inserted) miss_order.push_back(keys[i]);
+      it->second.push_back(i);
+    }
+  }
+  if (miss_order.empty()) return result;
+
+  // One deduplicated forward pass over the missing blocks, evaluating
+  // every task head: the decoders are a sliver of the GNN trunk cost, so
+  // caching all tasks at once makes later PredictBatch(…, other_task)
+  // calls hits too. The cache lock is not held during the forward pass.
+  std::vector<const assembly::BasicBlock*> miss_blocks;
+  miss_blocks.reserve(miss_order.size());
+  for (const uint64_t key : miss_order) {
+    miss_blocks.push_back(blocks[misses.at(key).front()]);
+  }
+  ml::Tape tape;
+  const std::vector<ml::Var> predictions = Forward(tape, miss_blocks);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (std::size_t j = 0; j < miss_order.size(); ++j) {
+    std::vector<double> per_task(config_.num_tasks);
+    for (int t = 0; t < config_.num_tasks; ++t) {
+      per_task[t] = tape.value(predictions[t]).at(static_cast<int>(j), 0);
+    }
+    for (const std::size_t i : misses.at(miss_order[j])) {
+      result[i] = per_task[task];
+    }
+    // A concurrent EnablePredictionCache(0) may have disabled caching
+    // while the forward pass ran; the results are still valid.
+    if (prediction_cache_) {
+      prediction_cache_->Put(miss_order[j], std::move(per_task));
+    }
   }
   return result;
 }

@@ -13,11 +13,15 @@
 #ifndef GRANITE_CORE_GRANITE_MODEL_H_
 #define GRANITE_CORE_GRANITE_MODEL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "asm/instruction.h"
+#include "base/lru_cache.h"
 #include "core/graph_net.h"
 #include "graph/graph_builder.h"
 #include "graph/vocabulary.h"
@@ -86,6 +90,37 @@ class GraniteModel {
       const std::vector<const assembly::BasicBlock*>& blocks, int task) const;
 
   /**
+   * Batched inference with prediction caching. Blocks whose canonical
+   * fingerprint (uarch::BlockFingerprint of the textual form) is in the
+   * LRU cache are answered without touching the GNN; the remaining
+   * distinct blocks run through one forward pass (deduplicated, all task
+   * heads at once) and populate the cache. BHive-style corpora repeat the
+   * same hot blocks constantly, making this the intended serving path.
+   * Without EnablePredictionCache() it degrades to a plain batched
+   * forward pass. Thread-safe.
+   */
+  std::vector<double> PredictBatch(
+      const std::vector<const assembly::BasicBlock*>& blocks, int task) const;
+
+  /**
+   * Sizes the PredictBatch LRU cache to `capacity` unique blocks and
+   * clears it; 0 disables caching. Call after parameter updates — cached
+   * predictions are not invalidated by training.
+   */
+  void EnablePredictionCache(std::size_t capacity);
+
+  /** Lifetime PredictBatch() cache hit / miss counters. */
+  std::size_t prediction_cache_hits() const;
+  std::size_t prediction_cache_misses() const;
+
+  /** Number of GNN forward passes executed by this model (every
+   * ForwardGraphs call; lets tests verify that cache hits bypass the
+   * network). */
+  std::size_t num_forward_passes() const {
+    return num_forward_passes_.load(std::memory_order_relaxed);
+  }
+
+  /**
    * Per-instruction throughput contributions (paper §3.3: the decoder
    * "computes the contribution of the instruction to the overall
    * throughput"). Entry i of the result holds one value per instruction
@@ -120,6 +155,13 @@ class GraniteModel {
   std::unique_ptr<GraphNetBlock> graph_net_;
   /** One decoder per task (§3.4). */
   std::vector<std::unique_ptr<ml::Mlp>> decoders_;
+
+  /** PredictBatch cache: canonical block fingerprint → one prediction per
+   * task. Guarded by cache_mutex_; mutable because inference is const. */
+  mutable std::mutex cache_mutex_;
+  mutable std::unique_ptr<base::LruCache<uint64_t, std::vector<double>>>
+      prediction_cache_;
+  mutable std::atomic<std::size_t> num_forward_passes_{0};
 };
 
 }  // namespace granite::core

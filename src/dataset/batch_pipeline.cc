@@ -1,0 +1,95 @@
+#include "dataset/batch_pipeline.h"
+
+#include <utility>
+
+#include "base/logging.h"
+#include "base/thread_pool.h"
+
+namespace granite::dataset {
+
+PreparedBatch PrepareBatch(const Dataset& data,
+                           std::vector<std::size_t> indices, int num_shards,
+                           const EncodeFn& encode) {
+  GRANITE_CHECK_GE(num_shards, 1);
+  PreparedBatch batch;
+  batch.indices = std::move(indices);
+  batch.blocks.reserve(batch.indices.size());
+  for (const std::size_t index : batch.indices) {
+    batch.blocks.push_back(&data[index].block);
+  }
+  const auto ranges =
+      base::ThreadPool::PartitionRange(batch.blocks.size(), num_shards);
+  for (const auto& [begin, end] : ranges) {
+    if (begin == end) continue;
+    PreparedBatch::Shard shard;
+    shard.begin = begin;
+    shard.end = end;
+    if (encode) {
+      const std::vector<const assembly::BasicBlock*> shard_blocks(
+          batch.blocks.begin() + static_cast<std::ptrdiff_t>(begin),
+          batch.blocks.begin() + static_cast<std::ptrdiff_t>(end));
+      shard.graph = encode(shard_blocks);
+      shard.has_graph = true;
+    }
+    batch.shards.push_back(std::move(shard));
+  }
+  return batch;
+}
+
+namespace {
+
+/** Null-checks `data` before the constructor's initializer list uses it. */
+std::size_t CheckedSize(const Dataset* data) {
+  GRANITE_CHECK(data != nullptr);
+  GRANITE_CHECK(!data->empty());
+  return data->size();
+}
+
+}  // namespace
+
+PrefetchingBatchPipeline::PrefetchingBatchPipeline(const Dataset* data,
+                                                   std::size_t batch_size,
+                                                   int num_shards,
+                                                   uint64_t seed,
+                                                   EncodeFn encode)
+    : data_(data),
+      num_shards_(num_shards),
+      encode_(std::move(encode)),
+      sampler_(CheckedSize(data), batch_size, seed) {
+  GRANITE_CHECK_GE(num_shards, 1);
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+PrefetchingBatchPipeline::~PrefetchingBatchPipeline() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  slot_emptied_.notify_all();
+  producer_.join();
+}
+
+void PrefetchingBatchPipeline::ProducerLoop() {
+  for (;;) {
+    // Sampling and encoding run outside the lock; the sampler is only
+    // ever touched by this thread.
+    PreparedBatch batch =
+        PrepareBatch(*data_, sampler_.NextBatch(), num_shards_, encode_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_emptied_.wait(lock, [this] { return stop_ || !slot_.has_value(); });
+    if (stop_) return;
+    slot_ = std::move(batch);
+    slot_filled_.notify_all();
+  }
+}
+
+PreparedBatch PrefetchingBatchPipeline::Next() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  slot_filled_.wait(lock, [this] { return slot_.has_value(); });
+  PreparedBatch batch = std::move(*slot_);
+  slot_.reset();
+  slot_emptied_.notify_all();
+  return batch;
+}
+
+}  // namespace granite::dataset

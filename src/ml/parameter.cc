@@ -42,6 +42,26 @@ void InitializeTensor(Tensor& tensor, Initializer init, Rng& rng) {
 
 }  // namespace
 
+Tensor& GradientSink::GradFor(Parameter* parameter) {
+  GRANITE_CHECK(parameter != nullptr);
+  const auto it = index_.find(parameter);
+  if (it != index_.end()) return grads_[it->second].second;
+  index_.emplace(parameter, grads_.size());
+  grads_.emplace_back(parameter,
+                      Tensor(parameter->grad.rows(), parameter->grad.cols()));
+  return grads_.back().second;
+}
+
+void GradientSink::ReduceIntoParameters() {
+  for (auto& [parameter, grad] : grads_) {
+    float* dest = parameter->grad.data();
+    const float* source = grad.data();
+    for (std::size_t i = 0; i < grad.size(); ++i) dest[i] += source[i];
+  }
+  grads_.clear();
+  index_.clear();
+}
+
 ParameterStore::ParameterStore(uint64_t seed) : rng_(seed) {}
 
 Parameter* ParameterStore::Create(const std::string& name, int rows, int cols,

@@ -40,6 +40,40 @@ struct Parameter {
   void ZeroGrad() { grad.SetZero(); }
 };
 
+/**
+ * Per-worker gradient buffers for data-parallel training.
+ *
+ * Each worker thread runs forward/backward on its own Tape with its own
+ * sink, so concurrent backward passes never write shared state; after all
+ * workers join, the coordinating thread reduces every sink into
+ * Parameter::grad and runs the optimizer step. The result is bit-wise
+ * independent of the worker count up to floating-point reduction order.
+ */
+class GradientSink {
+ public:
+  GradientSink() = default;
+  GradientSink(const GradientSink&) = delete;
+  GradientSink& operator=(const GradientSink&) = delete;
+  GradientSink(GradientSink&&) = default;
+  GradientSink& operator=(GradientSink&&) = default;
+
+  /** The local gradient buffer for `parameter`, created zero-filled (with
+   * the parameter's shape) on first use. */
+  Tensor& GradFor(Parameter* parameter);
+
+  /** Adds every buffer into its parameter's grad, then clears the sink. */
+  void ReduceIntoParameters();
+
+  /** Number of parameters touched since the last reduce. */
+  std::size_t size() const { return grads_.size(); }
+  bool empty() const { return grads_.empty(); }
+
+ private:
+  /** Insertion-ordered so the reduction order is deterministic. */
+  std::vector<std::pair<Parameter*, Tensor>> grads_;
+  std::unordered_map<Parameter*, std::size_t> index_;
+};
+
 /** Owns every trainable parameter of a model. */
 class ParameterStore {
  public:

@@ -58,7 +58,11 @@ Var Tape::Param(Parameter* parameter) {
   return MakeNode(parameter->value, /*requires_grad=*/true,
                   [](Tape& tape, int self) {
                     Node& node = tape.nodes_[self];
-                    AccumulateAdd(node.grad, node.parameter->grad);
+                    Tensor& dest =
+                        tape.gradient_sink_ != nullptr
+                            ? tape.gradient_sink_->GradFor(node.parameter)
+                            : node.parameter->grad;
+                    AccumulateAdd(node.grad, dest);
                   },
                   parameter);
 }

@@ -158,6 +158,18 @@ class Tape {
   /** Number of nodes currently recorded. */
   std::size_t num_nodes() const { return nodes_.size(); }
 
+  /**
+   * Routes Parameter gradient accumulation into `sink` instead of
+   * Parameter::grad (nullptr restores the default). Data-parallel workers
+   * each give their tape a private sink so concurrent Backward() calls
+   * never write shared parameter state; the sinks are reduced into the
+   * parameters afterwards on one thread.
+   */
+  void set_gradient_sink(GradientSink* sink) { gradient_sink_ = sink; }
+
+  /** The active gradient sink, or nullptr for direct accumulation. */
+  GradientSink* gradient_sink() const { return gradient_sink_; }
+
  private:
   struct Node {
     Tensor value;
@@ -179,6 +191,7 @@ class Tape {
   void AccumulateGrad(int id, const Tensor& delta);
 
   std::vector<Node> nodes_;
+  GradientSink* gradient_sink_ = nullptr;
 };
 
 }  // namespace granite::ml

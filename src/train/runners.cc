@@ -20,6 +20,15 @@ GraniteRunner::GraniteRunner(const core::GraniteConfig& model_config,
         return model->Forward(tape, blocks);
       },
       &model_->parameters(), trainer_config);
+  // Train through the pre-encoded-graph path so the prefetch pipeline
+  // can move graph construction off the training thread.
+  trainer_->SetGraphPath(
+      [model](ml::Tape& tape, const graph::BatchedGraph& batch) {
+        return model->ForwardGraphs(tape, batch);
+      },
+      [model](const std::vector<const assembly::BasicBlock*>& blocks) {
+        return model->EncodeBlocks(blocks);
+      });
 }
 
 TrainingResult GraniteRunner::Train(const dataset::Dataset& train_data,

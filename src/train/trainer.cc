@@ -1,20 +1,24 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "base/logging.h"
 
 namespace granite::train {
 namespace {
 
-/** Extracts the ground-truth column of one task from batch samples. */
+/** Extracts the ground-truth column of one task for the [begin, end)
+ * slice of the batch indices. */
 ml::Tensor TargetColumn(const dataset::Dataset& data,
                         const std::vector<std::size_t>& indices,
+                        std::size_t begin, std::size_t end,
                         uarch::Microarchitecture microarchitecture,
                         double target_scale) {
-  ml::Tensor column(static_cast<int>(indices.size()), 1);
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    column.at(static_cast<int>(i), 0) = static_cast<float>(
+  ml::Tensor column(static_cast<int>(end - begin), 1);
+  for (std::size_t i = begin; i < end; ++i) {
+    column.at(static_cast<int>(i - begin), 0) = static_cast<float>(
         data[indices[i]].throughput[static_cast<int>(microarchitecture)] /
         target_scale);
   }
@@ -32,14 +36,104 @@ Trainer::Trainer(ForwardFn forward, ml::ParameterStore* parameters,
   GRANITE_CHECK(parameters_ != nullptr);
   GRANITE_CHECK(!config_.tasks.empty());
   GRANITE_CHECK_GT(config_.batch_size, 0);
+  GRANITE_CHECK_GE(config_.num_workers, 1);
+}
+
+void Trainer::SetGraphPath(GraphForwardFn graph_forward,
+                           dataset::EncodeFn encode) {
+  GRANITE_CHECK(graph_forward != nullptr);
+  GRANITE_CHECK(encode != nullptr);
+  graph_forward_ = std::move(graph_forward);
+  encode_ = std::move(encode);
+}
+
+std::vector<ml::Var> Trainer::ForwardShard(
+    ml::Tape& tape, const dataset::PreparedBatch& batch,
+    const dataset::PreparedBatch::Shard& shard) const {
+  if (shard.has_graph) return graph_forward_(tape, shard.graph);
+  const std::vector<const assembly::BasicBlock*> blocks(
+      batch.blocks.begin() + static_cast<std::ptrdiff_t>(shard.begin),
+      batch.blocks.begin() + static_cast<std::ptrdiff_t>(shard.end));
+  return forward_(tape, blocks);
+}
+
+double Trainer::TrainStep(base::ThreadPool& pool,
+                          const dataset::Dataset& data,
+                          const dataset::PreparedBatch& batch) {
+  const std::size_t batch_rows = batch.indices.size();
+  const std::size_t num_shards = batch.shards.size();
+  GRANITE_CHECK_GT(num_shards, 0u);
+
+  // Phase 1 (parallel): per-shard forward/backward. Workers only read
+  // parameter values and write their private tape + sink, so no
+  // synchronization is needed beyond the fork/join barrier.
+  std::vector<ml::GradientSink> sinks(num_shards);
+  std::vector<double> weighted_losses(num_shards, 0.0);
+  pool.ParallelFor(0, num_shards, [&](std::size_t s) {
+    const dataset::PreparedBatch::Shard& shard = batch.shards[s];
+    const float weight = static_cast<float>(shard.end - shard.begin) /
+                         static_cast<float>(batch_rows);
+    ml::Tape tape;
+    tape.set_gradient_sink(&sinks[s]);
+    const std::vector<ml::Var> predictions = ForwardShard(tape, batch, shard);
+    GRANITE_CHECK_GE(predictions.size(), config_.tasks.size());
+
+    // Multi-task training updates the weights for all target
+    // microarchitectures at the same time (paper §5.3); the batch loss is
+    // the mean of the per-task losses.
+    ml::Var shard_loss;
+    for (std::size_t task = 0; task < config_.tasks.size(); ++task) {
+      const ml::Var target = tape.Constant(
+          TargetColumn(data, batch.indices, shard.begin, shard.end,
+                       config_.tasks[task], config_.target_scale));
+      const ml::Var task_loss =
+          ml::ComputeLoss(tape, predictions[task], target, config_.loss,
+                          config_.huber_delta);
+      shard_loss = task == 0 ? task_loss : tape.Add(shard_loss, task_loss);
+    }
+    if (config_.tasks.size() > 1) {
+      shard_loss = tape.Scale(
+          shard_loss, 1.0f / static_cast<float>(config_.tasks.size()));
+    }
+    // Weighting each shard's (per-row mean) loss by its share of the
+    // batch makes the reduced gradient equal the full-batch gradient.
+    if (weight != 1.0f) shard_loss = tape.Scale(shard_loss, weight);
+    tape.Backward(shard_loss);
+    weighted_losses[s] = tape.value(shard_loss).scalar();
+  });
+
+  // Phase 2 (sequential, deterministic order): reduce per-worker
+  // gradients into the parameters and apply one optimizer step.
+  for (ml::GradientSink& sink : sinks) sink.ReduceIntoParameters();
+  optimizer_.Step(*parameters_);
+
+  double loss = 0.0;
+  for (const double weighted : weighted_losses) loss += weighted;
+  return loss;
 }
 
 TrainingResult Trainer::Train(const dataset::Dataset& train_data,
                               const dataset::Dataset& validation_data) {
   GRANITE_CHECK(!train_data.empty());
-  dataset::BatchSampler sampler(train_data.size(),
-                                static_cast<std::size_t>(config_.batch_size),
-                                config_.seed);
+  const int num_shards = config_.num_workers;
+  base::ThreadPool pool(num_shards);
+  const dataset::EncodeFn encode = graph_forward_ ? encode_ : nullptr;
+
+  // With prefetch, sampling + sharding + encoding of batch k+1 overlap
+  // the training step on batch k; without it, the same PrepareBatch runs
+  // inline, so both modes see the identical batch sequence.
+  std::unique_ptr<dataset::PrefetchingBatchPipeline> pipeline;
+  std::unique_ptr<dataset::BatchSampler> sampler;
+  if (config_.prefetch) {
+    pipeline = std::make_unique<dataset::PrefetchingBatchPipeline>(
+        &train_data, static_cast<std::size_t>(config_.batch_size),
+        num_shards, config_.seed, encode);
+  } else {
+    sampler = std::make_unique<dataset::BatchSampler>(
+        train_data.size(), static_cast<std::size_t>(config_.batch_size),
+        config_.seed);
+  }
+
   TrainingResult result;
   std::vector<ml::Tensor> best_snapshot;
   double best_validation = 0.0;
@@ -54,40 +148,12 @@ TrainingResult Trainer::Train(const dataset::Dataset& train_data,
                                  progress * (config_.final_learning_rate -
                                              initial_learning_rate));
     }
-    const std::vector<std::size_t> indices = sampler.NextBatch();
-    std::vector<const assembly::BasicBlock*> blocks;
-    blocks.reserve(indices.size());
-    for (const std::size_t index : indices) {
-      blocks.push_back(&train_data[index].block);
-    }
+    const dataset::PreparedBatch batch =
+        pipeline ? pipeline->Next()
+                 : dataset::PrepareBatch(train_data, sampler->NextBatch(),
+                                         num_shards, encode);
+    const double loss_value = TrainStep(pool, train_data, batch);
 
-    ml::Tape tape;
-    const std::vector<ml::Var> predictions = forward_(tape, blocks);
-    GRANITE_CHECK_GE(predictions.size(), config_.tasks.size());
-
-    // Multi-task training updates the weights for all target
-    // microarchitectures at the same time (paper §5.3); the batch loss is
-    // the mean of the per-task losses.
-    ml::Var total_loss;
-    for (std::size_t task = 0; task < config_.tasks.size(); ++task) {
-      const ml::Var target = tape.Constant(
-          TargetColumn(train_data, indices, config_.tasks[task],
-                       config_.target_scale));
-      const ml::Var task_loss =
-          ml::ComputeLoss(tape, predictions[task], target, config_.loss,
-                          config_.huber_delta);
-      total_loss =
-          task == 0 ? task_loss : tape.Add(total_loss, task_loss);
-    }
-    if (config_.tasks.size() > 1) {
-      total_loss = tape.Scale(
-          total_loss, 1.0f / static_cast<float>(config_.tasks.size()));
-    }
-
-    tape.Backward(total_loss);
-    optimizer_.Step(*parameters_);
-
-    const double loss_value = tape.value(total_loss).scalar();
     result.final_train_loss = loss_value;
     if (step % loss_sample_every == 0 || step == 1) {
       result.loss_history.emplace_back(step, loss_value);
@@ -121,11 +187,17 @@ TrainingResult Trainer::Train(const dataset::Dataset& train_data,
 std::vector<double> Trainer::Predict(const dataset::Dataset& data,
                                      int task) const {
   GRANITE_CHECK_GE(task, 0);
-  std::vector<double> predictions;
-  predictions.reserve(data.size());
   const std::size_t batch_size =
       static_cast<std::size_t>(std::max(1, config_.eval_batch_size));
-  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+  const std::size_t num_batches =
+      data.empty() ? 0 : (data.size() + batch_size - 1) / batch_size;
+  std::vector<double> predictions(data.size());
+
+  // Inference batches are independent (parameters are read-only here), so
+  // they shard across the worker pool like training batches do.
+  base::ThreadPool pool(config_.num_workers);
+  pool.ParallelFor(0, num_batches, [&](std::size_t b) {
+    const std::size_t begin = b * batch_size;
     const std::size_t end = std::min(begin + batch_size, data.size());
     std::vector<const assembly::BasicBlock*> blocks;
     blocks.reserve(end - begin);
@@ -136,10 +208,12 @@ std::vector<double> Trainer::Predict(const dataset::Dataset& data,
     const std::vector<ml::Var> outputs = forward_(tape, blocks);
     GRANITE_CHECK_LT(static_cast<std::size_t>(task), outputs.size());
     const ml::Tensor& column = tape.value(outputs[task]);
+    GRANITE_CHECK_EQ(column.rows(), static_cast<int>(end - begin));
     for (int row = 0; row < column.rows(); ++row) {
-      predictions.push_back(column.at(row, 0) * config_.target_scale);
+      predictions[begin + static_cast<std::size_t>(row)] =
+          column.at(row, 0) * config_.target_scale;
     }
-  }
+  });
   return predictions;
 }
 

@@ -14,7 +14,10 @@
 #include <functional>
 #include <vector>
 
+#include "base/thread_pool.h"
+#include "dataset/batch_pipeline.h"
 #include "dataset/dataset.h"
+#include "graph/batch.h"
 #include "ml/losses.h"
 #include "ml/optimizer.h"
 #include "ml/parameter.h"
@@ -26,6 +29,12 @@ namespace granite::train {
 /** Runs a model on a batch of blocks; returns one [N, 1] column per task. */
 using ForwardFn = std::function<std::vector<ml::Var>(
     ml::Tape&, const std::vector<const assembly::BasicBlock*>&)>;
+
+/** Runs a model on a pre-encoded batched graph (the fast path that lets
+ * the prefetch pipeline move graph construction off the training
+ * thread). Returns one [N, 1] column per task. */
+using GraphForwardFn = std::function<std::vector<ml::Var>(
+    ml::Tape&, const graph::BatchedGraph&)>;
 
 /** Hyper-parameters of a training run. */
 struct TrainerConfig {
@@ -66,6 +75,21 @@ struct TrainerConfig {
   uint64_t seed = 123;
   /** Prints progress lines when true. */
   bool verbose = false;
+  /**
+   * Data-parallel worker threads. Each training batch is sharded across
+   * the workers; every worker runs forward/backward on its own tape with
+   * a private GradientSink, the sinks are reduced into the parameter
+   * gradients, and one optimizer step is applied — the same update as
+   * single-threaded training up to floating-point reduction order.
+   * Evaluation batches are parallelized the same way. 1 runs everything
+   * inline on the calling thread.
+   */
+  int num_workers = 1;
+  /**
+   * Builds the next batch (sampling, sharding, graph encoding) on a
+   * background thread while the current step trains.
+   */
+  bool prefetch = false;
 };
 
 /** Summary of a training run. */
@@ -91,6 +115,14 @@ class Trainer {
           const TrainerConfig& config);
 
   /**
+   * Enables the pre-encoded-graph fast path: batches are encoded by
+   * `encode` — on the prefetch thread when config().prefetch is set —
+   * and run through `graph_forward` instead of the block-based
+   * ForwardFn. Both closures must be thread-safe.
+   */
+  void SetGraphPath(GraphForwardFn graph_forward, dataset::EncodeFn encode);
+
+  /**
    * Runs the configured number of steps on `train_data`, tracking the
    * validation MAPE on `validation_data` and restoring the best
    * checkpoint at the end (paper §4: "we use the validation split to
@@ -112,7 +144,22 @@ class Trainer {
   /** Mean validation MAPE across all task heads. */
   double ValidationMape(const dataset::Dataset& validation_data) const;
 
+  /**
+   * One data-parallel optimization step on `batch`: forward/backward per
+   * shard on `pool` (each worker accumulating into a private sink),
+   * gradient reduction, optimizer step. Returns the batch training loss.
+   */
+  double TrainStep(base::ThreadPool& pool, const dataset::Dataset& data,
+                   const dataset::PreparedBatch& batch);
+
+  /** Forward pass over one shard, via the graph path when available. */
+  std::vector<ml::Var> ForwardShard(
+      ml::Tape& tape, const dataset::PreparedBatch& batch,
+      const dataset::PreparedBatch::Shard& shard) const;
+
   ForwardFn forward_;
+  GraphForwardFn graph_forward_;
+  dataset::EncodeFn encode_;
   ml::ParameterStore* parameters_;
   TrainerConfig config_;
   ml::AdamOptimizer optimizer_;

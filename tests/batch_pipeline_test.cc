@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of batch preparation and the asynchronous prefetch pipeline.
+ */
+#include <atomic>
+#include <set>
+
+#include "dataset/batch_pipeline.h"
+#include "gtest/gtest.h"
+
+namespace granite::dataset {
+namespace {
+
+Dataset TinyDataset(std::size_t num_blocks, uint64_t seed = 11) {
+  SynthesisConfig config;
+  config.num_blocks = num_blocks;
+  config.seed = seed;
+  config.generator.max_instructions = 4;
+  return SynthesizeDataset(config);
+}
+
+/** An EncodeFn stand-in that only records how it was called. */
+EncodeFn CountingEncode(std::atomic<int>* calls) {
+  return [calls](const std::vector<const assembly::BasicBlock*>& blocks) {
+    ++*calls;
+    graph::BatchedGraph graph;
+    graph.num_graphs = static_cast<int>(blocks.size());
+    return graph;
+  };
+}
+
+TEST(PrepareBatchTest, ResolvesBlocksAndShards) {
+  const Dataset data = TinyDataset(10);
+  const PreparedBatch batch =
+      PrepareBatch(data, {0, 3, 5, 7, 9}, /*num_shards=*/2, nullptr);
+  ASSERT_EQ(batch.indices.size(), 5u);
+  ASSERT_EQ(batch.blocks.size(), 5u);
+  EXPECT_EQ(batch.blocks[1], &data[3].block);
+  ASSERT_EQ(batch.shards.size(), 2u);
+  EXPECT_EQ(batch.shards[0].begin, 0u);
+  EXPECT_EQ(batch.shards[0].end, 3u);
+  EXPECT_EQ(batch.shards[1].begin, 3u);
+  EXPECT_EQ(batch.shards[1].end, 5u);
+  EXPECT_FALSE(batch.shards[0].has_graph);
+}
+
+TEST(PrepareBatchTest, DropsEmptyShards) {
+  const Dataset data = TinyDataset(10);
+  const PreparedBatch batch =
+      PrepareBatch(data, {1, 2}, /*num_shards=*/4, nullptr);
+  // Only two non-empty shards exist for two samples.
+  ASSERT_EQ(batch.shards.size(), 2u);
+  EXPECT_EQ(batch.shards[0].end - batch.shards[0].begin, 1u);
+  EXPECT_EQ(batch.shards[1].end - batch.shards[1].begin, 1u);
+}
+
+TEST(PrepareBatchTest, EncodesEachShard) {
+  const Dataset data = TinyDataset(10);
+  std::atomic<int> calls{0};
+  const PreparedBatch batch =
+      PrepareBatch(data, {0, 1, 2, 3}, /*num_shards=*/2,
+                   CountingEncode(&calls));
+  EXPECT_EQ(calls.load(), 2);
+  ASSERT_EQ(batch.shards.size(), 2u);
+  for (const auto& shard : batch.shards) {
+    EXPECT_TRUE(shard.has_graph);
+    EXPECT_EQ(shard.graph.num_graphs,
+              static_cast<int>(shard.end - shard.begin));
+  }
+}
+
+TEST(PrefetchingBatchPipelineTest, MatchesSynchronousSampler) {
+  const Dataset data = TinyDataset(16);
+  constexpr std::size_t kBatchSize = 4;
+  constexpr uint64_t kSeed = 99;
+  BatchSampler reference(data.size(), kBatchSize, kSeed);
+  PrefetchingBatchPipeline pipeline(&data, kBatchSize, /*num_shards=*/2,
+                                    kSeed, nullptr);
+  // The pipeline must replay the exact batch sequence the trainer would
+  // have sampled synchronously.
+  for (int i = 0; i < 10; ++i) {
+    const PreparedBatch batch = pipeline.Next();
+    EXPECT_EQ(batch.indices, reference.NextBatch()) << "batch " << i;
+    EXPECT_EQ(batch.blocks.size(), kBatchSize);
+  }
+}
+
+TEST(PrefetchingBatchPipelineTest, IndicesAreInRange) {
+  const Dataset data = TinyDataset(7);
+  PrefetchingBatchPipeline pipeline(&data, 3, /*num_shards=*/1, 5, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    for (const std::size_t index : pipeline.Next().indices) {
+      EXPECT_LT(index, data.size());
+    }
+  }
+}
+
+TEST(PrefetchingBatchPipelineTest, EncodesInBackground) {
+  const Dataset data = TinyDataset(8);
+  std::atomic<int> calls{0};
+  PrefetchingBatchPipeline pipeline(&data, 4, /*num_shards=*/2, 5,
+                                    CountingEncode(&calls));
+  const PreparedBatch batch = pipeline.Next();
+  ASSERT_EQ(batch.shards.size(), 2u);
+  EXPECT_TRUE(batch.shards[0].has_graph);
+  EXPECT_GE(calls.load(), 2);
+}
+
+TEST(PrefetchingBatchPipelineTest, DestructionMidStreamDoesNotHang) {
+  const Dataset data = TinyDataset(8);
+  // Never calling Next() leaves the producer blocked on a full slot; the
+  // destructor must still stop and join it.
+  PrefetchingBatchPipeline pipeline(&data, 4, /*num_shards=*/1, 5, nullptr);
+}
+
+}  // namespace
+}  // namespace granite::dataset

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests of the LRU cache backing the batched-inference prediction cache.
+ */
+#include <string>
+
+#include "base/lru_cache.h"
+#include "gtest/gtest.h"
+
+namespace granite::base {
+namespace {
+
+TEST(LruCacheTest, GetReturnsStoredValue) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  const std::string* value = cache.Get(1);
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "one");
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_NE(cache.Get(1), nullptr);  // 1 is now most-recently-used.
+  cache.Put(3, 30);                  // Evicts 2.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // Refresh, not insert: nothing evicted.
+  cache.Put(3, 30);  // Evicts 2 (LRU), not 1.
+  EXPECT_FALSE(cache.Contains(2));
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 11);
+}
+
+TEST(LruCacheTest, ZeroCapacityStoresNothing) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearKeepsCounters) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 10);
+  cache.Get(1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace granite::base

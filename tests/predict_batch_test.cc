@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests of GraniteModel::PredictBatch and its LRU prediction cache,
+ * including the acceptance property that cache hits bypass the GNN
+ * forward pass entirely (verified by counting forward passes).
+ */
+#include <vector>
+
+#include "asm/parser.h"
+#include "core/granite_model.h"
+#include "gtest/gtest.h"
+
+namespace granite::core {
+namespace {
+
+assembly::BasicBlock Parse(const char* text) {
+  const auto result = assembly::ParseBasicBlock(text);
+  EXPECT_TRUE(result.ok()) << result.error;
+  return *result.value;
+}
+
+class PredictBatchTest : public ::testing::Test {
+ protected:
+  PredictBatchTest() : vocabulary_(graph::Vocabulary::CreateDefault()) {}
+
+  GraniteConfig SmallConfig(int num_tasks = 1) {
+    GraniteConfig config = GraniteConfig().WithEmbeddingSize(8);
+    config.message_passing_iterations = 2;
+    config.num_tasks = num_tasks;
+    return config;
+  }
+
+  graph::Vocabulary vocabulary_;
+  const assembly::BasicBlock a_ = Parse("ADD RAX, RBX");
+  const assembly::BasicBlock b_ = Parse("MOV RCX, 1\nIMUL RCX, RDX");
+  const assembly::BasicBlock c_ = Parse("SUB RDI, RSI\nXOR RAX, RAX");
+};
+
+TEST_F(PredictBatchTest, UncachedMatchesPredict) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  const std::vector<const assembly::BasicBlock*> blocks = {&a_, &b_};
+  EXPECT_EQ(model.PredictBatch(blocks, 0), model.Predict(blocks, 0));
+}
+
+TEST_F(PredictBatchTest, CachedMatchesPredict) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(16);
+  const std::vector<const assembly::BasicBlock*> blocks = {&a_, &b_, &c_};
+  const std::vector<double> expected = model.Predict(blocks, 0);
+  const std::vector<double> cold = model.PredictBatch(blocks, 0);
+  const std::vector<double> warm = model.PredictBatch(blocks, 0);
+  ASSERT_EQ(cold.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cold[i], expected[i]);
+    EXPECT_DOUBLE_EQ(warm[i], expected[i]);
+  }
+}
+
+TEST_F(PredictBatchTest, CacheHitsBypassTheForwardPass) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(16);
+  const std::vector<const assembly::BasicBlock*> blocks = {&a_, &b_};
+
+  const std::size_t passes_before = model.num_forward_passes();
+  model.PredictBatch(blocks, 0);
+  const std::size_t passes_cold = model.num_forward_passes();
+  EXPECT_EQ(passes_cold, passes_before + 1);
+  EXPECT_EQ(model.prediction_cache_misses(), 2u);
+
+  // Every block is cached now: the second call must not invoke the GNN.
+  model.PredictBatch(blocks, 0);
+  EXPECT_EQ(model.num_forward_passes(), passes_cold);
+  EXPECT_EQ(model.prediction_cache_hits(), 2u);
+}
+
+TEST_F(PredictBatchTest, DuplicateBlocksForwardOnlyOnce) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(16);
+  // Equal text, distinct objects: canonical hashing must unify them.
+  const assembly::BasicBlock a_copy = Parse("ADD RAX, RBX");
+  const std::vector<const assembly::BasicBlock*> blocks = {&a_, &a_copy,
+                                                           &a_, &b_};
+  const std::size_t passes_before = model.num_forward_passes();
+  const std::vector<double> result = model.PredictBatch(blocks, 0);
+  EXPECT_EQ(model.num_forward_passes(), passes_before + 1);
+  EXPECT_DOUBLE_EQ(result[0], result[1]);
+  EXPECT_DOUBLE_EQ(result[0], result[2]);
+}
+
+TEST_F(PredictBatchTest, CachesEveryTaskHead) {
+  GraniteModel model(&vocabulary_, SmallConfig(/*num_tasks=*/3));
+  model.EnablePredictionCache(16);
+  const std::vector<const assembly::BasicBlock*> blocks = {&a_, &b_};
+  const std::vector<double> expected_task2 = model.Predict(blocks, 2);
+
+  model.PredictBatch(blocks, 0);
+  const std::size_t passes_after_warmup = model.num_forward_passes();
+  // A different head served from the same cache entries: no new forward.
+  const std::vector<double> task2 = model.PredictBatch(blocks, 2);
+  EXPECT_EQ(model.num_forward_passes(), passes_after_warmup);
+  for (std::size_t i = 0; i < task2.size(); ++i) {
+    EXPECT_DOUBLE_EQ(task2[i], expected_task2[i]);
+  }
+}
+
+TEST_F(PredictBatchTest, EvictionTriggersRecompute) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(1);
+  model.PredictBatch({&a_}, 0);
+  model.PredictBatch({&b_}, 0);  // Evicts a_.
+  const std::size_t passes = model.num_forward_passes();
+  model.PredictBatch({&a_}, 0);  // Miss again.
+  EXPECT_EQ(model.num_forward_passes(), passes + 1);
+}
+
+TEST_F(PredictBatchTest, EmptyBatchIsFine) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(4);
+  EXPECT_TRUE(model.PredictBatch({}, 0).empty());
+}
+
+TEST_F(PredictBatchTest, DisablingTheCacheRestoresPlainInference) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(4);
+  model.PredictBatch({&a_}, 0);
+  model.EnablePredictionCache(0);
+  const std::size_t passes = model.num_forward_passes();
+  model.PredictBatch({&a_}, 0);  // No cache: always forwards.
+  EXPECT_EQ(model.num_forward_passes(), passes + 1);
+  EXPECT_EQ(model.prediction_cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace granite::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests of the worker pool and its fork-join primitives.
+ */
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace granite::base {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> visited;
+  pool.ParallelFor(0, 5, [&](std::size_t i) {
+    visited.push_back(static_cast<int>(i));
+  });
+  // With one thread everything runs on the calling thread, in order.
+  EXPECT_EQ(visited, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> touched(kCount);
+  pool.ParallelFor(0, kCount, [&](std::size_t i) { ++touched[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsBegin) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(10, 20, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19.
+}
+
+TEST(ThreadPoolTest, RunShardsPartitionsContiguously) {
+  ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(4);
+  const int used = pool.RunShards(0, 10, [&](int shard, std::size_t begin,
+                                             std::size_t end) {
+    ranges[shard] = {begin, end};
+  });
+  ASSERT_EQ(used, 4);
+  std::size_t cursor = 0;
+  for (int shard = 0; shard < used; ++shard) {
+    EXPECT_EQ(ranges[shard].first, cursor);
+    EXPECT_GT(ranges[shard].second, ranges[shard].first);
+    cursor = ranges[shard].second;
+  }
+  EXPECT_EQ(cursor, 10u);
+}
+
+TEST(ThreadPoolTest, RunShardsNeverExceedsRangeLength) {
+  ThreadPool pool(8);
+  std::atomic<int> shards_run{0};
+  const int used =
+      pool.RunShards(0, 3, [&](int, std::size_t, std::size_t) {
+        ++shards_run;
+      });
+  EXPECT_EQ(used, 3);
+  EXPECT_EQ(shards_run.load(), 3);
+  EXPECT_EQ(pool.RunShards(0, 0, [](int, std::size_t, std::size_t) {}), 0);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, PartitionRangeBalances) {
+  const auto shards = ThreadPool::PartitionRange(10, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(shards[1], (std::pair<std::size_t, std::size_t>{3, 6}));
+  EXPECT_EQ(shards[2], (std::pair<std::size_t, std::size_t>{6, 8}));
+  EXPECT_EQ(shards[3], (std::pair<std::size_t, std::size_t>{8, 10}));
+  // Shards beyond the range are empty.
+  const auto sparse = ThreadPool::PartitionRange(2, 4);
+  EXPECT_EQ(sparse[2].first, sparse[2].second);
+  EXPECT_EQ(sparse[3].first, sparse[3].second);
+}
+
+}  // namespace
+}  // namespace granite::base
