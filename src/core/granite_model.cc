@@ -23,6 +23,7 @@ GraniteModel::GraniteModel(const graph::Vocabulary* vocabulary,
                            const GraniteConfig& config)
     : vocabulary_(vocabulary),
       config_(config),
+      backend_(&ml::GetKernelBackend(config.kernel_backend)),
       parameters_(std::make_unique<ml::ParameterStore>(config.seed)),
       builder_(vocabulary) {
   GRANITE_CHECK(vocabulary != nullptr);
@@ -129,7 +130,7 @@ std::vector<std::vector<double>> GraniteModel::PredictPerInstruction(
 
   // Rebuild the forward pass up to the decoder and keep the
   // per-mnemonic-node contributions instead of their per-graph sums.
-  ml::Tape tape;
+  ml::Tape tape(backend_);
   GraphState state;
   state.nodes = node_embedding_->Lookup(tape, batch.node_token);
   state.edges = edge_embedding_->Lookup(tape, batch.edge_type);
@@ -158,7 +159,7 @@ std::vector<std::vector<double>> GraniteModel::PredictPerInstruction(
 std::vector<double> GraniteModel::Predict(
     const std::vector<const assembly::BasicBlock*>& blocks, int task) const {
   GRANITE_CHECK(task >= 0 && task < config_.num_tasks);
-  ml::Tape tape;
+  ml::Tape tape(backend_);
   const std::vector<ml::Var> predictions = Forward(tape, blocks);
   const ml::Tensor& column = tape.value(predictions[task]);
   std::vector<double> result(blocks.size());
@@ -177,6 +178,15 @@ void GraniteModel::EnablePredictionCache(std::size_t capacity) {
   prediction_cache_ =
       std::make_unique<base::LruCache<uint64_t, std::vector<double>>>(
           capacity);
+  cache_generation_ = parameters_->generation();
+}
+
+void GraniteModel::InvalidateStaleCacheLocked() const {
+  if (prediction_cache_ == nullptr) return;
+  const uint64_t generation = parameters_->generation();
+  if (generation == cache_generation_) return;
+  prediction_cache_->Clear();
+  cache_generation_ = generation;
 }
 
 std::size_t GraniteModel::prediction_cache_hits() const {
@@ -207,8 +217,15 @@ std::vector<double> GraniteModel::PredictBatch(
   std::unordered_map<uint64_t, std::vector<std::size_t>> misses;
   std::vector<uint64_t> miss_order;
   std::vector<uint64_t> keys(blocks.size());
+  // The parameter generation the forward pass below will compute under;
+  // results are only cached if it is still current afterwards.
+  uint64_t forward_generation = 0;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
+    // Drop entries computed under an older parameter generation (the
+    // cache self-versions on training/checkpoint updates).
+    InvalidateStaleCacheLocked();
+    forward_generation = parameters_->generation();
     for (std::size_t i = 0; i < blocks.size(); ++i) {
       GRANITE_CHECK(blocks[i] != nullptr);
       keys[i] = uarch::BlockFingerprint(*blocks[i]);
@@ -235,9 +252,17 @@ std::vector<double> GraniteModel::PredictBatch(
   for (const uint64_t key : miss_order) {
     miss_blocks.push_back(blocks[misses.at(key).front()]);
   }
-  ml::Tape tape;
+  ml::Tape tape(backend_);
   const std::vector<ml::Var> predictions = Forward(tape, miss_blocks);
   std::lock_guard<std::mutex> lock(cache_mutex_);
+  // A concurrent EnablePredictionCache(0) may have disabled caching and a
+  // concurrent optimizer step may have advanced the parameter generation
+  // while the forward pass ran. The results are still valid to return,
+  // but only cache them when they were computed at the generation the
+  // cache currently holds.
+  InvalidateStaleCacheLocked();
+  const bool cache_results =
+      prediction_cache_ != nullptr && cache_generation_ == forward_generation;
   for (std::size_t j = 0; j < miss_order.size(); ++j) {
     std::vector<double> per_task(config_.num_tasks);
     for (int t = 0; t < config_.num_tasks; ++t) {
@@ -246,9 +271,7 @@ std::vector<double> GraniteModel::PredictBatch(
     for (const std::size_t i : misses.at(miss_order[j])) {
       result[i] = per_task[task];
     }
-    // A concurrent EnablePredictionCache(0) may have disabled caching
-    // while the forward pass ran; the results are still valid.
-    if (prediction_cache_) {
+    if (cache_results) {
       prediction_cache_->Put(miss_order[j], std::move(per_task));
     }
   }

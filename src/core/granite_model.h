@@ -58,6 +58,12 @@ struct GraniteConfig {
   float decoder_output_bias_init = 0.0f;
   /** RNG seed for parameter initialization. */
   uint64_t seed = 42;
+  /**
+   * Kernel backend executing the tapes this model creates internally
+   * (Predict / PredictBatch / PredictPerInstruction). Forward() calls
+   * run on the caller's tape and use that tape's backend.
+   */
+  ml::KernelBackendKind kernel_backend = ml::KernelBackendKind::kDefault;
 
   /** Returns a proportionally scaled-down copy (for tests/benches). */
   GraniteConfig WithEmbeddingSize(int size) const;
@@ -104,8 +110,10 @@ class GraniteModel {
 
   /**
    * Sizes the PredictBatch LRU cache to `capacity` unique blocks and
-   * clears it; 0 disables caching. Call after parameter updates — cached
-   * predictions are not invalidated by training.
+   * clears it; 0 disables caching. The cache versions itself on the
+   * parameter store's generation counter, so training steps, checkpoint
+   * loads, and snapshot restores invalidate it automatically — no manual
+   * reset is needed after parameter updates.
    */
   void EnablePredictionCache(std::size_t capacity);
 
@@ -141,8 +149,14 @@ class GraniteModel {
   const graph::Vocabulary& vocabulary() const { return *vocabulary_; }
 
  private:
+  /** Clears the cache when the parameter generation moved since it was
+   * filled. Requires cache_mutex_ to be held. */
+  void InvalidateStaleCacheLocked() const;
+
   const graph::Vocabulary* vocabulary_;
   GraniteConfig config_;
+  /** Kernel backend for internally created tapes (config.kernel_backend). */
+  const ml::KernelBackend* backend_;
   std::unique_ptr<ml::ParameterStore> parameters_;
   graph::GraphBuilder builder_;
 
@@ -161,6 +175,8 @@ class GraniteModel {
   mutable std::mutex cache_mutex_;
   mutable std::unique_ptr<base::LruCache<uint64_t, std::vector<double>>>
       prediction_cache_;
+  /** Parameter generation the cache contents were computed at. */
+  mutable uint64_t cache_generation_ = 0;
   mutable std::atomic<std::size_t> num_forward_passes_{0};
 };
 

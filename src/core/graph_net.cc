@@ -44,12 +44,15 @@ GraphState GraphNetBlock::Apply(ml::Tape& tape,
   GRANITE_CHECK_EQ(tape.value(state.globals).rows(), batch.num_graphs);
 
   // ---- Edge update -------------------------------------------------------
-  const ml::Var source_nodes = tape.GatherRows(state.nodes, batch.edge_source);
-  const ml::Var target_nodes = tape.GatherRows(state.nodes, batch.edge_target);
-  const ml::Var edge_globals = tape.GatherRows(state.globals, batch.edge_graph);
+  // Fused gather + concat: the per-edge feature rows (edge state, source
+  // node, target node, owning graph's global) are gathered straight into
+  // the concatenated MLP input instead of materializing three gathered
+  // temporaries first.
   ml::Var updated_edges = edge_update_->Apply(
-      tape,
-      tape.ConcatCols({state.edges, source_nodes, target_nodes, edge_globals}));
+      tape, tape.ConcatGathered({{state.edges, nullptr},
+                                 {state.nodes, &batch.edge_source},
+                                 {state.nodes, &batch.edge_target},
+                                 {state.globals, &batch.edge_graph}}));
   if (config_.use_residual) {
     updated_edges = tape.Add(updated_edges, state.edges);
   }
@@ -58,9 +61,10 @@ GraphState GraphNetBlock::Apply(ml::Tape& tape,
   // Aggregate incoming messages: sum of updated edge features per target.
   const ml::Var incoming =
       tape.SegmentSum(updated_edges, batch.edge_target, batch.num_nodes);
-  const ml::Var node_globals = tape.GatherRows(state.globals, batch.node_graph);
   ml::Var updated_nodes = node_update_->Apply(
-      tape, tape.ConcatCols({state.nodes, incoming, node_globals}));
+      tape, tape.ConcatGathered({{state.nodes, nullptr},
+                                 {incoming, nullptr},
+                                 {state.globals, &batch.node_graph}}));
   if (config_.use_residual) {
     updated_nodes = tape.Add(updated_nodes, state.nodes);
   }

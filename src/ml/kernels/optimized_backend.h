@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The optimized kernel backend: cache-blocked, register-tiled,
+ * transpose-aware MatMul micro-kernels with vectorizable (`#pragma omp
+ * simd`) inner loops, fused AXPY/scale/bias element-wise kernels, and
+ * optional parallelization of large matrix products across a
+ * base::ThreadPool.
+ *
+ * Inherits the reference loops for the ops where a tuned kernel buys
+ * nothing (transcendental element-wise maps, scatter/gather plumbing) and
+ * overrides everything on the training hot path. Equivalence with the
+ * reference backend across odd/prime/blocked shapes is enforced by
+ * tests/kernels_test.cc; results may differ from the reference by
+ * floating-point reassociation only.
+ */
+#ifndef GRANITE_ML_KERNELS_OPTIMIZED_BACKEND_H_
+#define GRANITE_ML_KERNELS_OPTIMIZED_BACKEND_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "ml/kernels/reference_backend.h"
+
+namespace granite::base {
+class ThreadPool;
+}  // namespace granite::base
+
+namespace granite::ml {
+
+/** Blocked/SIMD kernels; optionally parallel over a thread pool. */
+class OptimizedBackend : public ReferenceBackend {
+ public:
+  /** Matrix products with at least this many FLOPs (2*m*n*k) are sharded
+   * across the pool when one is attached. */
+  static constexpr std::size_t kDefaultParallelFlopThreshold = 1u << 21;
+
+  /**
+   * @param pool Optional worker pool for large matrix products. When
+   *   set, the backend must not be used from multiple threads at once
+   *   (ThreadPool fork-join is single-caller); the shared pool-free
+   *   instance returned by GetKernelBackend stays fully thread-safe.
+   * @param parallel_flop_threshold Minimum FLOP count before a product
+   *   is sharded across the pool.
+   */
+  explicit OptimizedBackend(
+      base::ThreadPool* pool = nullptr,
+      std::size_t parallel_flop_threshold = kDefaultParallelFlopThreshold);
+
+  const char* name() const override;
+
+ protected:
+  void DoMatMulAcc(const Tensor& a, const Tensor& b,
+                   Tensor& out) const override;
+  void DoMatMulTransposeAAcc(const Tensor& a, const Tensor& b,
+                             Tensor& out) const override;
+  void DoMatMulTransposeBAcc(const Tensor& a, const Tensor& b,
+                             Tensor& out) const override;
+  void DoLinearBias(const Tensor& a, const Tensor& w, const Tensor& bias,
+                    Tensor& out) const override;
+  void DoBinaryPointwise(BinaryOp op, const Tensor& a, const Tensor& b,
+                         Tensor& out) const override;
+  void DoScaleInto(const Tensor& a, float factor, Tensor& out) const override;
+  void DoAddScalarInto(const Tensor& a, float constant,
+                       Tensor& out) const override;
+  void DoAccumulateAdd(const Tensor& a, Tensor& out) const override;
+  void DoAccumulateScaled(const Tensor& a, float factor,
+                          Tensor& out) const override;
+  void DoAccumulateMul(const Tensor& a, const Tensor& b,
+                       Tensor& out) const override;
+  void DoUnaryForward(UnaryOp op, const Tensor& in, Tensor& out,
+                      float param) const override;
+  void DoAccumulateUnaryGrad(UnaryOp op, const Tensor& input,
+                             const Tensor& output, const Tensor& out_grad,
+                             Tensor& in_grad, float param) const override;
+  void DoAddRowBroadcastInto(const Tensor& a, const Tensor& bias,
+                             Tensor& out) const override;
+  void DoAccumulateColumnSums(const Tensor& a, Tensor& out_row) const override;
+
+ private:
+  /** Runs `rows` row-shards of a matmul on the pool when profitable,
+   * inline otherwise. `fn(begin, end)` must be safe for disjoint row
+   * ranges. */
+  void ParallelOverRows(std::size_t flops, int rows,
+                        const std::function<void(int, int)>& fn) const;
+
+  base::ThreadPool* pool_;
+  std::size_t parallel_flop_threshold_;
+};
+
+}  // namespace granite::ml
+
+#endif  // GRANITE_ML_KERNELS_OPTIMIZED_BACKEND_H_

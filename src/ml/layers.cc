@@ -60,9 +60,8 @@ Var Mlp::Apply(Tape& tape, Var input) const {
                                 tape.Param(norm_bias_));
   }
   for (std::size_t layer = 0; layer < weights_.size(); ++layer) {
-    activation = tape.AddRowBroadcast(
-        tape.MatMul(activation, tape.Param(weights_[layer])),
-        tape.Param(biases_[layer]));
+    activation = tape.Linear(activation, tape.Param(weights_[layer]),
+                             tape.Param(biases_[layer]));
     // ReLU after every hidden layer; the output layer stays linear.
     if (layer + 1 < weights_.size()) activation = tape.Relu(activation);
   }
@@ -102,11 +101,11 @@ LstmCell::State LstmCell::InitialState(Tape& tape, int batch_size) const {
 }
 
 Var LstmCell::Gate(Tape& tape, Var input, Var hidden, int gate_index) const {
-  Var preactivation =
-      tape.Add(tape.MatMul(input, tape.Param(input_weights_[gate_index])),
-               tape.MatMul(hidden, tape.Param(hidden_weights_[gate_index])));
-  return tape.AddRowBroadcast(preactivation,
-                              tape.Param(gate_biases_[gate_index]));
+  // x*Wx + b fused into one kernel; the recurrent product is added on top.
+  return tape.Add(
+      tape.Linear(input, tape.Param(input_weights_[gate_index]),
+                  tape.Param(gate_biases_[gate_index])),
+      tape.MatMul(hidden, tape.Param(hidden_weights_[gate_index])));
 }
 
 LstmCell::State LstmCell::Step(Tape& tape, Var input,

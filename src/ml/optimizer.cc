@@ -42,6 +42,9 @@ void AdamOptimizer::Step(ParameterStore& store) {
     }
     grad.SetZero();
   }
+  // Parameter values changed: invalidate anything keyed on model outputs
+  // (e.g. the PredictBatch LRU cache versions itself on this counter).
+  store.BumpGeneration();
 }
 
 double ClipGradientsByGlobalNorm(ParameterStore& store, double max_norm) {

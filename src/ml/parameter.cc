@@ -149,6 +149,7 @@ void ParameterStore::Load(const std::string& path) {
                                            sizeof(float)));
   }
   GRANITE_CHECK_MSG(file.good(), "truncated checkpoint: " << path);
+  BumpGeneration();
 }
 
 std::vector<Tensor> ParameterStore::SnapshotValues() const {
@@ -167,6 +168,7 @@ void ParameterStore::RestoreValues(const std::vector<Tensor>& snapshot) {
     GRANITE_CHECK_EQ(snapshot[i].cols(), parameters_[i]->value.cols());
     parameters_[i]->value = snapshot[i];
   }
+  BumpGeneration();
 }
 
 void ParameterStore::CopyValuesFrom(const ParameterStore& other) {
@@ -179,6 +181,7 @@ void ParameterStore::CopyValuesFrom(const ParameterStore& other) {
                      other.parameters_[i]->value.cols());
     parameters_[i]->value = other.parameters_[i]->value;
   }
+  BumpGeneration();
 }
 
 }  // namespace granite::ml

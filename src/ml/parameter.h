@@ -10,6 +10,8 @@
 #ifndef GRANITE_ML_PARAMETER_H_
 #define GRANITE_ML_PARAMETER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -108,6 +110,22 @@ class ParameterStore {
   void ZeroAllGrads();
 
   /**
+   * Monotone counter identifying the current set of parameter values.
+   * Every bulk value mutation — an optimizer step, a checkpoint load, a
+   * snapshot restore, a cross-store copy — bumps it, so caches keyed on
+   * model outputs (GraniteModel::PredictBatch) can detect staleness
+   * without being told explicitly. Reads are safe from any thread.
+   */
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /** Records a bulk mutation of parameter values (see generation()). */
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /**
    * Serializes all parameter values to a binary checkpoint file.
    * Format: magic, count, then (name, rows, cols, data) records.
    */
@@ -133,6 +151,7 @@ class ParameterStore {
   Rng rng_;
   std::vector<std::unique_ptr<Parameter>> parameters_;
   std::unordered_map<std::string, Parameter*> by_name_;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace granite::ml

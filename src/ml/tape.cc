@@ -1,12 +1,14 @@
 #include "ml/tape.h"
 
-#include <cmath>
+#include <algorithm>
 #include <utility>
 
 #include "base/logging.h"
-#include "ml/tensor_ops.h"
 
 namespace granite::ml {
+
+Tape::Tape(const KernelBackend* backend)
+    : backend_(backend != nullptr ? backend : &DefaultKernelBackend()) {}
 
 Var Tape::MakeNode(Tensor value, bool requires_grad,
                    std::function<void(Tape&, int)> backward,
@@ -38,7 +40,7 @@ bool Tape::RequiresGrad(Var v) const { return node(v).requires_grad; }
 void Tape::AccumulateGrad(int id, const Tensor& delta) {
   Node& target = nodes_[id];
   if (!target.requires_grad) return;
-  AccumulateAdd(delta, target.grad);
+  backend_->AccumulateAdd(delta, target.grad);
 }
 
 const Tensor& Tape::value(Var v) const { return node(v).value; }
@@ -62,7 +64,7 @@ Var Tape::Param(Parameter* parameter) {
                         tape.gradient_sink_ != nullptr
                             ? tape.gradient_sink_->GradFor(node.parameter)
                             : node.parameter->grad;
-                    AccumulateAdd(node.grad, dest);
+                    tape.backend_->AccumulateAdd(node.grad, dest);
                   },
                   parameter);
 }
@@ -70,7 +72,8 @@ Var Tape::Param(Parameter* parameter) {
 Var Tape::MatMul(Var a, Var b) {
   const Tensor& a_value = value(a);
   const Tensor& b_value = value(b);
-  Tensor out = ml::MatMul(a_value, b_value);
+  Tensor out(a_value.rows(), b_value.cols());
+  backend_->MatMulAcc(a_value, b_value, out);
   const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
   const int a_id = a.id();
   const int b_id = b.id();
@@ -81,19 +84,51 @@ Var Tape::MatMul(Var a, Var b) {
                     Node& b_node = tape.nodes_[b_id];
                     if (a_node.requires_grad) {
                       // dA = dC * B^T
-                      AccumulateMatMulTransposeB(out_grad, b_node.value,
-                                                 a_node.grad);
+                      tape.backend_->MatMulTransposeBAcc(
+                          out_grad, b_node.value, a_node.grad);
                     }
                     if (b_node.requires_grad) {
                       // dB = A^T * dC
-                      AccumulateMatMulTransposeA(a_node.value, out_grad,
-                                                 b_node.grad);
+                      tape.backend_->MatMulTransposeAAcc(
+                          a_node.value, out_grad, b_node.grad);
+                    }
+                  });
+}
+
+Var Tape::Linear(Var a, Var w, Var bias) {
+  const Tensor& a_value = value(a);
+  const Tensor& w_value = value(w);
+  Tensor out(a_value.rows(), w_value.cols());
+  backend_->LinearBias(a_value, w_value, value(bias), out);
+  const bool needs_grad =
+      RequiresGrad(a) || RequiresGrad(w) || RequiresGrad(bias);
+  const int a_id = a.id();
+  const int w_id = w.id();
+  const int bias_id = bias.id();
+  return MakeNode(std::move(out), needs_grad,
+                  [a_id, w_id, bias_id](Tape& tape, int self) {
+                    const Tensor& out_grad = tape.nodes_[self].grad;
+                    Node& a_node = tape.nodes_[a_id];
+                    Node& w_node = tape.nodes_[w_id];
+                    Node& bias_node = tape.nodes_[bias_id];
+                    if (a_node.requires_grad) {
+                      tape.backend_->MatMulTransposeBAcc(
+                          out_grad, w_node.value, a_node.grad);
+                    }
+                    if (w_node.requires_grad) {
+                      tape.backend_->MatMulTransposeAAcc(
+                          a_node.value, out_grad, w_node.grad);
+                    }
+                    if (bias_node.requires_grad) {
+                      tape.backend_->AccumulateColumnSums(out_grad,
+                                                          bias_node.grad);
                     }
                   });
 }
 
 Var Tape::Add(Var a, Var b) {
-  Tensor out = ml::Add(value(a), value(b));
+  Tensor out(value(a).rows(), value(a).cols());
+  backend_->BinaryPointwise(BinaryOp::kAdd, value(a), value(b), out);
   const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
   const int a_id = a.id();
   const int b_id = b.id();
@@ -106,7 +141,8 @@ Var Tape::Add(Var a, Var b) {
 }
 
 Var Tape::Sub(Var a, Var b) {
-  Tensor out = ml::Sub(value(a), value(b));
+  Tensor out(value(a).rows(), value(a).cols());
+  backend_->BinaryPointwise(BinaryOp::kSub, value(a), value(b), out);
   const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
   const int a_id = a.id();
   const int b_id = b.id();
@@ -115,13 +151,15 @@ Var Tape::Sub(Var a, Var b) {
                     const Tensor& out_grad = tape.nodes_[self].grad;
                     tape.AccumulateGrad(a_id, out_grad);
                     if (tape.nodes_[b_id].requires_grad) {
-                      AccumulateScaled(out_grad, -1.0f, tape.nodes_[b_id].grad);
+                      tape.backend_->AccumulateScaled(
+                          out_grad, -1.0f, tape.nodes_[b_id].grad);
                     }
                   });
 }
 
 Var Tape::Mul(Var a, Var b) {
-  Tensor out = ml::Mul(value(a), value(b));
+  Tensor out(value(a).rows(), value(a).cols());
+  backend_->BinaryPointwise(BinaryOp::kMul, value(a), value(b), out);
   const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
   const int a_id = a.id();
   const int b_id = b.id();
@@ -131,18 +169,19 @@ Var Tape::Mul(Var a, Var b) {
                     Node& a_node = tape.nodes_[a_id];
                     Node& b_node = tape.nodes_[b_id];
                     if (a_node.requires_grad) {
-                      AccumulateAdd(ml::Mul(out_grad, b_node.value),
-                                    a_node.grad);
+                      tape.backend_->AccumulateMul(out_grad, b_node.value,
+                                                   a_node.grad);
                     }
                     if (b_node.requires_grad) {
-                      AccumulateAdd(ml::Mul(out_grad, a_node.value),
-                                    b_node.grad);
+                      tape.backend_->AccumulateMul(out_grad, a_node.value,
+                                                   b_node.grad);
                     }
                   });
 }
 
 Var Tape::Div(Var a, Var b) {
-  Tensor out = ml::Div(value(a), value(b));
+  Tensor out(value(a).rows(), value(a).cols());
+  backend_->BinaryPointwise(BinaryOp::kDiv, value(a), value(b), out);
   const bool needs_grad = RequiresGrad(a) || RequiresGrad(b);
   const int a_id = a.id();
   const int b_id = b.id();
@@ -151,35 +190,44 @@ Var Tape::Div(Var a, Var b) {
         const Tensor& out_grad = tape.nodes_[self].grad;
         Node& a_node = tape.nodes_[a_id];
         Node& b_node = tape.nodes_[b_id];
+        const KernelBackend& kb = *tape.backend_;
         if (a_node.requires_grad) {
-          AccumulateAdd(ml::Div(out_grad, b_node.value), a_node.grad);
+          Tensor delta(out_grad.rows(), out_grad.cols());
+          kb.BinaryPointwise(BinaryOp::kDiv, out_grad, b_node.value, delta);
+          kb.AccumulateAdd(delta, a_node.grad);
         }
         if (b_node.requires_grad) {
           // d/db (a/b) = -a / b^2
-          Tensor delta = ml::Div(ml::Mul(out_grad, a_node.value),
-                                 ml::Mul(b_node.value, b_node.value));
-          AccumulateScaled(delta, -1.0f, b_node.grad);
+          Tensor numerator(out_grad.rows(), out_grad.cols());
+          kb.BinaryPointwise(BinaryOp::kMul, out_grad, a_node.value,
+                             numerator);
+          Tensor denominator(out_grad.rows(), out_grad.cols());
+          kb.BinaryPointwise(BinaryOp::kMul, b_node.value, b_node.value,
+                             denominator);
+          Tensor delta(out_grad.rows(), out_grad.cols());
+          kb.BinaryPointwise(BinaryOp::kDiv, numerator, denominator, delta);
+          kb.AccumulateScaled(delta, -1.0f, b_node.grad);
         }
       });
 }
 
 Var Tape::Scale(Var a, float factor) {
-  Tensor out = ml::Scale(value(a), factor);
+  Tensor out(value(a).rows(), value(a).cols());
+  backend_->ScaleInto(value(a), factor, out);
   const int a_id = a.id();
   return MakeNode(std::move(out), RequiresGrad(a),
                   [a_id, factor](Tape& tape, int self) {
                     if (!tape.nodes_[a_id].requires_grad) return;
-                    AccumulateScaled(tape.nodes_[self].grad, factor,
-                                     tape.nodes_[a_id].grad);
+                    tape.backend_->AccumulateScaled(tape.nodes_[self].grad,
+                                                    factor,
+                                                    tape.nodes_[a_id].grad);
                   });
 }
 
 Var Tape::AddConstant(Var a, float constant) {
   const Tensor& a_value = value(a);
   Tensor out(a_value.rows(), a_value.cols());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a_value.data()[i] + constant;
-  }
+  backend_->AddScalarInto(a_value, constant, out);
   const int a_id = a.id();
   return MakeNode(std::move(out), RequiresGrad(a),
                   [a_id](Tape& tape, int self) {
@@ -188,7 +236,8 @@ Var Tape::AddConstant(Var a, float constant) {
 }
 
 Var Tape::AddRowBroadcast(Var a, Var bias) {
-  Tensor out = ml::AddRowBroadcast(value(a), value(bias));
+  Tensor out(value(a).rows(), value(a).cols());
+  backend_->AddRowBroadcastInto(value(a), value(bias), out);
   const bool needs_grad = RequiresGrad(a) || RequiresGrad(bias);
   const int a_id = a.id();
   const int bias_id = bias.id();
@@ -199,29 +248,16 @@ Var Tape::AddRowBroadcast(Var a, Var bias) {
                     Node& bias_node = tape.nodes_[bias_id];
                     if (bias_node.requires_grad) {
                       // Sum adjoints over rows.
-                      for (int r = 0; r < out_grad.rows(); ++r) {
-                        const float* row = out_grad.row_data(r);
-                        float* grad = bias_node.grad.row_data(0);
-                        for (int c = 0; c < out_grad.cols(); ++c) {
-                          grad[c] += row[c];
-                        }
-                      }
+                      tape.backend_->AccumulateColumnSums(out_grad,
+                                                          bias_node.grad);
                     }
                   });
 }
 
 Var Tape::MulColumnBroadcast(Var a, Var column) {
   const Tensor& a_value = value(a);
-  const Tensor& column_value = value(column);
-  GRANITE_CHECK_EQ(column_value.cols(), 1);
-  GRANITE_CHECK_EQ(column_value.rows(), a_value.rows());
   Tensor out(a_value.rows(), a_value.cols());
-  for (int r = 0; r < a_value.rows(); ++r) {
-    const float scale = column_value.at(r, 0);
-    const float* source = a_value.row_data(r);
-    float* dest = out.row_data(r);
-    for (int c = 0; c < a_value.cols(); ++c) dest[c] = source[c] * scale;
-  }
+  backend_->MulColumnBroadcastInto(a_value, value(column), out);
   const bool needs_grad = RequiresGrad(a) || RequiresGrad(column);
   const int a_id = a.id();
   const int column_id = column.id();
@@ -231,160 +267,49 @@ Var Tape::MulColumnBroadcast(Var a, Var column) {
         Node& a_node = tape.nodes_[a_id];
         Node& column_node = tape.nodes_[column_id];
         if (a_node.requires_grad) {
-          for (int r = 0; r < out_grad.rows(); ++r) {
-            const float scale = column_node.value.at(r, 0);
-            const float* source = out_grad.row_data(r);
-            float* dest = a_node.grad.row_data(r);
-            for (int c = 0; c < out_grad.cols(); ++c) {
-              dest[c] += source[c] * scale;
-            }
-          }
+          tape.backend_->AccumulateMulColumnBroadcast(
+              out_grad, column_node.value, a_node.grad);
         }
         if (column_node.requires_grad) {
-          for (int r = 0; r < out_grad.rows(); ++r) {
-            const float* g_row = out_grad.row_data(r);
-            const float* a_row = a_node.value.row_data(r);
-            float total = 0.0f;
-            for (int c = 0; c < out_grad.cols(); ++c) {
-              total += g_row[c] * a_row[c];
-            }
-            column_node.grad.at(r, 0) += total;
-          }
+          tape.backend_->AccumulateRowDots(out_grad, a_node.value,
+                                           column_node.grad);
         }
       });
 }
 
-namespace {
+Var Tape::Relu(Var a) { return UnaryNode(a, UnaryOp::kRelu, 0.0f); }
 
-/** Shared implementation for element-wise unary ops whose derivative can be
- * computed from the input and output values. */
-template <typename ForwardFn>
-Tensor ElementwiseForward(const Tensor& input, ForwardFn fn) {
-  Tensor out(input.rows(), input.cols());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    out.data()[i] = fn(input.data()[i]);
-  }
-  return out;
-}
+Var Tape::Sigmoid(Var a) { return UnaryNode(a, UnaryOp::kSigmoid, 0.0f); }
 
-}  // namespace
+Var Tape::Tanh(Var a) { return UnaryNode(a, UnaryOp::kTanh, 0.0f); }
 
-Var Tape::Relu(Var a) {
-  Tensor out = ElementwiseForward(
-      value(a), [](float x) { return x > 0.0f ? x : 0.0f; });
-  const int a_id = a.id();
-  return MakeNode(std::move(out), RequiresGrad(a),
-                  [a_id](Tape& tape, int self) {
-                    Node& a_node = tape.nodes_[a_id];
-                    if (!a_node.requires_grad) return;
-                    const Tensor& out_grad = tape.nodes_[self].grad;
-                    for (std::size_t i = 0; i < out_grad.size(); ++i) {
-                      if (a_node.value.data()[i] > 0.0f) {
-                        a_node.grad.data()[i] += out_grad.data()[i];
-                      }
-                    }
-                  });
-}
+Var Tape::Abs(Var a) { return UnaryNode(a, UnaryOp::kAbs, 0.0f); }
 
-Var Tape::Sigmoid(Var a) {
-  Tensor out = ElementwiseForward(
-      value(a), [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
-  const int a_id = a.id();
-  return MakeNode(std::move(out), RequiresGrad(a),
-                  [a_id](Tape& tape, int self) {
-                    Node& a_node = tape.nodes_[a_id];
-                    if (!a_node.requires_grad) return;
-                    const Node& self_node = tape.nodes_[self];
-                    for (std::size_t i = 0; i < self_node.grad.size(); ++i) {
-                      const float y = self_node.value.data()[i];
-                      a_node.grad.data()[i] +=
-                          self_node.grad.data()[i] * y * (1.0f - y);
-                    }
-                  });
-}
-
-Var Tape::Tanh(Var a) {
-  Tensor out =
-      ElementwiseForward(value(a), [](float x) { return std::tanh(x); });
-  const int a_id = a.id();
-  return MakeNode(std::move(out), RequiresGrad(a),
-                  [a_id](Tape& tape, int self) {
-                    Node& a_node = tape.nodes_[a_id];
-                    if (!a_node.requires_grad) return;
-                    const Node& self_node = tape.nodes_[self];
-                    for (std::size_t i = 0; i < self_node.grad.size(); ++i) {
-                      const float y = self_node.value.data()[i];
-                      a_node.grad.data()[i] +=
-                          self_node.grad.data()[i] * (1.0f - y * y);
-                    }
-                  });
-}
-
-Var Tape::Abs(Var a) {
-  Tensor out =
-      ElementwiseForward(value(a), [](float x) { return std::abs(x); });
-  const int a_id = a.id();
-  return MakeNode(std::move(out), RequiresGrad(a),
-                  [a_id](Tape& tape, int self) {
-                    Node& a_node = tape.nodes_[a_id];
-                    if (!a_node.requires_grad) return;
-                    const Tensor& out_grad = tape.nodes_[self].grad;
-                    for (std::size_t i = 0; i < out_grad.size(); ++i) {
-                      const float x = a_node.value.data()[i];
-                      const float sign = x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
-                      a_node.grad.data()[i] += out_grad.data()[i] * sign;
-                    }
-                  });
-}
-
-Var Tape::Square(Var a) {
-  Tensor out = ElementwiseForward(value(a), [](float x) { return x * x; });
-  const int a_id = a.id();
-  return MakeNode(std::move(out), RequiresGrad(a),
-                  [a_id](Tape& tape, int self) {
-                    Node& a_node = tape.nodes_[a_id];
-                    if (!a_node.requires_grad) return;
-                    const Tensor& out_grad = tape.nodes_[self].grad;
-                    for (std::size_t i = 0; i < out_grad.size(); ++i) {
-                      a_node.grad.data()[i] +=
-                          out_grad.data()[i] * 2.0f * a_node.value.data()[i];
-                    }
-                  });
-}
+Var Tape::Square(Var a) { return UnaryNode(a, UnaryOp::kSquare, 0.0f); }
 
 Var Tape::Huber(Var a, float delta) {
   GRANITE_CHECK_GT(delta, 0.0f);
-  Tensor out = ElementwiseForward(value(a), [delta](float x) {
-    const float absolute = std::abs(x);
-    if (absolute <= delta) return 0.5f * x * x;
-    return delta * (absolute - 0.5f * delta);
-  });
+  return UnaryNode(a, UnaryOp::kHuber, delta);
+}
+
+Var Tape::UnaryNode(Var a, UnaryOp op, float param) {
+  const Tensor& a_value = value(a);
+  Tensor out(a_value.rows(), a_value.cols());
+  backend_->UnaryForward(op, a_value, out, param);
   const int a_id = a.id();
   return MakeNode(std::move(out), RequiresGrad(a),
-                  [a_id, delta](Tape& tape, int self) {
+                  [a_id, op, param](Tape& tape, int self) {
                     Node& a_node = tape.nodes_[a_id];
                     if (!a_node.requires_grad) return;
-                    const Tensor& out_grad = tape.nodes_[self].grad;
-                    for (std::size_t i = 0; i < out_grad.size(); ++i) {
-                      const float x = a_node.value.data()[i];
-                      // Derivative: x inside the quadratic region, else
-                      // delta * sign(x).
-                      float derivative = x;
-                      if (x > delta) derivative = delta;
-                      if (x < -delta) derivative = -delta;
-                      a_node.grad.data()[i] += out_grad.data()[i] * derivative;
-                    }
+                    const Node& self_node = tape.nodes_[self];
+                    tape.backend_->AccumulateUnaryGrad(
+                        op, a_node.value, self_node.value, self_node.grad,
+                        a_node.grad, param);
                   });
 }
 
 Var Tape::LayerNorm(Var x, Var gain, Var bias, float epsilon) {
   const Tensor& x_value = value(x);
-  const Tensor& gain_value = value(gain);
-  const Tensor& bias_value = value(bias);
-  GRANITE_CHECK_EQ(gain_value.rows(), 1);
-  GRANITE_CHECK_EQ(bias_value.rows(), 1);
-  GRANITE_CHECK_EQ(gain_value.cols(), x_value.cols());
-  GRANITE_CHECK_EQ(bias_value.cols(), x_value.cols());
   const int rows = x_value.rows();
   const int cols = x_value.cols();
 
@@ -393,26 +318,8 @@ Var Tape::LayerNorm(Var x, Var gain, Var bias, float epsilon) {
   Tensor normalized(rows, cols);
   std::vector<float> inv_stddev(rows);
   Tensor out(rows, cols);
-  for (int r = 0; r < rows; ++r) {
-    const float* x_row = x_value.row_data(r);
-    double mean = 0.0;
-    for (int c = 0; c < cols; ++c) mean += x_row[c];
-    mean /= cols;
-    double variance = 0.0;
-    for (int c = 0; c < cols; ++c) {
-      const double centered = x_row[c] - mean;
-      variance += centered * centered;
-    }
-    variance /= cols;
-    const float inv = 1.0f / std::sqrt(static_cast<float>(variance) + epsilon);
-    inv_stddev[r] = inv;
-    float* norm_row = normalized.row_data(r);
-    float* out_row = out.row_data(r);
-    for (int c = 0; c < cols; ++c) {
-      norm_row[c] = (x_row[c] - static_cast<float>(mean)) * inv;
-      out_row[c] = norm_row[c] * gain_value.at(0, c) + bias_value.at(0, c);
-    }
-  }
+  backend_->LayerNormForward(x_value, value(gain), value(bias), epsilon, out,
+                             normalized, inv_stddev);
 
   const bool needs_grad =
       RequiresGrad(x) || RequiresGrad(gain) || RequiresGrad(bias);
@@ -427,130 +334,134 @@ Var Tape::LayerNorm(Var x, Var gain, Var bias, float epsilon) {
         Node& x_node = tape.nodes_[x_id];
         Node& gain_node = tape.nodes_[gain_id];
         Node& bias_node = tape.nodes_[bias_id];
-        const int rows = out_grad.rows();
-        const int cols = out_grad.cols();
-        for (int r = 0; r < rows; ++r) {
-          const float* g_row = out_grad.row_data(r);
-          const float* n_row = normalized.row_data(r);
-          if (bias_node.requires_grad) {
-            float* b_grad = bias_node.grad.row_data(0);
-            for (int c = 0; c < cols; ++c) b_grad[c] += g_row[c];
-          }
-          if (gain_node.requires_grad) {
-            float* g_grad = gain_node.grad.row_data(0);
-            for (int c = 0; c < cols; ++c) g_grad[c] += g_row[c] * n_row[c];
-          }
-          if (x_node.requires_grad) {
-            // dL/dxhat = dL/dy * gain. Then the standard layer-norm
-            // backward: dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat))
-            //                * inv_stddev.
-            const float* gain_row = gain_node.value.row_data(0);
-            double mean_dxhat = 0.0;
-            double mean_dxhat_xhat = 0.0;
-            for (int c = 0; c < cols; ++c) {
-              const double dxhat = static_cast<double>(g_row[c]) * gain_row[c];
-              mean_dxhat += dxhat;
-              mean_dxhat_xhat += dxhat * n_row[c];
-            }
-            mean_dxhat /= cols;
-            mean_dxhat_xhat /= cols;
-            float* x_grad = x_node.grad.row_data(r);
-            for (int c = 0; c < cols; ++c) {
-              const double dxhat = static_cast<double>(g_row[c]) * gain_row[c];
-              x_grad[c] += static_cast<float>(
-                  (dxhat - mean_dxhat - n_row[c] * mean_dxhat_xhat) *
-                  inv_stddev[r]);
-            }
-          }
-        }
+        tape.backend_->LayerNormBackward(
+            out_grad, gain_node.value, normalized, inv_stddev,
+            x_node.requires_grad ? &x_node.grad : nullptr,
+            gain_node.requires_grad ? &gain_node.grad : nullptr,
+            bias_node.requires_grad ? &bias_node.grad : nullptr);
       });
 }
 
 Var Tape::GatherRows(Var table, std::vector<int> indices) {
-  Tensor out = ml::GatherRows(value(table), indices);
+  const Tensor& table_value = value(table);
+  Tensor out(static_cast<int>(indices.size()), table_value.cols());
+  backend_->GatherRowsAcc(table_value, indices, out);
   const int table_id = table.id();
   return MakeNode(std::move(out), RequiresGrad(table),
                   [table_id, indices = std::move(indices)](Tape& tape,
                                                            int self) {
                     Node& table_node = tape.nodes_[table_id];
                     if (!table_node.requires_grad) return;
-                    const Tensor& out_grad = tape.nodes_[self].grad;
-                    for (std::size_t i = 0; i < indices.size(); ++i) {
-                      const float* source =
-                          out_grad.row_data(static_cast<int>(i));
-                      float* dest = table_node.grad.row_data(indices[i]);
-                      for (int c = 0; c < out_grad.cols(); ++c) {
-                        dest[c] += source[c];
-                      }
-                    }
+                    tape.backend_->ScatterAddRows(tape.nodes_[self].grad,
+                                                  indices, table_node.grad);
                   });
 }
 
 Var Tape::SegmentSum(Var rows, std::vector<int> segment_ids,
                      int num_segments) {
-  Tensor out = SegmentSumRows(value(rows), segment_ids, num_segments);
+  const Tensor& rows_value = value(rows);
+  GRANITE_CHECK_EQ(segment_ids.size(),
+                   static_cast<std::size_t>(rows_value.rows()));
+  Tensor out(num_segments, rows_value.cols());
+  backend_->ScatterAddRows(rows_value, segment_ids, out);
   const int rows_id = rows.id();
   return MakeNode(std::move(out), RequiresGrad(rows),
                   [rows_id, segment_ids = std::move(segment_ids)](Tape& tape,
                                                                   int self) {
                     Node& rows_node = tape.nodes_[rows_id];
                     if (!rows_node.requires_grad) return;
-                    const Tensor& out_grad = tape.nodes_[self].grad;
-                    for (std::size_t r = 0; r < segment_ids.size(); ++r) {
-                      const float* source = out_grad.row_data(segment_ids[r]);
-                      float* dest = rows_node.grad.row_data(static_cast<int>(r));
-                      for (int c = 0; c < out_grad.cols(); ++c) {
-                        dest[c] += source[c];
-                      }
-                    }
+                    // Each input row's adjoint is its segment's adjoint.
+                    tape.backend_->GatherRowsAcc(tape.nodes_[self].grad,
+                                                 segment_ids,
+                                                 rows_node.grad);
                   });
 }
 
 Var Tape::ConcatCols(const std::vector<Var>& parts) {
   GRANITE_CHECK(!parts.empty());
-  std::vector<Tensor> part_values;
-  part_values.reserve(parts.size());
+  std::vector<GatherSpec> specs;
+  specs.reserve(parts.size());
+  for (Var part : parts) specs.push_back(GatherSpec{part, nullptr});
+  return ConcatGathered(specs);
+}
+
+Var Tape::ConcatGathered(const std::vector<GatherSpec>& parts) {
+  GRANITE_CHECK(!parts.empty());
+  int rows = -1;
+  int total_cols = 0;
   bool needs_grad = false;
-  std::vector<int> part_ids;
-  std::vector<int> part_cols;
-  for (Var part : parts) {
-    part_values.push_back(value(part));
-    needs_grad = needs_grad || RequiresGrad(part);
-    part_ids.push_back(part.id());
-    part_cols.push_back(value(part).cols());
+  for (const GatherSpec& part : parts) {
+    const Tensor& source = value(part.source);
+    const int part_rows = part.indices != nullptr
+                              ? static_cast<int>(part.indices->size())
+                              : source.rows();
+    if (rows < 0) rows = part_rows;
+    GRANITE_CHECK_EQ(part_rows, rows);
+    total_cols += source.cols();
+    needs_grad = needs_grad || RequiresGrad(part.source);
   }
-  Tensor out = ml::ConcatCols(part_values);
+
+  Tensor out(rows, total_cols);
+  // Backward-closure state: node id, column offset/width, whether the
+  // part was gathered, and a copy of its gather indices.
+  std::vector<int> part_ids;
+  std::vector<int> part_offsets;
+  std::vector<int> part_cols;
+  std::vector<char> part_gathered;
+  std::vector<std::vector<int>> part_indices;
+  part_ids.reserve(parts.size());
+  part_offsets.reserve(parts.size());
+  part_cols.reserve(parts.size());
+  part_gathered.reserve(parts.size());
+  part_indices.reserve(parts.size());
+  int offset = 0;
+  for (const GatherSpec& part : parts) {
+    const Tensor& source = value(part.source);
+    if (part.indices != nullptr) {
+      backend_->GatherRowsAcc(source, *part.indices, out, offset);
+      part_indices.push_back(*part.indices);
+    } else {
+      backend_->AccumulateColumnBlock(source, 0, out, offset, source.cols());
+      part_indices.emplace_back();
+    }
+    part_gathered.push_back(part.indices != nullptr ? 1 : 0);
+    part_ids.push_back(part.source.id());
+    part_offsets.push_back(offset);
+    part_cols.push_back(source.cols());
+    offset += source.cols();
+  }
+
   return MakeNode(
       std::move(out), needs_grad,
-      [part_ids = std::move(part_ids),
-       part_cols = std::move(part_cols)](Tape& tape, int self) {
+      [part_ids = std::move(part_ids), part_offsets = std::move(part_offsets),
+       part_cols = std::move(part_cols),
+       part_gathered = std::move(part_gathered),
+       part_indices = std::move(part_indices)](Tape& tape, int self) {
         const Tensor& out_grad = tape.nodes_[self].grad;
-        int offset = 0;
         for (std::size_t p = 0; p < part_ids.size(); ++p) {
           Node& part_node = tape.nodes_[part_ids[p]];
-          if (part_node.requires_grad) {
-            for (int r = 0; r < out_grad.rows(); ++r) {
-              const float* source = out_grad.row_data(r) + offset;
-              float* dest = part_node.grad.row_data(r);
-              for (int c = 0; c < part_cols[p]; ++c) dest[c] += source[c];
-            }
+          if (!part_node.requires_grad) continue;
+          if (part_gathered[p] != 0) {
+            tape.backend_->ScatterAddRows(out_grad, part_indices[p],
+                                          part_node.grad, part_offsets[p]);
+          } else {
+            tape.backend_->AccumulateColumnBlock(out_grad, part_offsets[p],
+                                                 part_node.grad, 0,
+                                                 part_cols[p]);
           }
-          offset += part_cols[p];
         }
       });
 }
 
 Var Tape::SumAll(Var a) {
-  Tensor out = Tensor::Scalar(static_cast<float>(ml::SumAll(value(a))));
+  Tensor out = Tensor::Scalar(static_cast<float>(backend_->SumAll(value(a))));
   const int a_id = a.id();
   return MakeNode(std::move(out), RequiresGrad(a),
                   [a_id](Tape& tape, int self) {
                     Node& a_node = tape.nodes_[a_id];
                     if (!a_node.requires_grad) return;
-                    const float seed = tape.nodes_[self].grad.scalar();
-                    for (std::size_t i = 0; i < a_node.grad.size(); ++i) {
-                      a_node.grad.data()[i] += seed;
-                    }
+                    tape.backend_->AccumulateConstant(
+                        tape.nodes_[self].grad.scalar(), a_node.grad);
                   });
 }
 
@@ -558,18 +469,17 @@ Var Tape::MeanAll(Var a) {
   const Tensor& a_value = value(a);
   const float inverse_count =
       1.0f / static_cast<float>(std::max<std::size_t>(1, a_value.size()));
-  Tensor out = Tensor::Scalar(
-      static_cast<float>(ml::SumAll(a_value)) * inverse_count);
+  Tensor out =
+      Tensor::Scalar(static_cast<float>(backend_->SumAll(a_value)) *
+                     inverse_count);
   const int a_id = a.id();
   return MakeNode(std::move(out), RequiresGrad(a),
                   [a_id, inverse_count](Tape& tape, int self) {
                     Node& a_node = tape.nodes_[a_id];
                     if (!a_node.requires_grad) return;
-                    const float seed =
-                        tape.nodes_[self].grad.scalar() * inverse_count;
-                    for (std::size_t i = 0; i < a_node.grad.size(); ++i) {
-                      a_node.grad.data()[i] += seed;
-                    }
+                    tape.backend_->AccumulateConstant(
+                        tape.nodes_[self].grad.scalar() * inverse_count,
+                        a_node.grad);
                   });
 }
 

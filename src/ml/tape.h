@@ -13,6 +13,11 @@
  * concat / MLP / layer norm), the Ithemal LSTMs (sigmoid / tanh / masking)
  * and the paper's five loss functions (§5.2) require. Every op's gradient
  * is verified against central finite differences in tests/ml_grad_test.cc.
+ *
+ * The tape records *what* to compute; *how* each kernel executes —
+ * forward ops and backward accumulations alike — is delegated to the
+ * ml::KernelBackend the tape was constructed with (reference loops or
+ * blocked/SIMD kernels; see ml/kernels/kernel_backend.h).
  */
 #ifndef GRANITE_ML_TAPE_H_
 #define GRANITE_ML_TAPE_H_
@@ -20,6 +25,7 @@
 #include <functional>
 #include <vector>
 
+#include "ml/kernels/kernel_backend.h"
 #include "ml/parameter.h"
 #include "ml/tensor.h"
 
@@ -49,12 +55,31 @@ class Var {
   int id_ = -1;
 };
 
+/**
+ * One column block of a ConcatGathered output: rows of `source`, either
+ * taken as-is (`indices == nullptr`) or gathered by row index. The
+ * pointed-to index vector only needs to live for the duration of the
+ * ConcatGathered call (the tape copies what the backward pass needs).
+ */
+struct GatherSpec {
+  Var source;
+  const std::vector<int>* indices = nullptr;
+};
+
 /** Records operations and computes gradients by reverse accumulation. */
 class Tape {
  public:
-  Tape() = default;
+  /**
+   * @param backend Executes every kernel recorded on this tape; nullptr
+   *   selects the process default (DefaultKernelBackend()). Must outlive
+   *   the tape.
+   */
+  explicit Tape(const KernelBackend* backend = nullptr);
   Tape(const Tape&) = delete;
   Tape& operator=(const Tape&) = delete;
+
+  /** The kernel backend executing this tape's math. */
+  const KernelBackend& backend() const { return *backend_; }
 
   // ---- Leaves -----------------------------------------------------------
 
@@ -69,6 +94,13 @@ class Tape {
 
   /** Matrix product a[m,k] * b[k,n]. */
   Var MatMul(Var a, Var b);
+
+  /**
+   * Fused linear layer a[m,k] * w[k,n] + bias[1,n] (bias broadcast over
+   * rows): one kernel instead of a MatMul node plus an AddRowBroadcast
+   * node, saving a full pass over the activations in both directions.
+   */
+  Var Linear(Var a, Var w, Var bias);
 
   /** Element-wise sum; shapes must match. */
   Var Add(Var a, Var b);
@@ -135,6 +167,15 @@ class Tape {
   /** Horizontal concatenation of equal-height matrices. */
   Var ConcatCols(const std::vector<Var>& parts);
 
+  /**
+   * Fused gather + horizontal concatenation: each part contributes one
+   * column block, gathered by row indices when its GatherSpec carries
+   * them. Equivalent to ConcatCols over per-part GatherRows results but
+   * writes every block straight into the concatenated output, halving
+   * the memory traffic of the graph-network feature assembly.
+   */
+  Var ConcatGathered(const std::vector<GatherSpec>& parts);
+
   /** Sum of all elements, as a 1x1 tensor. */
   Var SumAll(Var a);
 
@@ -184,12 +225,16 @@ class Tape {
                std::function<void(Tape&, int)> backward,
                Parameter* parameter = nullptr);
 
+  /** Shared node builder for the element-wise unary ops. */
+  Var UnaryNode(Var a, UnaryOp op, float param);
+
   Node& node(Var v);
   const Node& node(Var v) const;
   bool RequiresGrad(Var v) const;
   /** Adds `delta` into the adjoint of node `id` if it requires grad. */
   void AccumulateGrad(int id, const Tensor& delta);
 
+  const KernelBackend* backend_;
   std::vector<Node> nodes_;
   GradientSink* gradient_sink_ = nullptr;
 };

@@ -3,159 +3,75 @@
 #include <cmath>
 
 #include "base/logging.h"
+#include "ml/kernels/kernel_backend.h"
 
 namespace granite::ml {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   Tensor out(a.rows(), b.cols());
-  AccumulateMatMul(a, b, out);
+  DefaultKernelBackend().MatMulAcc(a, b, out);
   return out;
 }
 
 void AccumulateMatMul(const Tensor& a, const Tensor& b, Tensor& out) {
-  GRANITE_CHECK_EQ(a.cols(), b.rows());
-  GRANITE_CHECK_EQ(out.rows(), a.rows());
-  GRANITE_CHECK_EQ(out.cols(), b.cols());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
-  // `b` and `out`, which is the cache-friendly layout for row-major data.
-  for (int i = 0; i < m; ++i) {
-    const float* a_row = a.row_data(i);
-    float* out_row = out.row_data(i);
-    for (int p = 0; p < k; ++p) {
-      const float a_value = a_row[p];
-      if (a_value == 0.0f) continue;
-      const float* b_row = b.row_data(p);
-      for (int j = 0; j < n; ++j) out_row[j] += a_value * b_row[j];
-    }
-  }
+  DefaultKernelBackend().MatMulAcc(a, b, out);
 }
 
 void AccumulateMatMulTransposeA(const Tensor& a, const Tensor& b,
                                 Tensor& out) {
-  GRANITE_CHECK_EQ(a.rows(), b.rows());
-  GRANITE_CHECK_EQ(out.rows(), a.cols());
-  GRANITE_CHECK_EQ(out.cols(), b.cols());
-  const int k = a.rows();
-  const int m = a.cols();
-  const int n = b.cols();
-  for (int p = 0; p < k; ++p) {
-    const float* a_row = a.row_data(p);
-    const float* b_row = b.row_data(p);
-    for (int i = 0; i < m; ++i) {
-      const float a_value = a_row[i];
-      if (a_value == 0.0f) continue;
-      float* out_row = out.row_data(i);
-      for (int j = 0; j < n; ++j) out_row[j] += a_value * b_row[j];
-    }
-  }
+  DefaultKernelBackend().MatMulTransposeAAcc(a, b, out);
 }
 
 void AccumulateMatMulTransposeB(const Tensor& a, const Tensor& b,
                                 Tensor& out) {
-  GRANITE_CHECK_EQ(a.cols(), b.cols());
-  GRANITE_CHECK_EQ(out.rows(), a.rows());
-  GRANITE_CHECK_EQ(out.cols(), b.rows());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* a_row = a.row_data(i);
-    float* out_row = out.row_data(i);
-    for (int j = 0; j < n; ++j) {
-      const float* b_row = b.row_data(j);
-      float sum = 0.0f;
-      for (int p = 0; p < k; ++p) sum += a_row[p] * b_row[p];
-      out_row[j] += sum;
-    }
-  }
+  DefaultKernelBackend().MatMulTransposeBAcc(a, b, out);
 }
-
-namespace {
-
-void CheckSameShape(const Tensor& a, const Tensor& b) {
-  GRANITE_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
-                    "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
-                                       << b.rows() << "x" << b.cols());
-}
-
-}  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b);
   Tensor out(a.rows(), a.cols());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] + b.data()[i];
-  }
+  DefaultKernelBackend().BinaryPointwise(BinaryOp::kAdd, a, b, out);
   return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b);
   Tensor out(a.rows(), a.cols());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] - b.data()[i];
-  }
+  DefaultKernelBackend().BinaryPointwise(BinaryOp::kSub, a, b, out);
   return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b);
   Tensor out(a.rows(), a.cols());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] * b.data()[i];
-  }
+  DefaultKernelBackend().BinaryPointwise(BinaryOp::kMul, a, b, out);
   return out;
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b);
   Tensor out(a.rows(), a.cols());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] / b.data()[i];
-  }
+  DefaultKernelBackend().BinaryPointwise(BinaryOp::kDiv, a, b, out);
   return out;
 }
 
 Tensor Scale(const Tensor& a, float factor) {
   Tensor out(a.rows(), a.cols());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = a.data()[i] * factor;
-  }
+  DefaultKernelBackend().ScaleInto(a, factor, out);
   return out;
 }
 
 void AccumulateAdd(const Tensor& a, Tensor& out) {
-  CheckSameShape(a, out);
-  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += a.data()[i];
+  DefaultKernelBackend().AccumulateAdd(a, out);
 }
 
 void AccumulateScaled(const Tensor& a, float factor, Tensor& out) {
-  CheckSameShape(a, out);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] += a.data()[i] * factor;
-  }
+  DefaultKernelBackend().AccumulateScaled(a, factor, out);
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
-  GRANITE_CHECK_EQ(bias.rows(), 1);
-  GRANITE_CHECK_EQ(bias.cols(), a.cols());
   Tensor out(a.rows(), a.cols());
-  for (int r = 0; r < a.rows(); ++r) {
-    const float* a_row = a.row_data(r);
-    float* out_row = out.row_data(r);
-    for (int c = 0; c < a.cols(); ++c) out_row[c] = a_row[c] + bias.at(0, c);
-  }
+  DefaultKernelBackend().AddRowBroadcastInto(a, bias, out);
   return out;
 }
 
-double SumAll(const Tensor& a) {
-  double total = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) total += a.data()[i];
-  return total;
-}
+double SumAll(const Tensor& a) { return DefaultKernelBackend().SumAll(a); }
 
 double Norm(const Tensor& a) {
   double total = 0.0;
@@ -167,13 +83,7 @@ double Norm(const Tensor& a) {
 
 Tensor GatherRows(const Tensor& table, const std::vector<int>& indices) {
   Tensor out(static_cast<int>(indices.size()), table.cols());
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const int index = indices[i];
-    GRANITE_CHECK(index >= 0 && index < table.rows());
-    const float* source = table.row_data(index);
-    float* dest = out.row_data(static_cast<int>(i));
-    for (int c = 0; c < table.cols(); ++c) dest[c] = source[c];
-  }
+  DefaultKernelBackend().GatherRowsAcc(table, indices, out);
   return out;
 }
 
@@ -181,13 +91,7 @@ Tensor SegmentSumRows(const Tensor& rows, const std::vector<int>& segment_ids,
                       int num_segments) {
   GRANITE_CHECK_EQ(segment_ids.size(), static_cast<std::size_t>(rows.rows()));
   Tensor out(num_segments, rows.cols());
-  for (int r = 0; r < rows.rows(); ++r) {
-    const int segment = segment_ids[r];
-    GRANITE_CHECK(segment >= 0 && segment < num_segments);
-    const float* source = rows.row_data(r);
-    float* dest = out.row_data(segment);
-    for (int c = 0; c < rows.cols(); ++c) dest[c] += source[c];
-  }
+  DefaultKernelBackend().ScatterAddRows(rows, segment_ids, out);
   return out;
 }
 
@@ -199,15 +103,12 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     GRANITE_CHECK_EQ(part.rows(), rows);
     total_cols += part.cols();
   }
+  const KernelBackend& backend = DefaultKernelBackend();
   Tensor out(rows, total_cols);
-  for (int r = 0; r < rows; ++r) {
-    float* dest = out.row_data(r);
-    int offset = 0;
-    for (const Tensor& part : parts) {
-      const float* source = part.row_data(r);
-      for (int c = 0; c < part.cols(); ++c) dest[offset + c] = source[c];
-      offset += part.cols();
-    }
+  int offset = 0;
+  for (const Tensor& part : parts) {
+    backend.AccumulateColumnBlock(part, 0, out, offset, part.cols());
+    offset += part.cols();
   }
   return out;
 }

@@ -1,9 +1,14 @@
 /**
  * @file
- * Dense linear-algebra kernels shared by the forward and backward passes of
- * the autodiff tape. All functions check shapes and either return fresh
- * tensors or accumulate into an output argument (the `Accumulate*` family,
- * used for gradient accumulation).
+ * Dense linear-algebra entry points shared by the forward and backward
+ * passes of the autodiff tape. All functions check shapes and either
+ * return fresh tensors or accumulate into an output argument (the
+ * `Accumulate*` family, used for gradient accumulation).
+ *
+ * These are convenience shims over the process-default KernelBackend
+ * (see ml/kernels/kernel_backend.h); code that needs an explicit backend
+ * (the tape, the model, the trainer) calls the backend interface
+ * directly.
  */
 #ifndef GRANITE_ML_TENSOR_OPS_H_
 #define GRANITE_ML_TENSOR_OPS_H_

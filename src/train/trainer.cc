@@ -32,11 +32,21 @@ Trainer::Trainer(ForwardFn forward, ml::ParameterStore* parameters,
     : forward_(std::move(forward)),
       parameters_(parameters),
       config_(config),
+      backend_(&ml::GetKernelBackend(config.kernel_backend)),
       optimizer_(config.adam) {
   GRANITE_CHECK(parameters_ != nullptr);
   GRANITE_CHECK(!config_.tasks.empty());
   GRANITE_CHECK_GT(config_.batch_size, 0);
   GRANITE_CHECK_GE(config_.num_workers, 1);
+}
+
+void Trainer::WithPool(
+    const std::function<void(base::ThreadPool&)>& fn) const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<base::ThreadPool>(config_.num_workers);
+  }
+  fn(*pool_);
 }
 
 void Trainer::SetGraphPath(GraphForwardFn graph_forward,
@@ -57,8 +67,7 @@ std::vector<ml::Var> Trainer::ForwardShard(
   return forward_(tape, blocks);
 }
 
-double Trainer::TrainStep(base::ThreadPool& pool,
-                          const dataset::Dataset& data,
+double Trainer::TrainStep(const dataset::Dataset& data,
                           const dataset::PreparedBatch& batch) {
   const std::size_t batch_rows = batch.indices.size();
   const std::size_t num_shards = batch.shards.size();
@@ -69,11 +78,11 @@ double Trainer::TrainStep(base::ThreadPool& pool,
   // synchronization is needed beyond the fork/join barrier.
   std::vector<ml::GradientSink> sinks(num_shards);
   std::vector<double> weighted_losses(num_shards, 0.0);
-  pool.ParallelFor(0, num_shards, [&](std::size_t s) {
+  const auto run_shard = [&](std::size_t s) {
     const dataset::PreparedBatch::Shard& shard = batch.shards[s];
     const float weight = static_cast<float>(shard.end - shard.begin) /
                          static_cast<float>(batch_rows);
-    ml::Tape tape;
+    ml::Tape tape(backend_);
     tape.set_gradient_sink(&sinks[s]);
     const std::vector<ml::Var> predictions = ForwardShard(tape, batch, shard);
     GRANITE_CHECK_GE(predictions.size(), config_.tasks.size());
@@ -100,6 +109,9 @@ double Trainer::TrainStep(base::ThreadPool& pool,
     if (weight != 1.0f) shard_loss = tape.Scale(shard_loss, weight);
     tape.Backward(shard_loss);
     weighted_losses[s] = tape.value(shard_loss).scalar();
+  };
+  WithPool([&](base::ThreadPool& pool) {
+    pool.ParallelFor(0, num_shards, run_shard);
   });
 
   // Phase 2 (sequential, deterministic order): reduce per-worker
@@ -116,7 +128,6 @@ TrainingResult Trainer::Train(const dataset::Dataset& train_data,
                               const dataset::Dataset& validation_data) {
   GRANITE_CHECK(!train_data.empty());
   const int num_shards = config_.num_workers;
-  base::ThreadPool pool(num_shards);
   const dataset::EncodeFn encode = graph_forward_ ? encode_ : nullptr;
 
   // With prefetch, sampling + sharding + encoding of batch k+1 overlap
@@ -152,7 +163,7 @@ TrainingResult Trainer::Train(const dataset::Dataset& train_data,
         pipeline ? pipeline->Next()
                  : dataset::PrepareBatch(train_data, sampler->NextBatch(),
                                          num_shards, encode);
-    const double loss_value = TrainStep(pool, train_data, batch);
+    const double loss_value = TrainStep(train_data, batch);
 
     result.final_train_loss = loss_value;
     if (step % loss_sample_every == 0 || step == 1) {
@@ -194,9 +205,8 @@ std::vector<double> Trainer::Predict(const dataset::Dataset& data,
   std::vector<double> predictions(data.size());
 
   // Inference batches are independent (parameters are read-only here), so
-  // they shard across the worker pool like training batches do.
-  base::ThreadPool pool(config_.num_workers);
-  pool.ParallelFor(0, num_batches, [&](std::size_t b) {
+  // they shard across the shared worker pool like training batches do.
+  const auto run_batch = [&](std::size_t b) {
     const std::size_t begin = b * batch_size;
     const std::size_t end = std::min(begin + batch_size, data.size());
     std::vector<const assembly::BasicBlock*> blocks;
@@ -204,7 +214,7 @@ std::vector<double> Trainer::Predict(const dataset::Dataset& data,
     for (std::size_t i = begin; i < end; ++i) {
       blocks.push_back(&data[i].block);
     }
-    ml::Tape tape;
+    ml::Tape tape(backend_);
     const std::vector<ml::Var> outputs = forward_(tape, blocks);
     GRANITE_CHECK_LT(static_cast<std::size_t>(task), outputs.size());
     const ml::Tensor& column = tape.value(outputs[task]);
@@ -213,6 +223,9 @@ std::vector<double> Trainer::Predict(const dataset::Dataset& data,
       predictions[begin + static_cast<std::size_t>(row)] =
           column.at(row, 0) * config_.target_scale;
     }
+  };
+  WithPool([&](base::ThreadPool& pool) {
+    pool.ParallelFor(0, num_batches, run_batch);
   });
   return predictions;
 }

@@ -12,6 +12,8 @@
 #define GRANITE_TRAIN_TRAINER_H_
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "base/thread_pool.h"
@@ -90,6 +92,13 @@ struct TrainerConfig {
    * background thread while the current step trains.
    */
   bool prefetch = false;
+  /**
+   * Kernel backend executing every tape the trainer creates (training
+   * shards and evaluation batches). kDefault resolves to the process
+   * default; kReference forces the correctness-oracle loops (used by the
+   * backend-invariance tests).
+   */
+  ml::KernelBackendKind kernel_backend = ml::KernelBackendKind::kDefault;
 };
 
 /** Summary of a training run. */
@@ -146,10 +155,11 @@ class Trainer {
 
   /**
    * One data-parallel optimization step on `batch`: forward/backward per
-   * shard on `pool` (each worker accumulating into a private sink),
-   * gradient reduction, optimizer step. Returns the batch training loss.
+   * shard on the shared pool (each worker accumulating into a private
+   * sink), gradient reduction, optimizer step. Returns the batch
+   * training loss.
    */
-  double TrainStep(base::ThreadPool& pool, const dataset::Dataset& data,
+  double TrainStep(const dataset::Dataset& data,
                    const dataset::PreparedBatch& batch);
 
   /** Forward pass over one shard, via the graph path when available. */
@@ -157,12 +167,26 @@ class Trainer {
       ml::Tape& tape, const dataset::PreparedBatch& batch,
       const dataset::PreparedBatch::Shard& shard) const;
 
+  /**
+   * Runs `fn(pool)` on the trainer's shared worker pool, creating it on
+   * first use. One pool serves every Train/Predict/EvaluateTask call for
+   * the lifetime of the trainer (instead of a pool per call); the
+   * fork-join pool is single-caller, so concurrent calls serialize on
+   * the pool mutex.
+   */
+  void WithPool(const std::function<void(base::ThreadPool&)>& fn) const;
+
   ForwardFn forward_;
   GraphForwardFn graph_forward_;
   dataset::EncodeFn encode_;
   ml::ParameterStore* parameters_;
   TrainerConfig config_;
+  /** Kernel backend for every tape this trainer records. */
+  const ml::KernelBackend* backend_;
   ml::AdamOptimizer optimizer_;
+  /** Shared worker pool (lazily created; guarded by pool_mutex_). */
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<base::ThreadPool> pool_;
 };
 
 }  // namespace granite::train

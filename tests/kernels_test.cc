@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Kernel-backend equivalence suite: every KernelBackend operation is run
+ * through the reference and the optimized backend on the same inputs —
+ * including odd, prime, and micro-kernel-aligned shapes that exercise
+ * every remainder path of the blocked kernels — and the results must
+ * agree to tight tolerance. Also gradient-checks the new fused tape ops
+ * (Linear, ConcatGathered) against central finite differences under both
+ * backends, and verifies backend selection plumbing (default, env-free
+ * explicit kinds, tape routing).
+ */
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "gtest/gtest.h"
+#include "ml/kernels/kernel_backend.h"
+#include "ml/kernels/optimized_backend.h"
+#include "ml/kernels/reference_backend.h"
+#include "ml/parameter.h"
+#include "ml/tape.h"
+
+namespace granite::ml {
+namespace {
+
+Tensor RandomTensor(int rows, int cols, Rng& rng, float lo = -1.0f,
+                    float hi = 1.0f) {
+  Tensor tensor(rows, cols);
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    tensor.data()[i] = rng.NextUniform(lo, hi);
+  }
+  return tensor;
+}
+
+std::vector<int> RandomIndices(std::size_t count, int bound, Rng& rng) {
+  std::vector<int> indices(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    indices[i] = static_cast<int>(rng.NextBounded(bound));
+  }
+  return indices;
+}
+
+/** abs/rel closeness with a tolerance scaled by the reduction length. */
+void ExpectAllClose(const Tensor& a, const Tensor& b, float tolerance,
+                    const std::string& label) {
+  ASSERT_EQ(a.rows(), b.rows()) << label;
+  ASSERT_EQ(a.cols(), b.cols()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float x = a.data()[i];
+    const float y = b.data()[i];
+    const float scale = std::max({1.0f, std::abs(x), std::abs(y)});
+    ASSERT_NEAR(x, y, tolerance * scale)
+        << label << " element " << i << " of " << a.size();
+  }
+}
+
+/** (m, k, n) shapes covering scalar, odd, prime, and blocked cases: the
+ * micro-kernel tiles are 4x16 with k-blocks of 256, so these hit full
+ * tiles, row/column remainders, and multiple k-blocks. */
+struct MatMulShape {
+  int m, k, n;
+};
+
+const MatMulShape kMatMulShapes[] = {
+    {1, 1, 1},    {2, 3, 4},    {4, 16, 16},  {5, 17, 16},
+    {13, 17, 11}, {31, 29, 37}, {64, 64, 64}, {8, 300, 20},
+    {67, 263, 33}, {3, 1, 47},
+};
+
+class KernelEquivalenceTest : public ::testing::Test {
+ protected:
+  const KernelBackend& reference() {
+    return GetKernelBackend(KernelBackendKind::kReference);
+  }
+  const KernelBackend& optimized() {
+    return GetKernelBackend(KernelBackendKind::kOptimized);
+  }
+
+  Rng rng_{20260731};
+};
+
+TEST_F(KernelEquivalenceTest, MatMulAcc) {
+  for (const MatMulShape& shape : kMatMulShapes) {
+    const Tensor a = RandomTensor(shape.m, shape.k, rng_);
+    const Tensor b = RandomTensor(shape.k, shape.n, rng_);
+    // Accumulation semantics: both backends start from the same nonzero
+    // output.
+    const Tensor seed = RandomTensor(shape.m, shape.n, rng_);
+    Tensor ref = seed;
+    Tensor opt = seed;
+    reference().MatMulAcc(a, b, ref);
+    optimized().MatMulAcc(a, b, opt);
+    ExpectAllClose(ref, opt, 1e-4f, "MatMulAcc");
+  }
+}
+
+TEST_F(KernelEquivalenceTest, MatMulTransposeAAcc) {
+  for (const MatMulShape& shape : kMatMulShapes) {
+    const Tensor a = RandomTensor(shape.k, shape.m, rng_);
+    const Tensor b = RandomTensor(shape.k, shape.n, rng_);
+    const Tensor seed = RandomTensor(shape.m, shape.n, rng_);
+    Tensor ref = seed;
+    Tensor opt = seed;
+    reference().MatMulTransposeAAcc(a, b, ref);
+    optimized().MatMulTransposeAAcc(a, b, opt);
+    ExpectAllClose(ref, opt, 1e-4f, "MatMulTransposeAAcc");
+  }
+}
+
+TEST_F(KernelEquivalenceTest, MatMulTransposeBAcc) {
+  for (const MatMulShape& shape : kMatMulShapes) {
+    const Tensor a = RandomTensor(shape.m, shape.k, rng_);
+    const Tensor b = RandomTensor(shape.n, shape.k, rng_);
+    const Tensor seed = RandomTensor(shape.m, shape.n, rng_);
+    Tensor ref = seed;
+    Tensor opt = seed;
+    reference().MatMulTransposeBAcc(a, b, ref);
+    optimized().MatMulTransposeBAcc(a, b, opt);
+    ExpectAllClose(ref, opt, 1e-4f, "MatMulTransposeBAcc");
+  }
+}
+
+TEST_F(KernelEquivalenceTest, LinearBias) {
+  for (const MatMulShape& shape : kMatMulShapes) {
+    const Tensor a = RandomTensor(shape.m, shape.k, rng_);
+    const Tensor w = RandomTensor(shape.k, shape.n, rng_);
+    const Tensor bias = RandomTensor(1, shape.n, rng_);
+    Tensor ref(shape.m, shape.n);
+    Tensor opt(shape.m, shape.n);
+    reference().LinearBias(a, w, bias, ref);
+    optimized().LinearBias(a, w, bias, opt);
+    ExpectAllClose(ref, opt, 1e-4f, "LinearBias");
+  }
+}
+
+TEST_F(KernelEquivalenceTest, PooledMatMulMatchesSequential) {
+  // The pool-attached optimized backend shards big products over rows;
+  // the result must match the shared sequential instance.
+  base::ThreadPool pool(4);
+  const OptimizedBackend pooled(&pool, /*parallel_flop_threshold=*/1);
+  for (const MatMulShape& shape : kMatMulShapes) {
+    const Tensor a = RandomTensor(shape.m, shape.k, rng_);
+    const Tensor b = RandomTensor(shape.k, shape.n, rng_);
+    Tensor ref(shape.m, shape.n);
+    Tensor opt(shape.m, shape.n);
+    reference().MatMulAcc(a, b, ref);
+    pooled.MatMulAcc(a, b, opt);
+    ExpectAllClose(ref, opt, 1e-4f, "pooled MatMulAcc");
+
+    const Tensor bt = RandomTensor(shape.n, shape.k, rng_);
+    Tensor ref_t(shape.m, shape.n);
+    Tensor opt_t(shape.m, shape.n);
+    reference().MatMulTransposeBAcc(a, bt, ref_t);
+    pooled.MatMulTransposeBAcc(a, bt, opt_t);
+    ExpectAllClose(ref_t, opt_t, 1e-4f, "pooled MatMulTransposeBAcc");
+  }
+}
+
+TEST_F(KernelEquivalenceTest, ElementwiseOps) {
+  const int rows = 13;
+  const int cols = 37;
+  const Tensor a = RandomTensor(rows, cols, rng_);
+  const Tensor b = RandomTensor(rows, cols, rng_, 0.5f, 2.0f);
+
+  for (const BinaryOp op : {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                            BinaryOp::kDiv}) {
+    Tensor ref(rows, cols);
+    Tensor opt(rows, cols);
+    reference().BinaryPointwise(op, a, b, ref);
+    optimized().BinaryPointwise(op, a, b, opt);
+    ExpectAllClose(ref, opt, 1e-6f, "BinaryPointwise");
+  }
+
+  Tensor ref(rows, cols);
+  Tensor opt(rows, cols);
+  reference().ScaleInto(a, 2.5f, ref);
+  optimized().ScaleInto(a, 2.5f, opt);
+  ExpectAllClose(ref, opt, 1e-6f, "ScaleInto");
+
+  reference().AddScalarInto(a, -1.25f, ref);
+  optimized().AddScalarInto(a, -1.25f, opt);
+  ExpectAllClose(ref, opt, 1e-6f, "AddScalarInto");
+
+  const Tensor acc_seed = RandomTensor(rows, cols, rng_);
+  Tensor ref_acc = acc_seed;
+  Tensor opt_acc = acc_seed;
+  reference().AccumulateAdd(a, ref_acc);
+  optimized().AccumulateAdd(a, opt_acc);
+  ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateAdd");
+
+  reference().AccumulateScaled(a, -0.75f, ref_acc);
+  optimized().AccumulateScaled(a, -0.75f, opt_acc);
+  ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateScaled");
+
+  reference().AccumulateMul(a, b, ref_acc);
+  optimized().AccumulateMul(a, b, opt_acc);
+  ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateMul");
+
+  reference().AccumulateConstant(0.125f, ref_acc);
+  optimized().AccumulateConstant(0.125f, opt_acc);
+  ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateConstant");
+
+  EXPECT_NEAR(reference().SumAll(a), optimized().SumAll(a), 1e-4);
+}
+
+TEST_F(KernelEquivalenceTest, UnaryOpsForwardAndGrad) {
+  const int rows = 7;
+  const int cols = 53;
+  const Tensor input = RandomTensor(rows, cols, rng_, -2.0f, 2.0f);
+  const Tensor out_grad = RandomTensor(rows, cols, rng_);
+  const float param = 0.8f;  // Huber delta.
+
+  for (const UnaryOp op : {UnaryOp::kRelu, UnaryOp::kSigmoid, UnaryOp::kTanh,
+                           UnaryOp::kAbs, UnaryOp::kSquare, UnaryOp::kHuber}) {
+    Tensor ref(rows, cols);
+    Tensor opt(rows, cols);
+    reference().UnaryForward(op, input, ref, param);
+    optimized().UnaryForward(op, input, opt, param);
+    ExpectAllClose(ref, opt, 1e-6f, "UnaryForward");
+
+    const Tensor grad_seed = RandomTensor(rows, cols, rng_);
+    Tensor ref_grad = grad_seed;
+    Tensor opt_grad = grad_seed;
+    reference().AccumulateUnaryGrad(op, input, ref, out_grad, ref_grad,
+                                    param);
+    optimized().AccumulateUnaryGrad(op, input, opt, out_grad, opt_grad,
+                                    param);
+    ExpectAllClose(ref_grad, opt_grad, 1e-6f, "AccumulateUnaryGrad");
+  }
+}
+
+TEST_F(KernelEquivalenceTest, BroadcastAndReductionOps) {
+  const int rows = 29;
+  const int cols = 31;
+  const Tensor a = RandomTensor(rows, cols, rng_);
+  const Tensor bias = RandomTensor(1, cols, rng_);
+  const Tensor column = RandomTensor(rows, 1, rng_);
+
+  Tensor ref(rows, cols);
+  Tensor opt(rows, cols);
+  reference().AddRowBroadcastInto(a, bias, ref);
+  optimized().AddRowBroadcastInto(a, bias, opt);
+  ExpectAllClose(ref, opt, 1e-6f, "AddRowBroadcastInto");
+
+  const Tensor sums_seed = RandomTensor(1, cols, rng_);
+  Tensor ref_sums = sums_seed;
+  Tensor opt_sums = sums_seed;
+  reference().AccumulateColumnSums(a, ref_sums);
+  optimized().AccumulateColumnSums(a, opt_sums);
+  ExpectAllClose(ref_sums, opt_sums, 1e-5f, "AccumulateColumnSums");
+
+  reference().MulColumnBroadcastInto(a, column, ref);
+  optimized().MulColumnBroadcastInto(a, column, opt);
+  ExpectAllClose(ref, opt, 1e-6f, "MulColumnBroadcastInto");
+
+  const Tensor acc_seed = RandomTensor(rows, cols, rng_);
+  Tensor ref_acc = acc_seed;
+  Tensor opt_acc = acc_seed;
+  reference().AccumulateMulColumnBroadcast(a, column, ref_acc);
+  optimized().AccumulateMulColumnBroadcast(a, column, opt_acc);
+  ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateMulColumnBroadcast");
+
+  const Tensor dots_seed = RandomTensor(rows, 1, rng_);
+  Tensor ref_dots = dots_seed;
+  Tensor opt_dots = dots_seed;
+  const Tensor b = RandomTensor(rows, cols, rng_);
+  reference().AccumulateRowDots(a, b, ref_dots);
+  optimized().AccumulateRowDots(a, b, opt_dots);
+  ExpectAllClose(ref_dots, opt_dots, 1e-5f, "AccumulateRowDots");
+}
+
+TEST_F(KernelEquivalenceTest, GatherScatterConcatOps) {
+  const int table_rows = 23;
+  const int cols = 19;
+  const int gathered = 41;
+  const Tensor table = RandomTensor(table_rows, cols, rng_);
+  const std::vector<int> indices = RandomIndices(gathered, table_rows, rng_);
+
+  // Gather into a column block of a wider output.
+  const int offset = 7;
+  const Tensor out_seed = RandomTensor(gathered, cols + 11, rng_);
+  Tensor ref_out = out_seed;
+  Tensor opt_out = out_seed;
+  reference().GatherRowsAcc(table, indices, ref_out, offset);
+  optimized().GatherRowsAcc(table, indices, opt_out, offset);
+  ExpectAllClose(ref_out, opt_out, 1e-6f, "GatherRowsAcc");
+
+  // Scatter-add from a column block back into the table shape.
+  const Tensor rows = RandomTensor(gathered, cols + 11, rng_);
+  const Tensor table_seed = RandomTensor(table_rows, cols, rng_);
+  Tensor ref_table = table_seed;
+  Tensor opt_table = table_seed;
+  reference().ScatterAddRows(rows, indices, ref_table, offset);
+  optimized().ScatterAddRows(rows, indices, opt_table, offset);
+  ExpectAllClose(ref_table, opt_table, 1e-5f, "ScatterAddRows");
+
+  // Column-block accumulate.
+  const Tensor src = RandomTensor(gathered, cols + 11, rng_);
+  Tensor ref_dest = out_seed;
+  Tensor opt_dest = out_seed;
+  reference().AccumulateColumnBlock(src, 3, ref_dest, 5, cols);
+  optimized().AccumulateColumnBlock(src, 3, opt_dest, 5, cols);
+  ExpectAllClose(ref_dest, opt_dest, 1e-6f, "AccumulateColumnBlock");
+}
+
+TEST_F(KernelEquivalenceTest, LayerNorm) {
+  const int rows = 17;
+  const int cols = 43;
+  const Tensor x = RandomTensor(rows, cols, rng_, -3.0f, 3.0f);
+  const Tensor gain = RandomTensor(1, cols, rng_, 0.5f, 1.5f);
+  const Tensor bias = RandomTensor(1, cols, rng_);
+  const float epsilon = 1e-5f;
+
+  Tensor ref_out(rows, cols), ref_norm(rows, cols);
+  Tensor opt_out(rows, cols), opt_norm(rows, cols);
+  std::vector<float> ref_inv(rows), opt_inv(rows);
+  reference().LayerNormForward(x, gain, bias, epsilon, ref_out, ref_norm,
+                               ref_inv);
+  optimized().LayerNormForward(x, gain, bias, epsilon, opt_out, opt_norm,
+                               opt_inv);
+  ExpectAllClose(ref_out, opt_out, 1e-5f, "LayerNormForward");
+
+  const Tensor out_grad = RandomTensor(rows, cols, rng_);
+  Tensor ref_dx(rows, cols), opt_dx(rows, cols);
+  Tensor ref_dgain(1, cols), opt_dgain(1, cols);
+  Tensor ref_dbias(1, cols), opt_dbias(1, cols);
+  reference().LayerNormBackward(out_grad, gain, ref_norm, ref_inv, &ref_dx,
+                                &ref_dgain, &ref_dbias);
+  optimized().LayerNormBackward(out_grad, gain, opt_norm, opt_inv, &opt_dx,
+                                &opt_dgain, &opt_dbias);
+  ExpectAllClose(ref_dx, opt_dx, 1e-5f, "LayerNormBackward dx");
+  ExpectAllClose(ref_dgain, opt_dgain, 1e-5f, "LayerNormBackward dgain");
+  ExpectAllClose(ref_dbias, opt_dbias, 1e-5f, "LayerNormBackward dbias");
+}
+
+// ---- Gradient checks for the new fused tape ops --------------------------
+
+/** Finite-difference check of `build`'s gradient w.r.t. `parameter` on a
+ * tape running `backend` (mirrors the helper in ml_grad_test.cc). */
+void CheckParameterGradient(const KernelBackend& backend,
+                            Parameter* parameter,
+                            const std::function<Var(Tape&)>& build,
+                            float step = 1e-2f, float tolerance = 2e-2f) {
+  parameter->ZeroGrad();
+  {
+    Tape tape(&backend);
+    tape.Backward(build(tape));
+  }
+  const Tensor analytic = parameter->grad;
+
+  for (std::size_t i = 0; i < parameter->value.size(); ++i) {
+    const float saved = parameter->value.data()[i];
+    parameter->value.data()[i] = saved + step;
+    double loss_plus;
+    {
+      Tape tape(&backend);
+      loss_plus = tape.value(build(tape)).scalar();
+    }
+    parameter->value.data()[i] = saved - step;
+    double loss_minus;
+    {
+      Tape tape(&backend);
+      loss_minus = tape.value(build(tape)).scalar();
+    }
+    parameter->value.data()[i] = saved;
+    const double numeric = (loss_plus - loss_minus) / (2.0 * step);
+    const double scale =
+        std::max({1.0, std::abs(numeric),
+                  std::abs(static_cast<double>(analytic.data()[i]))});
+    EXPECT_NEAR(analytic.data()[i], numeric, tolerance * scale)
+        << backend.name() << " parameter " << parameter->name << " element "
+        << i;
+  }
+}
+
+class FusedOpGradTest : public ::testing::TestWithParam<KernelBackendKind> {
+ protected:
+  const KernelBackend& backend() { return GetKernelBackend(GetParam()); }
+
+  Rng rng_{424242};
+  ParameterStore store_{77};
+};
+
+TEST_P(FusedOpGradTest, LinearAllInputs) {
+  Parameter* a = store_.Create("a", 5, 4, Initializer::kGlorotUniform);
+  Parameter* w = store_.Create("w", 4, 3, Initializer::kGlorotUniform);
+  Parameter* bias = store_.Create("bias", 1, 3, Initializer::kGlorotUniform);
+  for (Parameter* parameter : {a, w, bias}) {
+    CheckParameterGradient(backend(), parameter, [&](Tape& tape) {
+      return tape.SumAll(tape.Square(tape.Linear(
+          tape.Param(a), tape.Param(w), tape.Param(bias))));
+    });
+  }
+}
+
+TEST_P(FusedOpGradTest, LinearMatchesUnfusedComposition) {
+  Parameter* a = store_.Create("a", 6, 5, Initializer::kGlorotUniform);
+  Parameter* w = store_.Create("w", 5, 7, Initializer::kGlorotUniform);
+  Parameter* bias = store_.Create("bias", 1, 7, Initializer::kGlorotUniform);
+  Tape tape(&backend());
+  const Var fused =
+      tape.Linear(tape.Param(a), tape.Param(w), tape.Param(bias));
+  const Var composed = tape.AddRowBroadcast(
+      tape.MatMul(tape.Param(a), tape.Param(w)), tape.Param(bias));
+  EXPECT_TRUE(tape.value(fused).AllClose(tape.value(composed), 1e-5f));
+}
+
+TEST_P(FusedOpGradTest, ConcatGatheredAllInputs) {
+  Parameter* table = store_.Create("table", 6, 3, Initializer::kGlorotUniform);
+  Parameter* direct = store_.Create("direct", 4, 2,
+                                    Initializer::kGlorotUniform);
+  const std::vector<int> indices = {5, 0, 3, 3};
+  for (Parameter* parameter : {table, direct}) {
+    CheckParameterGradient(backend(), parameter, [&](Tape& tape) {
+      const Var concat = tape.ConcatGathered(
+          {{tape.Param(direct), nullptr}, {tape.Param(table), &indices}});
+      return tape.SumAll(tape.Square(concat));
+    });
+  }
+}
+
+TEST_P(FusedOpGradTest, ConcatGatheredWithEmptyIndexListBackpropagates) {
+  // A non-null but empty index vector is a gather producing zero rows —
+  // it must stay on the scatter path in the backward pass (not be
+  // confused with an identity part).
+  Parameter* table = store_.Create("table", 4, 3, Initializer::kGlorotUniform);
+  const std::vector<int> empty;
+  Tape tape(&backend());
+  const Var concat = tape.ConcatGathered({{tape.Param(table), &empty}});
+  EXPECT_EQ(tape.value(concat).rows(), 0);
+  tape.Backward(tape.SumAll(concat));
+  for (std::size_t i = 0; i < table->grad.size(); ++i) {
+    EXPECT_EQ(table->grad.data()[i], 0.0f);
+  }
+}
+
+TEST_P(FusedOpGradTest, ConcatGatheredMatchesGatherPlusConcat) {
+  Parameter* table = store_.Create("table", 9, 4, Initializer::kGlorotUniform);
+  Parameter* direct = store_.Create("direct", 5, 3,
+                                    Initializer::kGlorotUniform);
+  const std::vector<int> indices = {2, 2, 8, 0, 7};
+  Tape tape(&backend());
+  const Var fused = tape.ConcatGathered(
+      {{tape.Param(direct), nullptr}, {tape.Param(table), &indices}});
+  const Var composed = tape.ConcatCols(
+      {tape.Param(direct), tape.GatherRows(tape.Param(table), indices)});
+  EXPECT_TRUE(tape.value(fused).AllClose(tape.value(composed), 1e-6f));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, FusedOpGradTest,
+                         ::testing::Values(KernelBackendKind::kReference,
+                                           KernelBackendKind::kOptimized));
+
+// ---- Selection plumbing --------------------------------------------------
+
+TEST(KernelBackendSelectionTest, KindsResolveToDistinctBackends) {
+  const KernelBackend& reference =
+      GetKernelBackend(KernelBackendKind::kReference);
+  const KernelBackend& optimized =
+      GetKernelBackend(KernelBackendKind::kOptimized);
+  EXPECT_NE(&reference, &optimized);
+  EXPECT_STREQ(reference.name(), "reference");
+  EXPECT_STREQ(optimized.name(), "optimized");
+}
+
+TEST(KernelBackendSelectionTest, SetDefaultBackendRoutesTapes) {
+  const KernelBackend& reference =
+      GetKernelBackend(KernelBackendKind::kReference);
+  SetDefaultKernelBackend(&reference);
+  {
+    Tape tape;
+    EXPECT_EQ(&tape.backend(), &reference);
+  }
+  SetDefaultKernelBackend(nullptr);
+  {
+    Tape tape;
+    EXPECT_EQ(&tape.backend(), &DefaultKernelBackend());
+  }
+}
+
+TEST(KernelBackendSelectionTest, ExplicitTapeBackendWins) {
+  const KernelBackend& reference =
+      GetKernelBackend(KernelBackendKind::kReference);
+  Tape tape(&reference);
+  EXPECT_EQ(&tape.backend(), &reference);
+}
+
+}  // namespace
+}  // namespace granite::ml

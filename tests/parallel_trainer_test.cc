@@ -161,7 +161,11 @@ TEST(ParallelTrainerTest, ParallelPrefetchedTrainingConverges) {
   const dataset::Dataset data = TinyDataset(24);
   graph::Vocabulary vocabulary = graph::Vocabulary::CreateDefault();
   core::GraniteModel model(&vocabulary, TinyGraniteConfig());
-  TrainerConfig config = FastConfig(250);
+  // Enough steps to halve the MAPE with margin under either kernel
+  // backend (their floating-point reassociation shifts the trajectory a
+  // little; at 250 steps the reference backend landed right on the 0.5x
+  // threshold).
+  TrainerConfig config = FastConfig(320);
   config.num_workers = 4;
   config.prefetch = true;
   Trainer trainer(GraniteForward(model), &model.parameters(), config);

@@ -130,5 +130,53 @@ TEST_F(PredictBatchTest, DisablingTheCacheRestoresPlainInference) {
   EXPECT_EQ(model.prediction_cache_hits(), 0u);
 }
 
+TEST_F(PredictBatchTest, ParameterUpdatesInvalidateTheCache) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(16);
+  const std::vector<const assembly::BasicBlock*> blocks = {&a_, &b_};
+  const std::vector<double> before = model.PredictBatch(blocks, 0);
+
+  // Simulate a training step: perturb a weight and bump the generation
+  // the way Optimizer::Step does.
+  ml::Parameter* weight =
+      model.parameters().Get("decoder/task0/output/bias");
+  weight->value.Fill(3.5f);
+  model.parameters().BumpGeneration();
+
+  // Stale entries must not be served: the next call re-runs the GNN and
+  // returns predictions for the *new* parameters.
+  const std::size_t passes = model.num_forward_passes();
+  const std::vector<double> after = model.PredictBatch(blocks, 0);
+  EXPECT_EQ(model.num_forward_passes(), passes + 1);
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after, model.Predict(blocks, 0));
+}
+
+TEST_F(PredictBatchTest, SnapshotRestoreInvalidatesTheCache) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(16);
+  const std::vector<ml::Tensor> snapshot =
+      model.parameters().SnapshotValues();
+  model.PredictBatch({&a_}, 0);
+
+  // RestoreValues bumps the generation even though values are identical;
+  // the conservative invalidation costs one forward pass.
+  model.parameters().RestoreValues(snapshot);
+  const std::size_t passes = model.num_forward_passes();
+  model.PredictBatch({&a_}, 0);
+  EXPECT_EQ(model.num_forward_passes(), passes + 1);
+}
+
+TEST_F(PredictBatchTest, UnchangedParametersKeepServingFromCache) {
+  GraniteModel model(&vocabulary_, SmallConfig());
+  model.EnablePredictionCache(16);
+  model.PredictBatch({&a_, &b_}, 0);
+  const std::size_t passes = model.num_forward_passes();
+  // No parameter mutation in between: repeated calls stay pure hits.
+  model.PredictBatch({&a_, &b_}, 0);
+  model.PredictBatch({&b_, &a_}, 0);
+  EXPECT_EQ(model.num_forward_passes(), passes);
+}
+
 }  // namespace
 }  // namespace granite::core
