@@ -6,6 +6,8 @@
 #ifndef GRANITE_BASE_STATISTICS_H_
 #define GRANITE_BASE_STATISTICS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace granite {
@@ -47,6 +49,76 @@ std::vector<double> FractionalRanks(const std::vector<double>& values);
 
 /** Percentile in [0, 100] using linear interpolation. */
 double Percentile(std::vector<double> values, double percentile);
+
+/**
+ * Streaming histogram with geometrically spaced buckets, built for
+ * latency aggregation in long-lived processes: constant memory, O(1)
+ * Add(), and percentile queries whose relative error is bounded by the
+ * bucket growth factor (1.04 by default, i.e. p99 estimates are within
+ * ~4% of the exact sample percentile). Values below `min_value` land in
+ * the first bucket; values beyond the last geometric bucket (whose
+ * upper edge is the first power-of-`growth` multiple of `min_value` at
+ * or above `max_value`) land in the overflow bucket. The exact observed
+ * minimum/maximum are tracked separately and clamp the percentile
+ * interpolation, so Percentile(0)/Percentile(100) are exact.
+ *
+ * Not internally synchronized; callers aggregating from several threads
+ * guard it with their own mutex (see serve::InferenceServer) or keep one
+ * histogram per thread and Merge().
+ */
+class Histogram {
+ public:
+  /**
+   * @param min_value Lower edge of the first bucket; must be > 0.
+   * @param max_value Values >= this fall into the overflow bucket.
+   * @param growth Per-bucket geometric growth factor; must be > 1.
+   */
+  Histogram(double min_value, double max_value, double growth = 1.04);
+
+  /** Records one observation. */
+  void Add(double value);
+
+  /** Adds every bucket of `other` (same bucketization required). */
+  void Merge(const Histogram& other);
+
+  /** Discards all recorded observations. */
+  void Clear();
+
+  /** Number of observations recorded. */
+  std::uint64_t count() const { return count_; }
+
+  /** Exact mean of the recorded observations (0 when empty). */
+  double mean() const;
+
+  /** Exact smallest / largest recorded observation (0 when empty). */
+  double min() const { return count_ == 0 ? 0.0 : min_seen_; }
+  double max() const { return count_ == 0 ? 0.0 : max_seen_; }
+
+  /**
+   * Approximate percentile in [0, 100] by linear interpolation inside
+   * the bucket containing the target rank. Returns 0 when empty.
+   */
+  double Percentile(double percentile) const;
+
+  /** Number of buckets (including the overflow bucket). */
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  /** Bucket index of `value` (clamped to the valid range). */
+  std::size_t BucketIndex(double value) const;
+
+  /** Lower edge of bucket `index`. */
+  double BucketLowerEdge(std::size_t index) const;
+
+  double min_value_;
+  double log_growth_;
+  double growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
 
 }  // namespace granite
 

@@ -21,7 +21,35 @@ ThreadPool::~ThreadPool() {
     shutting_down_ = true;
   }
   task_available_.notify_all();
+  // A width-1 pool has no workers to complete the queued tasks, so the
+  // destructing thread drains them itself; a pending exception is
+  // discarded (destructors cannot rethrow).
+  if (workers_.empty()) {
+    try {
+      Wait();
+    } catch (...) {
+    }
+  }
   for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::CapturePendingException() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (pending_exception_ == nullptr) {
+    pending_exception_ = std::current_exception();
+  }
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    CapturePendingException();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -35,18 +63,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
+    RunTask(task);
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    GRANITE_CHECK_MSG(!shutting_down_, "Submit() on a destroyed ThreadPool");
+    // No shutting_down_ check: tasks may submit nested tasks even while
+    // the destructor drains the queue — the drain (worker loops and the
+    // width-1 destructor Wait()) only finishes once the queue is empty
+    // and nothing is in flight, so late submissions still run.
     ++in_flight_;
     tasks_.push(std::move(task));
   }
@@ -62,16 +89,15 @@ void ThreadPool::Wait() {
       std::unique_lock<std::mutex> lock(mutex_);
       if (tasks_.empty()) {
         all_done_.wait(lock, [this] { return in_flight_ == 0; });
-        return;
+        if (pending_exception_ == nullptr) return;
+        std::exception_ptr exception = nullptr;
+        std::swap(exception, pending_exception_);
+        std::rethrow_exception(exception);
       }
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
+    RunTask(task);
   }
 }
 
@@ -109,7 +135,14 @@ int ThreadPool::RunShards(
       fn(shard, begin + shards[shard].first, begin + shards[shard].second);
     });
   }
-  fn(0, begin + shards[0].first, begin + shards[0].second);
+  // The caller's shard routes exceptions through the same pending slot as
+  // the workers, so the join below always happens before anything
+  // propagates (the submitted shards reference stack state).
+  try {
+    fn(0, begin + shards[0].first, begin + shards[0].second);
+  } catch (...) {
+    CapturePendingException();
+  }
   Wait();
   return num_shards;
 }

@@ -7,14 +7,22 @@
  * one per thread, and the calling thread participates as shard 0, so a
  * pool constructed with `num_threads == 1` spawns no threads at all and
  * runs everything inline (making the sequential path identical to the
- * pre-pool code). Tasks must not throw; failures abort via GRANITE_CHECK
- * like the rest of the codebase.
+ * pre-pool code).
+ *
+ * Internal failures abort via GRANITE_CHECK like the rest of the
+ * codebase, but tasks are allowed to throw: the first exception escaping
+ * a task is captured and rethrown from the next Wait() (and therefore
+ * from RunShards()/ParallelFor(), which join through it) on the calling
+ * thread, after every in-flight task has finished. Later exceptions from
+ * the same join window are discarded, as is a pending exception that was
+ * never observed before destruction.
  */
 #ifndef GRANITE_BASE_THREAD_POOL_H_
 #define GRANITE_BASE_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -32,7 +40,9 @@ class ThreadPool {
    */
   explicit ThreadPool(int num_threads);
 
-  /** Joins all workers; pending tasks are completed first. */
+  /** Joins all workers; pending tasks are completed first (on the
+   * destructing thread for a width-1 pool). An unobserved pending
+   * exception is discarded. */
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -41,10 +51,20 @@ class ThreadPool {
   /** Total concurrency (workers + the calling thread). */
   int num_threads() const { return num_threads_; }
 
-  /** Enqueues a task for asynchronous execution. */
+  /** Enqueues a task for asynchronous execution. Safe to call from
+   * inside a running task (nested submission), including while the
+   * destructor is draining the queue — such tasks still complete before
+   * destruction finishes. Submitting from outside after the destructor
+   * has begun is, as for any object, undefined behavior. */
   void Submit(std::function<void()> task);
 
-  /** Blocks until every submitted task has finished. */
+  /**
+   * Blocks until every submitted task has finished (including tasks
+   * submitted by other tasks while waiting), then rethrows the first
+   * exception any of them raised, if there was one. Must not be called
+   * from inside a task: the caller's own task is still in flight, so the
+   * wait could never finish.
+   */
   void Wait();
 
   /**
@@ -75,6 +95,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /** Runs `task`, capturing the first escaping exception for Wait(). */
+  void RunTask(std::function<void()>& task);
+
+  /** Stores the in-flight exception as the pending one, if it is the
+   * first since the last Wait(). Call only from a catch block. */
+  void CapturePendingException();
+
   int num_threads_;
   std::vector<std::thread> workers_;
 
@@ -84,6 +111,8 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   int in_flight_ = 0;
   bool shutting_down_ = false;
+  /** First exception thrown by a task since the last Wait(). */
+  std::exception_ptr pending_exception_;
 };
 
 }  // namespace granite::base

@@ -202,7 +202,20 @@ std::size_t GraniteModel::prediction_cache_misses() const {
 std::vector<double> GraniteModel::PredictBatch(
     const std::vector<const assembly::BasicBlock*>& blocks, int task) const {
   GRANITE_CHECK(task >= 0 && task < config_.num_tasks);
+  const std::vector<std::vector<double>> per_block =
+      PredictBatchAllTasks(blocks);
+  std::vector<double> result(blocks.size());
+  for (std::size_t i = 0; i < per_block.size(); ++i) {
+    result[i] = per_block[i][task];
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> GraniteModel::PredictBatchAllTasks(
+    const std::vector<const assembly::BasicBlock*>& blocks) const {
   if (blocks.empty()) return {};
+  const int num_tasks = config_.num_tasks;
+  std::vector<std::vector<double>> result(blocks.size());
   bool cache_enabled;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -210,9 +223,18 @@ std::vector<double> GraniteModel::PredictBatch(
   }
   // Forward passes run outside the cache lock, here and below, so
   // concurrent PredictBatch callers are never serialized on the GNN.
-  if (!cache_enabled) return Predict(blocks, task);
-
-  std::vector<double> result(blocks.size());
+  if (!cache_enabled) {
+    ml::Tape tape(backend_);
+    const std::vector<ml::Var> predictions = Forward(tape, blocks);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      result[i].resize(num_tasks);
+      for (int t = 0; t < num_tasks; ++t) {
+        result[i][t] =
+            tape.value(predictions[t]).at(static_cast<int>(i), 0);
+      }
+    }
+    return result;
+  }
   // Distinct fingerprint → block indices that need a forward pass.
   std::unordered_map<uint64_t, std::vector<std::size_t>> misses;
   std::vector<uint64_t> miss_order;
@@ -233,7 +255,7 @@ std::vector<double> GraniteModel::PredictBatch(
       const std::vector<double>* cached =
           prediction_cache_ ? prediction_cache_->Get(keys[i]) : nullptr;
       if (cached != nullptr) {
-        result[i] = (*cached)[task];
+        result[i] = *cached;
         continue;
       }
       auto [it, inserted] = misses.try_emplace(keys[i]);
@@ -264,12 +286,12 @@ std::vector<double> GraniteModel::PredictBatch(
   const bool cache_results =
       prediction_cache_ != nullptr && cache_generation_ == forward_generation;
   for (std::size_t j = 0; j < miss_order.size(); ++j) {
-    std::vector<double> per_task(config_.num_tasks);
-    for (int t = 0; t < config_.num_tasks; ++t) {
+    std::vector<double> per_task(num_tasks);
+    for (int t = 0; t < num_tasks; ++t) {
       per_task[t] = tape.value(predictions[t]).at(static_cast<int>(j), 0);
     }
     for (const std::size_t i : misses.at(miss_order[j])) {
-      result[i] = per_task[task];
+      result[i] = per_task;
     }
     if (cache_results) {
       prediction_cache_->Put(miss_order[j], std::move(per_task));

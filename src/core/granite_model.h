@@ -109,6 +109,19 @@ class GraniteModel {
       const std::vector<const assembly::BasicBlock*>& blocks, int task) const;
 
   /**
+   * Like PredictBatch() but returns every task head: entry i holds
+   * config().num_tasks predictions for blocks[i]. One forward pass (at
+   * most) answers the whole batch regardless of which tasks the caller
+   * needs, which is what lets the inference server coalesce requests for
+   * different microarchitectures into a single GNN invocation. Uses the
+   * same cache and dedup machinery as PredictBatch; PredictBatch(blocks,
+   * task)[i] == PredictBatchAllTasks(blocks)[i][task] bit-for-bit.
+   * Thread-safe.
+   */
+  std::vector<std::vector<double>> PredictBatchAllTasks(
+      const std::vector<const assembly::BasicBlock*>& blocks) const;
+
+  /**
    * Sizes the PredictBatch LRU cache to `capacity` unique blocks and
    * clears it; 0 disables caching. The cache versions itself on the
    * parameter store's generation counter, so training steps, checkpoint

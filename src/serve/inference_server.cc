@@ -1,0 +1,237 @@
+#include "serve/inference_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace granite::serve {
+
+InferenceServer::InferenceServer(core::GraniteModel* model,
+                                 const InferenceServerConfig& config)
+    : model_(model), config_(config), start_time_(Clock::now()) {
+  GRANITE_CHECK(model != nullptr);
+  GRANITE_CHECK_GE(config.num_workers, 1);
+  GRANITE_CHECK_GE(config.max_batch_size, 1);
+  GRANITE_CHECK_GE(config.queue_capacity, 1u);
+  GRANITE_CHECK_GE(config.batch_window.count(), 0);
+  if (config.prediction_cache_capacity > 0) {
+    model_->EnablePredictionCache(config.prediction_cache_capacity);
+  }
+  workers_.reserve(config.num_workers);
+  for (int i = 0; i < config.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+std::optional<std::future<double>> InferenceServer::Submit(
+    const assembly::BasicBlock* block, int task) {
+  GRANITE_CHECK(block != nullptr);
+  GRANITE_CHECK(task >= 0 && task < model_->config().num_tasks);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (config_.overflow_policy == OverflowPolicy::kBlock) {
+    space_event_.wait(lock, [this] {
+      return stopping_ || queue_.size() < config_.queue_capacity;
+    });
+  }
+  if (stopping_ || queue_.size() >= config_.queue_capacity) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  Request request;
+  request.block = block;
+  request.task = task;
+  request.enqueue_time = Clock::now();
+  std::future<double> future = request.promise.get_future();
+  queue_.push_back(std::move(request));
+  ++submitted_;
+  const std::size_t queue_size = queue_.size();
+  lock.unlock();
+  // Wake a worker only when this request changes a flush condition: the
+  // queue just became non-empty (a sleeping worker must pick up this
+  // request's deadline) or the batch just filled (size flush). Requests
+  // landing in the middle of a window would only interrupt the worker's
+  // timed wait to re-arm the identical deadline — at high request rates
+  // those spurious wakeups (and their context switches) dominate the
+  // cost of batched serving.
+  if (queue_size == 1 ||
+      queue_size >= static_cast<std::size_t>(config_.max_batch_size)) {
+    queue_event_.notify_one();
+  }
+  return future;
+}
+
+double InferenceServer::Predict(const assembly::BasicBlock& block, int task) {
+  std::optional<std::future<double>> future = Submit(&block, task);
+  GRANITE_CHECK_MSG(future.has_value(),
+                    "Predict() rejected (server overloaded or stopped)");
+  return future->get();
+}
+
+void InferenceServer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Wait for a flush condition: a full batch, an expired batching
+    // window, or shutdown (which drains whatever is queued).
+    for (;;) {
+      if (queue_.empty()) {
+        if (stopping_) return;
+        queue_event_.wait(lock);
+        continue;
+      }
+      if (stopping_) break;
+      if (queue_.size() >= static_cast<std::size_t>(config_.max_batch_size)) {
+        break;
+      }
+      const Clock::time_point deadline =
+          queue_.front().enqueue_time + config_.batch_window;
+      if (Clock::now() >= deadline) break;
+      queue_event_.wait_until(lock, deadline);
+    }
+
+    const FlushReason reason =
+        queue_.size() >= static_cast<std::size_t>(config_.max_batch_size)
+            ? FlushReason::kSize
+            : (stopping_ ? FlushReason::kShutdown : FlushReason::kDeadline);
+    const std::size_t take = std::min(
+        queue_.size(), static_cast<std::size_t>(config_.max_batch_size));
+    std::vector<Request> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+    // Freed queue space: unblock producers; other workers may also have
+    // work left (shutdown drains, bursts larger than one batch).
+    space_event_.notify_all();
+    queue_event_.notify_one();
+    ExecuteBatch(batch, reason);
+    lock.lock();
+  }
+}
+
+void InferenceServer::ExecuteBatch(std::vector<Request>& batch,
+                                   FlushReason reason) {
+  std::vector<const assembly::BasicBlock*> blocks;
+  blocks.reserve(batch.size());
+  for (const Request& request : batch) blocks.push_back(request.block);
+
+  std::vector<std::vector<double>> predictions;
+  std::exception_ptr failure;
+  {
+    // Shared with concurrent batches; exclusive against UpdateModel, so
+    // a forward pass never observes a half-copied parameter set.
+    std::shared_lock<std::shared_mutex> model_lock(model_mutex_);
+    try {
+      predictions = model_->PredictBatchAllTasks(blocks);
+    } catch (...) {
+      // A throwing forward pass (e.g. bad_alloc, or a rethrown kernel
+      // exception from a pooled backend) fails this batch's futures
+      // instead of escaping the worker thread and terminating the
+      // process.
+      failure = std::current_exception();
+    }
+  }
+  const Clock::time_point completion_time = Clock::now();
+  // Stats are recorded before the promises are fulfilled so that a
+  // client observing its future ready also observes its request counted.
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    completed_ += batch.size();
+    if (failure != nullptr) failed_ += batch.size();
+    ++batches_;
+    switch (reason) {
+      case FlushReason::kSize: ++size_flushes_; break;
+      case FlushReason::kDeadline: ++deadline_flushes_; break;
+      case FlushReason::kShutdown: ++shutdown_flushes_; break;
+    }
+    for (const Request& request : batch) {
+      latency_us_.Add(
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::micro>>(
+              completion_time - request.enqueue_time)
+              .count());
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (failure != nullptr) {
+      batch[i].promise.set_exception(failure);
+    } else {
+      batch[i].promise.set_value(predictions[i][batch[i].task]);
+    }
+  }
+}
+
+void InferenceServer::UpdateModel(const ml::ParameterStore& new_parameters) {
+  std::unique_lock<std::shared_mutex> model_lock(model_mutex_);
+  // CopyValuesFrom bumps the parameter generation, which invalidates the
+  // PredictBatch cache on the next lookup — queued requests therefore
+  // see the new model, never a stale cached prediction.
+  model_->parameters().CopyValuesFrom(new_parameters);
+  ++model_updates_;
+}
+
+void InferenceServer::Shutdown() {
+  // Serializes concurrent Shutdown callers (e.g. an explicit call racing
+  // the destructor): the loser blocks until the winner has joined the
+  // workers, so returning from Shutdown always means the server is down.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // Already shut down by a previous call.
+    stopping_ = true;
+  }
+  queue_event_.notify_all();
+  space_event_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+ServerStats InferenceServer::Stats() const {
+  ServerStats stats;
+  {
+    std::shared_lock<std::shared_mutex> model_lock(model_mutex_);
+    stats.model_updates = model_updates_;
+  }
+  const double uptime_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          Clock::now() - start_time_)
+          .count();
+  // Queue-side and completion-side counters are snapshotted under both
+  // locks at once so the result is mutually consistent (e.g.
+  // submitted - completed - rejected is the true in-flight count).
+  std::scoped_lock locks(mutex_, stats_mutex_);
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.completed = completed_;
+  stats.failed = failed_;
+  stats.batches = batches_;
+  stats.size_flushes = size_flushes_;
+  stats.deadline_flushes = deadline_flushes_;
+  stats.shutdown_flushes = shutdown_flushes_;
+  // Every completed request went through exactly one batch, so the mean
+  // occupancy is completed / batches.
+  stats.mean_batch_occupancy =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(completed_) /
+                          static_cast<double>(batches_);
+  stats.qps = uptime_seconds <= 0.0
+                  ? 0.0
+                  : static_cast<double>(completed_) / uptime_seconds;
+  stats.latency_mean_us = latency_us_.mean();
+  stats.latency_p50_us = latency_us_.Percentile(50.0);
+  stats.latency_p95_us = latency_us_.Percentile(95.0);
+  stats.latency_p99_us = latency_us_.Percentile(99.0);
+  const std::size_t hits = model_->prediction_cache_hits();
+  const std::size_t misses = model_->prediction_cache_misses();
+  stats.cache_hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  return stats;
+}
+
+}  // namespace granite::serve

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Long-lived batched inference server.
+ *
+ * The serving layer of the ROADMAP north star: clients submit single
+ * basic-block throughput queries from any number of threads and get a
+ * future back; the server coalesces pending requests into batches —
+ * flushing on max-batch-size or on a deadline relative to the oldest
+ * pending request, whichever comes first — and drains each batch through
+ * GraniteModel::PredictBatchAllTasks on dedicated worker threads. Mixed
+ * tasks (microarchitectures) coalesce into the same batch because every
+ * task head is evaluated by the one forward pass, and identical blocks
+ * are deduplicated by canonical fingerprint inside the model (and served
+ * from its LRU prediction cache when enabled).
+ *
+ * Backpressure: the request queue is bounded; when it is full, Submit()
+ * either blocks until space frees up or rejects the request, per the
+ * configured overflow policy. Rejection (and shutdown) is reported as an
+ * empty optional rather than an exception.
+ *
+ * Hot model swap: UpdateModel() atomically publishes a new set of
+ * parameter values *between* batches — it excludes in-flight forward
+ * passes via a reader/writer lock, and the ParameterStore generation
+ * counter it bumps makes stale prediction-cache entries self-invalidate,
+ * so no served prediction ever mixes old and new weights.
+ */
+#ifndef GRANITE_SERVE_INFERENCE_SERVER_H_
+#define GRANITE_SERVE_INFERENCE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "asm/instruction.h"
+#include "base/statistics.h"
+#include "core/granite_model.h"
+#include "ml/parameter.h"
+
+namespace granite::serve {
+
+/** What Submit() does when the request queue is full. */
+enum class OverflowPolicy {
+  /** Block the caller until a worker drains the queue (or shutdown). */
+  kBlock,
+  /** Reject immediately: Submit() returns an empty optional. */
+  kReject,
+};
+
+/** Configuration of an InferenceServer. */
+struct InferenceServerConfig {
+  /** Dedicated batch-draining threads. */
+  int num_workers = 1;
+  /** A batch flushes as soon as this many requests are pending. */
+  int max_batch_size = 32;
+  /**
+   * A batch also flushes once the oldest pending request has waited this
+   * long (the batching window). Zero serves every request immediately,
+   * degenerating to unbatched (batch-size-1-ish) serving under light
+   * load.
+   */
+  std::chrono::microseconds batch_window{2000};
+  /** Bound on the number of queued (not yet draining) requests. */
+  std::size_t queue_capacity = 1024;
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  /**
+   * When positive, EnablePredictionCache(capacity) is called on the
+   * served model at construction; 0 leaves the model's cache setting
+   * untouched.
+   */
+  std::size_t prediction_cache_capacity = 0;
+};
+
+/** A point-in-time snapshot of the server's live statistics. */
+struct ServerStats {
+  /** Requests accepted into the queue. */
+  std::uint64_t submitted = 0;
+  /** Requests answered (their future is ready — with a value or, for
+   * the `failed` subset, with an exception). */
+  std::uint64_t completed = 0;
+  /** Answered requests whose batch's forward pass threw; their futures
+   * rethrow that exception from get(). Subset of `completed`. */
+  std::uint64_t failed = 0;
+  /** Requests turned away by backpressure or shutdown. */
+  std::uint64_t rejected = 0;
+  /** Batches drained, split by what triggered the flush. */
+  std::uint64_t batches = 0;
+  std::uint64_t size_flushes = 0;
+  std::uint64_t deadline_flushes = 0;
+  std::uint64_t shutdown_flushes = 0;
+  /** Mean requests per drained batch. */
+  double mean_batch_occupancy = 0.0;
+  /** Completed requests per second of server uptime. */
+  double qps = 0.0;
+  /** Request latency (enqueue to answer) in microseconds. */
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  /** Prediction-cache hit rate of the served model (lifetime), in
+   * [0, 1]; 0 when the cache is disabled or untouched. */
+  double cache_hit_rate = 0.0;
+  /** UpdateModel() calls published so far. */
+  std::uint64_t model_updates = 0;
+};
+
+/**
+ * A long-lived server answering block-throughput queries with coalesced
+ * batched GNN inference. All public methods are thread-safe.
+ */
+class InferenceServer {
+ public:
+  /**
+   * Starts the worker threads.
+   * @param model The served model; must outlive the server. The server
+   *   mutates it only through UpdateModel() and (optionally)
+   *   EnablePredictionCache().
+   */
+  InferenceServer(core::GraniteModel* model,
+                  const InferenceServerConfig& config);
+
+  /** Shuts down (draining queued requests) and joins the workers. */
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /**
+   * Enqueues one prediction request for `block` on task head `task`.
+   * `block` must stay alive until the returned future is ready. Returns
+   * an empty optional when the request is rejected: queue full under
+   * OverflowPolicy::kReject, or the server is (or goes) shut down. If
+   * the batch's forward pass throws (e.g. bad_alloc), the future
+   * rethrows that exception from get() instead of yielding a value.
+   */
+  std::optional<std::future<double>> Submit(const assembly::BasicBlock* block,
+                                            int task);
+
+  /**
+   * Synchronous convenience wrapper: Submit() + wait. Fails (via
+   * GRANITE_CHECK) if the request is rejected, so use it only with
+   * OverflowPolicy::kBlock or under loads the queue can absorb.
+   */
+  double Predict(const assembly::BasicBlock& block, int task);
+
+  /**
+   * Atomically publishes new parameter values (same store structure as
+   * the served model's) between batches: waits for in-flight batches to
+   * finish, copies the values in, and lets the generation bump flush the
+   * prediction cache. Requests already queued and requests submitted
+   * during the swap are answered with the new parameters.
+   */
+  void UpdateModel(const ml::ParameterStore& new_parameters);
+
+  /**
+   * Stops accepting new requests, wakes blocked producers (their
+   * submissions are rejected), drains every queued request, and joins
+   * the workers. Idempotent; also run by the destructor.
+   */
+  void Shutdown();
+
+  /** Snapshot of the live serving statistics. */
+  ServerStats Stats() const;
+
+  const InferenceServerConfig& config() const { return config_; }
+
+  /** The served model (e.g. for reading cache counters in tests). */
+  const core::GraniteModel& model() const { return *model_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /** One pending request. */
+  struct Request {
+    const assembly::BasicBlock* block;
+    int task;
+    std::promise<double> promise;
+    Clock::time_point enqueue_time;
+  };
+
+  /** Why a worker decided to drain a batch. */
+  enum class FlushReason { kSize, kDeadline, kShutdown };
+
+  /** Worker thread: waits for a flush condition, drains one batch. */
+  void WorkerLoop();
+
+  /** Runs one coalesced batch and fulfills its promises. */
+  void ExecuteBatch(std::vector<Request>& batch, FlushReason reason);
+
+  core::GraniteModel* model_;
+  InferenceServerConfig config_;
+  Clock::time_point start_time_;
+
+  /** Serializes Shutdown() callers until the workers are joined. */
+  std::mutex shutdown_mutex_;
+  /** Guards queue_, stopping_, submitted_, rejected_. */
+  mutable std::mutex mutex_;
+  /** Signals workers: request arrived / shutdown. */
+  std::condition_variable queue_event_;
+  /** Signals blocked producers: queue space freed / shutdown. */
+  std::condition_variable space_event_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+
+  /** Batches hold this shared; UpdateModel takes it exclusive. */
+  mutable std::shared_mutex model_mutex_;
+  std::uint64_t model_updates_ = 0;  // Guarded by model_mutex_.
+
+  /** Guards the completion-side counters and the latency histogram. */
+  mutable std::mutex stats_mutex_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t size_flushes_ = 0;
+  std::uint64_t deadline_flushes_ = 0;
+  std::uint64_t shutdown_flushes_ = 0;
+  /** Request latency in microseconds, 1us..100s. */
+  Histogram latency_us_{1.0, 1e8};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace granite::serve
+
+#endif  // GRANITE_SERVE_INFERENCE_SERVER_H_

@@ -206,6 +206,9 @@ std::vector<double> Trainer::Predict(const dataset::Dataset& data,
 
   // Inference batches are independent (parameters are read-only here), so
   // they shard across the shared worker pool like training batches do.
+  // With the graph path enabled, each worker encodes its batch once and
+  // runs the pre-encoded-graph forward, the same fast path training
+  // uses, instead of re-encoding inside the block-based ForwardFn.
   const auto run_batch = [&](std::size_t b) {
     const std::size_t begin = b * batch_size;
     const std::size_t end = std::min(begin + batch_size, data.size());
@@ -215,7 +218,9 @@ std::vector<double> Trainer::Predict(const dataset::Dataset& data,
       blocks.push_back(&data[i].block);
     }
     ml::Tape tape(backend_);
-    const std::vector<ml::Var> outputs = forward_(tape, blocks);
+    const std::vector<ml::Var> outputs =
+        graph_forward_ ? graph_forward_(tape, encode_(blocks))
+                       : forward_(tape, blocks);
     GRANITE_CHECK_LT(static_cast<std::size_t>(task), outputs.size());
     const ml::Tensor& column = tape.value(outputs[task]);
     GRANITE_CHECK_EQ(column.rows(), static_cast<int>(end - begin));

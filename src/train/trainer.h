@@ -124,10 +124,13 @@ class Trainer {
           const TrainerConfig& config);
 
   /**
-   * Enables the pre-encoded-graph fast path: batches are encoded by
-   * `encode` — on the prefetch thread when config().prefetch is set —
-   * and run through `graph_forward` instead of the block-based
-   * ForwardFn. Both closures must be thread-safe.
+   * Enables the pre-encoded-graph fast path: training batches are
+   * encoded by `encode` — on the prefetch thread when config().prefetch
+   * is set — and run through `graph_forward` instead of the block-based
+   * ForwardFn. Evaluation/validation batches (Predict, EvaluateTask and
+   * the validation pass inside Train) take the same path, encoding on
+   * the worker-pool thread that runs the batch. Both closures must be
+   * thread-safe.
    */
   void SetGraphPath(GraphForwardFn graph_forward, dataset::EncodeFn encode);
 

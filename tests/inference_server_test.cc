@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Concurrency suite for serve::InferenceServer: batching-window
+ * semantics (size-flush vs deadline-flush), mixed-task coalescing,
+ * backpressure under both overflow policies, shutdown draining, and hot
+ * model swap under traffic.
+ *
+ * Synchronization discipline: no sleeps-as-sync anywhere. Tests rely on
+ * futures (which block until the server answers), on flush conditions
+ * that are provably reachable (e.g. a 10-second window that cannot
+ * expire before a size flush), and on per-block expected values that are
+ * bitwise batch-composition-invariant — every per-block computation in
+ * the GNN is row-independent, so a block's prediction does not depend on
+ * which other blocks share its coalesced batch.
+ */
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/granite_model.h"
+#include "dataset/generator.h"
+#include "gtest/gtest.h"
+#include "serve/inference_server.h"
+
+namespace granite::serve {
+namespace {
+
+using std::chrono::microseconds;
+
+/** A 10-second window: never expires within a test, so every flush in
+ * tests using it is attributable to size or shutdown. */
+constexpr microseconds kNeverWindow{10'000'000};
+
+core::GraniteConfig TinyConfig(int num_tasks = 1) {
+  core::GraniteConfig config = core::GraniteConfig().WithEmbeddingSize(8);
+  config.message_passing_iterations = 2;
+  config.num_tasks = num_tasks;
+  return config;
+}
+
+class InferenceServerTest : public ::testing::Test {
+ protected:
+  InferenceServerTest() : vocabulary_(graph::Vocabulary::CreateDefault()) {
+    dataset::BlockGenerator generator(dataset::GeneratorConfig(), 1234);
+    blocks_ = generator.GenerateMany(12);
+  }
+
+  /** Per-block single-task expectations computed one block at a time;
+   * serving must reproduce them exactly from any batch composition. */
+  std::vector<double> ExpectedAlone(const core::GraniteModel& model,
+                                    int task) const {
+    std::vector<double> expected(blocks_.size());
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      expected[i] = model.Predict({&blocks_[i]}, task)[0];
+    }
+    return expected;
+  }
+
+  graph::Vocabulary vocabulary_;
+  std::vector<assembly::BasicBlock> blocks_;
+};
+
+TEST_F(InferenceServerTest, ServesASingleRequest) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.batch_window = microseconds{500};
+  InferenceServer server(&model, config);
+  EXPECT_EQ(server.Predict(blocks_[0], 0), expected[0]);
+  EXPECT_EQ(server.Predict(blocks_[1], 0), expected[1]);
+}
+
+TEST_F(InferenceServerTest, SizeFlushFiresBeforeTheDeadline) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.max_batch_size = 4;
+  config.batch_window = kNeverWindow;
+  InferenceServer server(&model, config);
+
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto future = server.Submit(&blocks_[i], 0);
+    ASSERT_TRUE(future.has_value());
+    futures.push_back(std::move(*future));
+  }
+  // The futures can only become ready through a size flush: the window
+  // is 10 s and the test would time out long before a deadline flush.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.size_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_occupancy, 4.0);
+}
+
+TEST_F(InferenceServerTest, DeadlineFlushServesAPartialBatch) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.max_batch_size = 1000;  // Unreachable: only the deadline fires.
+  config.batch_window = microseconds{200};
+  InferenceServer server(&model, config);
+
+  auto a = server.Submit(&blocks_[0], 0);
+  auto b = server.Submit(&blocks_[1], 0);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->get(), expected[0]);
+  EXPECT_EQ(b->get(), expected[1]);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.size_flushes, 0u);
+  EXPECT_GE(stats.deadline_flushes, 1u);
+}
+
+TEST_F(InferenceServerTest, MixedTasksCoalesceIntoOneForwardPass) {
+  core::GraniteModel model(&vocabulary_, TinyConfig(/*num_tasks=*/2));
+  const std::vector<double> expected_task0 = ExpectedAlone(model, 0);
+  const std::vector<double> expected_task1 = ExpectedAlone(model, 1);
+  InferenceServerConfig config;
+  config.max_batch_size = 2;
+  config.batch_window = kNeverWindow;
+  InferenceServer server(&model, config);
+
+  const std::size_t passes_before = model.num_forward_passes();
+  auto a = server.Submit(&blocks_[0], 0);
+  auto b = server.Submit(&blocks_[1], 1);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->get(), expected_task0[0]);
+  EXPECT_EQ(b->get(), expected_task1[1]);
+  // Both task heads were answered by the single all-tasks forward.
+  EXPECT_EQ(model.num_forward_passes(), passes_before + 1);
+}
+
+TEST_F(InferenceServerTest, RepeatedBlocksAreServedFromTheCache) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.max_batch_size = 4;
+  config.batch_window = kNeverWindow;
+  config.prediction_cache_capacity = 64;
+  InferenceServer server(&model, config);
+
+  // Warm the cache with one size-flushed batch of distinct blocks.
+  std::vector<std::future<double>> warm;
+  for (int i = 0; i < 4; ++i) warm.push_back(*server.Submit(&blocks_[i], 0));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(warm[i].get(), expected[i]);
+
+  const std::size_t passes = model.num_forward_passes();
+  std::vector<std::future<double>> hot;
+  for (int i = 0; i < 4; ++i) hot.push_back(*server.Submit(&blocks_[i], 0));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(hot[i].get(), expected[i]);
+  // The second batch was a pure cache hit: no new GNN invocation.
+  EXPECT_EQ(model.num_forward_passes(), passes);
+  EXPECT_GT(server.Stats().cache_hit_rate, 0.0);
+}
+
+TEST_F(InferenceServerTest, ManyProducersManyWorkersServeExactValues) {
+  core::GraniteModel model(&vocabulary_, TinyConfig(/*num_tasks=*/2));
+  std::vector<std::vector<double>> expected = {ExpectedAlone(model, 0),
+                                               ExpectedAlone(model, 1)};
+  InferenceServerConfig config;
+  config.num_workers = 3;
+  config.max_batch_size = 8;
+  config.batch_window = microseconds{100};
+  config.queue_capacity = 64;
+  config.overflow_policy = OverflowPolicy::kBlock;
+  config.prediction_cache_capacity = 64;
+  InferenceServer server(&model, config);
+
+  constexpr int kProducers = 4;
+  constexpr int kRequestsPerProducer = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<std::pair<std::size_t, int>> sent;
+      std::vector<std::future<double>> futures;
+      for (int r = 0; r < kRequestsPerProducer; ++r) {
+        const std::size_t i = (p * 7 + r) % blocks_.size();
+        const int task = (p + r) % 2;
+        auto future = server.Submit(&blocks_[i], task);
+        // kBlock + no shutdown during submission: never rejected.
+        if (!future.has_value()) {
+          ++mismatches;
+          continue;
+        }
+        sent.emplace_back(i, task);
+        futures.push_back(std::move(*future));
+      }
+      for (std::size_t k = 0; k < futures.size(); ++k) {
+        if (futures[k].get() != expected[sent[k].second][sent[k].first]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  server.Shutdown();
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kProducers) *
+                                 kRequestsPerProducer);
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.mean_batch_occupancy, 1.0);
+  EXPECT_GT(stats.qps, 0.0);
+}
+
+TEST_F(InferenceServerTest, RejectPolicyShedsLoadDeterministically) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.max_batch_size = 1000;
+  config.batch_window = kNeverWindow;  // The worker cannot drain yet.
+  config.queue_capacity = 1;
+  config.overflow_policy = OverflowPolicy::kReject;
+  InferenceServer server(&model, config);
+
+  auto accepted = server.Submit(&blocks_[0], 0);
+  ASSERT_TRUE(accepted.has_value());
+  // The queue is full and no flush condition holds: deterministic reject.
+  EXPECT_FALSE(server.Submit(&blocks_[1], 0).has_value());
+  EXPECT_FALSE(server.Submit(&blocks_[2], 0).has_value());
+  EXPECT_EQ(server.Stats().rejected, 2u);
+
+  // Shutdown drains the accepted request with the correct answer.
+  server.Shutdown();
+  EXPECT_EQ(accepted->get(), expected[0]);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.shutdown_flushes, 1u);
+}
+
+TEST_F(InferenceServerTest, BlockPolicyBlocksAndRecoversWithoutLoss) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.max_batch_size = 1;
+  config.batch_window = microseconds{0};  // Serve immediately.
+  config.queue_capacity = 1;              // Every submission contends.
+  config.overflow_policy = OverflowPolicy::kBlock;
+  InferenceServer server(&model, config);
+
+  // A single producer saturates the one-slot queue: most submissions
+  // must block until the worker drains, and none may be lost.
+  std::vector<std::future<double>> futures;
+  std::vector<std::size_t> sent;
+  for (int r = 0; r < 20; ++r) {
+    const std::size_t i = r % blocks_.size();
+    auto future = server.Submit(&blocks_[i], 0);
+    ASSERT_TRUE(future.has_value());
+    futures.push_back(std::move(*future));
+    sent.push_back(i);
+  }
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    EXPECT_EQ(futures[k].get(), expected[sent[k]]);
+  }
+  EXPECT_EQ(server.Stats().rejected, 0u);
+}
+
+TEST_F(InferenceServerTest, ShutdownDrainsInFlightRequests) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.max_batch_size = 1000;
+  config.batch_window = kNeverWindow;
+  InferenceServer server(&model, config);
+
+  std::vector<std::future<double>> futures;
+  std::vector<std::size_t> sent;
+  for (int r = 0; r < 30; ++r) {
+    const std::size_t i = r % blocks_.size();
+    futures.push_back(*server.Submit(&blocks_[i], 0));
+    sent.push_back(i);
+  }
+  // Nothing has flushed (size 30 < 1000, window 10 s); Shutdown must
+  // answer every queued request before joining the workers.
+  server.Shutdown();
+  for (std::size_t k = 0; k < futures.size(); ++k) {
+    EXPECT_EQ(futures[k].get(), expected[sent[k]]);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 30u);
+  EXPECT_GE(stats.shutdown_flushes, 1u);
+
+  // Submissions after shutdown are rejected, not lost in a dead queue.
+  EXPECT_FALSE(server.Submit(&blocks_[0], 0).has_value());
+}
+
+TEST_F(InferenceServerTest, UpdateModelMidTrafficNeverServesATornRead) {
+  // Three structurally identical models: `served` starts as a twin of
+  // `model_a`; `model_b` has different weights (another seed).
+  core::GraniteConfig config_a = TinyConfig();
+  core::GraniteConfig config_b = TinyConfig();
+  config_b.seed = 991;
+  core::GraniteModel served(&vocabulary_, config_a);
+  core::GraniteModel model_a(&vocabulary_, config_a);
+  core::GraniteModel model_b(&vocabulary_, config_b);
+  const std::vector<double> expected_a = ExpectedAlone(model_a, 0);
+  const std::vector<double> expected_b = ExpectedAlone(model_b, 0);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    ASSERT_NE(expected_a[i], expected_b[i]) << "seeds must differ";
+  }
+
+  InferenceServerConfig server_config;
+  server_config.num_workers = 2;
+  server_config.max_batch_size = 4;
+  server_config.batch_window = microseconds{100};
+  server_config.queue_capacity = 32;
+  server_config.prediction_cache_capacity = 64;
+  InferenceServer server(&served, server_config);
+
+  // Producers hammer the server while the main thread keeps swapping
+  // between the two parameter sets. Every answer must be bitwise one of
+  // the two models' predictions: a torn read (a forward pass overlapping
+  // the copy, or a stale cache entry surviving the swap) would produce a
+  // value in neither set.
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<std::uint64_t> served_count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      int r = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t i = (p * 5 + r++) % blocks_.size();
+        auto future = server.Submit(&blocks_[i], 0);
+        if (!future.has_value()) break;  // Shutdown raced us; fine.
+        const double value = future->get();
+        if (value != expected_a[i] && value != expected_b[i]) ++torn;
+        ++served_count;
+      }
+    });
+  }
+  for (int swap = 0; swap < 25; ++swap) {
+    server.UpdateModel(swap % 2 == 0 ? model_b.parameters()
+                                     : model_a.parameters());
+  }
+  // Let traffic observe the final state too, then stop.
+  while (served_count.load() < 50) std::this_thread::yield();
+  stop.store(true);
+  for (std::thread& producer : producers) producer.join();
+  server.Shutdown();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(server.Stats().model_updates, 25u);
+  EXPECT_GE(served_count.load(), 50u);
+}
+
+TEST_F(InferenceServerTest, StatsReportCoherentLatencyPercentiles) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  InferenceServerConfig config;
+  config.max_batch_size = 4;
+  config.batch_window = microseconds{100};
+  InferenceServer server(&model, config);
+  for (int r = 0; r < 16; ++r) {
+    server.Predict(blocks_[r % blocks_.size()], 0);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 16u);
+  EXPECT_GT(stats.latency_mean_us, 0.0);
+  EXPECT_GT(stats.latency_p50_us, 0.0);
+  EXPECT_LE(stats.latency_p50_us, stats.latency_p95_us);
+  EXPECT_LE(stats.latency_p95_us, stats.latency_p99_us);
+  EXPECT_GT(stats.qps, 0.0);
+}
+
+}  // namespace
+}  // namespace granite::serve

@@ -4,6 +4,7 @@
  * equivalence of sharded and single-threaded updates, prefetching, and
  * end-to-end convergence with multiple workers.
  */
+#include <memory>
 #include <vector>
 
 #include "core/granite_model.h"
@@ -174,6 +175,62 @@ TEST(ParallelTrainerTest, ParallelPrefetchedTrainingConverges) {
   const double final_mape = trainer.EvaluateTask(data, 0).mape;
   EXPECT_LT(final_mape, initial_mape * 0.5);
   EXPECT_LT(final_mape, 0.4);
+}
+
+/** Builds a trainer over `model` with the pre-encoded-graph path wired,
+ * the way GraniteRunner does. */
+std::unique_ptr<Trainer> GraphPathTrainer(core::GraniteModel& model,
+                                          const TrainerConfig& config) {
+  auto trainer = std::make_unique<Trainer>(GraniteForward(model),
+                                           &model.parameters(), config);
+  core::GraniteModel* raw = &model;
+  trainer->SetGraphPath(
+      [raw](ml::Tape& tape, const graph::BatchedGraph& batch) {
+        return raw->ForwardGraphs(tape, batch);
+      },
+      [raw](const std::vector<const assembly::BasicBlock*>& blocks) {
+        return raw->EncodeBlocks(blocks);
+      });
+  return trainer;
+}
+
+TEST(ParallelTrainerTest, ShardedValidationMatchesSerialValidation) {
+  // The validation/evaluation pass shards whole batches across the
+  // worker pool; every batch runs on its own tape and writes a disjoint
+  // slice of the output, so the worker count must not change a single
+  // bit of the predictions — and hence of the validation loss used for
+  // best-checkpoint selection.
+  const dataset::Dataset data = TinyDataset(30);
+  graph::Vocabulary vocabulary = graph::Vocabulary::CreateDefault();
+  core::GraniteModel model(&vocabulary, TinyGraniteConfig());
+
+  TrainerConfig serial_config = FastConfig(1);
+  serial_config.eval_batch_size = 8;
+  TrainerConfig sharded_config = serial_config;
+  sharded_config.num_workers = 4;
+  const auto serial = GraphPathTrainer(model, serial_config);
+  const auto sharded = GraphPathTrainer(model, sharded_config);
+
+  EXPECT_EQ(serial->Predict(data, 0), sharded->Predict(data, 0));
+  EXPECT_EQ(serial->EvaluateTask(data, 0).mape,
+            sharded->EvaluateTask(data, 0).mape);
+}
+
+TEST(ParallelTrainerTest, ValidationGraphPathMatchesBlockPath) {
+  // The graph path encodes each evaluation batch once on the worker
+  // running it instead of re-encoding inside the block-based ForwardFn;
+  // the encoded graph is identical, so the predictions must be too.
+  const dataset::Dataset data = TinyDataset(30);
+  graph::Vocabulary vocabulary = graph::Vocabulary::CreateDefault();
+  core::GraniteModel model(&vocabulary, TinyGraniteConfig());
+
+  TrainerConfig config = FastConfig(1);
+  config.eval_batch_size = 8;
+  config.num_workers = 2;
+  Trainer block_path(GraniteForward(model), &model.parameters(), config);
+  const auto graph_path = GraphPathTrainer(model, config);
+
+  EXPECT_EQ(block_path.Predict(data, 0), graph_path->Predict(data, 0));
 }
 
 TEST(ParallelTrainerTest, ValidationAndCheckpointingWorkWithWorkers) {

@@ -3,6 +3,7 @@
  * Tests of the statistics helpers (MAPE, correlations, ranks).
  */
 #include <cmath>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "base/statistics.h"
@@ -84,6 +85,92 @@ TEST(PercentileTest, Basic) {
   EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 100), 5.0);
   EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4, 5}, 50), 3.0);
   EXPECT_DOUBLE_EQ(Percentile({1, 2}, 50), 1.5);
+}
+
+TEST(HistogramTest, CountMeanAndExtremesAreExact) {
+  Histogram histogram(1.0, 1e6);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50), 0.0);
+
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) histogram.Add(v);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 25.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 40.0);
+  // The percentile endpoints clamp to the exact observed extremes.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100), 40.0);
+}
+
+TEST(HistogramTest, PercentileErrorIsBoundedByBucketGrowth) {
+  const double growth = 1.04;
+  Histogram histogram(1.0, 1e6, growth);
+  // 1..1000 uniformly: every sample percentile is known exactly.
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) {
+    values.push_back(static_cast<double>(i));
+    histogram.Add(static_cast<double>(i));
+  }
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double exact = Percentile(values, p);
+    const double approx = histogram.Percentile(p);
+    EXPECT_LE(approx, exact * growth * 1.01) << "p" << p;
+    EXPECT_GE(approx, exact / (growth * 1.01)) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, OutOfRangeValuesLandInEdgeBuckets) {
+  Histogram histogram(1.0, 100.0);
+  histogram.Add(0.001);  // Below min: first bucket.
+  histogram.Add(1e9);    // Above max: overflow bucket.
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1e9);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100), 1e9);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedStream) {
+  Histogram a(1.0, 1e4);
+  Histogram b(1.0, 1e4);
+  Histogram combined(1.0, 1e4);
+  for (int i = 1; i <= 50; ++i) {
+    a.Add(i);
+    combined.Add(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    b.Add(i);
+    combined.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double p : {25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p));
+  }
+}
+
+TEST(HistogramTest, ClearResetsEverything) {
+  Histogram histogram(1.0, 1e4);
+  for (int i = 1; i <= 10; ++i) histogram.Add(i);
+  histogram.Clear();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(99), 0.0);
+  histogram.Add(7.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50), 7.0);
+}
+
+TEST(HistogramTest, SingleValueIsReportedExactly) {
+  Histogram histogram(1.0, 1e6);
+  histogram.Add(123.456);
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Percentile(p), 123.456);
+  }
 }
 
 }  // namespace

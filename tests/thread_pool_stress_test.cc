@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Torture tests for base::ThreadPool beyond the happy path: nested and
+ * reentrant submission, exception capture/propagation through Wait() and
+ * the fork-join primitives, the N=1 inline path, and rapid
+ * construct/destroy cycles. All synchronization goes through the pool's
+ * own join points — no sleeps.
+ */
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace granite::base {
+namespace {
+
+TEST(ThreadPoolStressTest, NestedSubmissionIsDrainedByOneWait) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  for (int parent = 0; parent < 8; ++parent) {
+    pool.Submit([&pool, &executed] {
+      ++executed;
+      for (int child = 0; child < 8; ++child) {
+        pool.Submit([&pool, &executed] {
+          ++executed;
+          pool.Submit([&executed] { ++executed; });
+        });
+      }
+    });
+  }
+  // Wait() must account for grandchildren submitted while it drains.
+  pool.Wait();
+  EXPECT_EQ(executed.load(), 8 + 8 * 8 + 8 * 8);
+}
+
+TEST(ThreadPoolStressTest, ReentrantSubmitDuringParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> extra{0};
+  std::atomic<int> visited{0};
+  pool.ParallelFor(0, 32, [&](std::size_t) {
+    ++visited;
+    pool.Submit([&extra] { ++extra; });
+  });
+  // ParallelFor joins through Wait(), which drains the reentrant tasks.
+  EXPECT_EQ(visited.load(), 32);
+  EXPECT_EQ(extra.load(), 32);
+}
+
+TEST(ThreadPoolStressTest, WorkerExceptionPropagatesToWait) {
+  ThreadPool pool(4);
+  std::atomic<int> survivors{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&survivors, i] {
+      if (i == 7) throw std::runtime_error("boom");
+      ++survivors;
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // All non-throwing tasks still ran: the exception does not cancel the
+  // rest of the join window.
+  EXPECT_EQ(survivors.load(), 15);
+}
+
+TEST(ThreadPoolStressTest, OnlyTheFirstExceptionIsReported) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("each task throws"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pending slot was consumed: a fresh join window is clean.
+  pool.Submit([] {});
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolStressTest, CallerShardExceptionPropagatesFromRunShards) {
+  ThreadPool pool(4);
+  std::atomic<int> other_shards{0};
+  EXPECT_THROW(
+      pool.RunShards(0, 4,
+                     [&](int shard, std::size_t, std::size_t) {
+                       if (shard == 0) throw std::logic_error("caller");
+                       ++other_shards;
+                     }),
+      std::logic_error);
+  // The submitted shards completed before the rethrow (they reference
+  // stack state, so RunShards must join before propagating).
+  EXPECT_EQ(other_shards.load(), 3);
+}
+
+TEST(ThreadPoolStressTest, ParallelForExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](std::size_t i) {
+                                  if (i == 63) {
+                                    throw std::runtime_error("index 63");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolStressTest, ExceptionDoesNotPoisonSubsequentWork) {
+  ThreadPool pool(4);
+  pool.Submit([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+
+  std::atomic<long> sum{0};
+  pool.ParallelFor(0, 100, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolStressTest, InlinePoolRunsEverythingOnTheCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&seen] { seen.push_back(std::this_thread::get_id()); });
+  }
+  pool.Wait();  // Drains on the calling thread: no workers exist.
+  ASSERT_EQ(seen.size(), 4u);
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolStressTest, InlinePoolPropagatesExceptionsToo) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::runtime_error("inline"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // RunShards' single-shard fast path throws straight through.
+  EXPECT_THROW(pool.RunShards(0, 1,
+                              [](int, std::size_t, std::size_t) {
+                                throw std::logic_error("direct");
+                              }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolStressTest, RapidConstructDestroyCompletesAllTasks) {
+  std::atomic<int> executed{0};
+  constexpr int kCycles = 50;
+  constexpr int kTasksPerCycle = 32;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    ThreadPool pool(4);
+    for (int t = 0; t < kTasksPerCycle; ++t) {
+      pool.Submit([&executed] { ++executed; });
+    }
+    // No Wait(): the destructor must complete every pending task.
+  }
+  EXPECT_EQ(executed.load(), kCycles * kTasksPerCycle);
+}
+
+TEST(ThreadPoolStressTest, InlinePoolDestructorCompletesPendingTasks) {
+  // A width-1 pool has no workers: the destructor itself must drain the
+  // queue (and swallow any exception) instead of dropping the tasks.
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i) pool.Submit([&executed] { ++executed; });
+    pool.Submit([] { throw std::runtime_error("unobserved"); });
+  }
+  EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(ThreadPoolStressTest, NestedSubmissionDuringDestructorDrain) {
+  // A queued task that submits a child while the destructor is already
+  // draining must not abort, and the child must still run.
+  for (const int width : {1, 4}) {
+    std::atomic<int> executed{0};
+    {
+      ThreadPool pool(width);
+      for (int i = 0; i < 8; ++i) {
+        pool.Submit([&pool, &executed] {
+          pool.Submit([&executed] { ++executed; });
+        });
+      }
+      // Destroyed with everything still pending.
+    }
+    EXPECT_EQ(executed.load(), 8) << "width " << width;
+  }
+}
+
+TEST(ThreadPoolStressTest, RapidConstructDestroyWithVaryingWidths) {
+  std::atomic<long> sum{0};
+  for (int width = 1; width <= 8; ++width) {
+    ThreadPool pool(width);
+    pool.ParallelFor(0, 64, [&](std::size_t i) {
+      sum += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(sum.load(), 8 * 2016);  // 8 widths x sum(0..63).
+}
+
+TEST(ThreadPoolStressTest, ManyConcurrentJoinWindows) {
+  // Repeated fork-joins on one pool: stale all_done_ notifications from
+  // a previous window must not let a later Wait() return early.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 16, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 16) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace granite::base
