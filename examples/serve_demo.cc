@@ -1,20 +1,26 @@
 /**
  * @file
- * Serving demo: train a small GRANITE model, stand up a long-lived
- * InferenceServer in front of it, drive it from several client threads,
- * hot-swap the model mid-traffic, and print the live serving stats
- * (QPS, latency percentiles, batch occupancy, cache hit rate).
+ * Serving demo: train a small GRANITE model, export it as a
+ * self-describing checkpoint bundle, load the bundle back the way a
+ * production server would (model::LoadModel — no config knowledge
+ * needed), stand up a long-lived InferenceServer on the loaded model,
+ * drive it from several client threads, hot-swap retrained parameters
+ * mid-traffic, and print the live serving stats (QPS, global and
+ * per-task latency percentiles, batch occupancy, cache hit rate).
  *
  * Run time: a second or two.
  */
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "base/statistics.h"
 #include "core/granite_model.h"
 #include "dataset/dataset.h"
+#include "model/checkpoint.h"
 #include "serve/inference_server.h"
 #include "train/trainer.h"
 
@@ -22,7 +28,6 @@ namespace {
 
 using granite::serve::InferenceServer;
 using granite::serve::InferenceServerConfig;
-using granite::serve::ServerStats;
 
 granite::core::GraniteConfig DemoModelConfig(double mean_target,
                                              double mean_instructions) {
@@ -35,44 +40,21 @@ granite::core::GraniteConfig DemoModelConfig(double mean_target,
 }
 
 /** Trains `model` in place for `steps` steps. */
-void Train(granite::core::GraniteModel& model,
+void Train(granite::model::ThroughputPredictor& model,
            const granite::dataset::Dataset& data, int steps) {
   granite::train::TrainerConfig config;
   config.num_steps = steps;
   config.batch_size = 16;
   config.target_scale = 100.0;
   config.validation_every = 0;
-  granite::core::GraniteModel* raw = &model;
+  granite::model::ThroughputPredictor* raw = &model;
   granite::train::Trainer trainer(
       [raw](granite::ml::Tape& tape,
             const std::vector<const granite::assembly::BasicBlock*>& blocks) {
-        return raw->Forward(tape, blocks);
+        return raw->ForwardGraphsOrBlocks(tape, &blocks, nullptr);
       },
       &model.parameters(), config);
   trainer.Train(data, granite::dataset::Dataset());
-}
-
-void PrintStats(const char* label, const ServerStats& stats) {
-  std::printf("%s\n", label);
-  std::printf("  requests: %llu submitted, %llu completed, %llu rejected\n",
-              static_cast<unsigned long long>(stats.submitted),
-              static_cast<unsigned long long>(stats.completed),
-              static_cast<unsigned long long>(stats.rejected));
-  std::printf(
-      "  batches:  %llu (%llu size-flush, %llu deadline-flush, %llu "
-      "shutdown-flush), mean occupancy %.2f\n",
-      static_cast<unsigned long long>(stats.batches),
-      static_cast<unsigned long long>(stats.size_flushes),
-      static_cast<unsigned long long>(stats.deadline_flushes),
-      static_cast<unsigned long long>(stats.shutdown_flushes),
-      stats.mean_batch_occupancy);
-  std::printf("  qps: %.0f   latency us: mean %.0f  p50 %.0f  p95 %.0f  "
-              "p99 %.0f\n",
-              stats.qps, stats.latency_mean_us, stats.latency_p50_us,
-              stats.latency_p95_us, stats.latency_p99_us);
-  std::printf("  cache hit rate: %.1f%%   model updates: %llu\n",
-              100.0 * stats.cache_hit_rate,
-              static_cast<unsigned long long>(stats.model_updates));
 }
 
 }  // namespace
@@ -96,10 +78,22 @@ int main() {
       granite::graph::Vocabulary::CreateDefault();
   granite::core::GraniteConfig model_config =
       DemoModelConfig(mean_target, 6.0);
-  granite::core::GraniteModel model(&vocabulary, model_config);
+  granite::core::GraniteModel trained(&vocabulary, model_config);
   std::printf("training a %zu-weight model on %zu blocks...\n",
-              model.parameters().TotalWeights(), split.first.size());
-  Train(model, split.first, 120);
+              trained.parameters().TotalWeights(), split.first.size());
+  Train(trained, split.first, 120);
+
+  // Export the trained model as a checkpoint bundle and reload it — the
+  // serving process needs only the artifact path, exactly like a
+  // production rollout picking up a model from a registry.
+  const std::string bundle_path =
+      (std::filesystem::temp_directory_path() / "serve_demo.gmb").string();
+  granite::model::SaveModel(trained, bundle_path);
+  std::unique_ptr<granite::model::ThroughputPredictor> model =
+      granite::model::LoadModel(bundle_path);
+  std::printf("serving checkpoint bundle %s (%s model)\n", bundle_path.c_str(),
+              std::string(granite::model::ModelKindName(model->kind()))
+                  .c_str());
 
   // The server: 2 draining workers, batches of up to 16 requests
   // coalesced within a 2 ms window, a bounded queue that blocks
@@ -111,10 +105,10 @@ int main() {
   server_config.queue_capacity = 256;
   server_config.overflow_policy = granite::serve::OverflowPolicy::kBlock;
   server_config.prediction_cache_capacity = 512;
-  InferenceServer server(&model, server_config);
+  InferenceServer server(model.get(), server_config);
 
   // Four clients issue requests for a hot set of blocks — the repeats a
-  // BHive-style corpus would produce — across all decoder tasks.
+  // BHive-style corpus would produce.
   const std::vector<const granite::assembly::BasicBlock*> hot_set =
       split.second.Blocks();
   constexpr int kClients = 4;
@@ -135,23 +129,25 @@ int main() {
     });
   }
 
-  // Meanwhile: train an improved model offline and hot-swap it in. The
-  // swap publishes atomically between batches; the parameter-generation
-  // bump invalidates the prediction cache, so no stale answer survives.
+  // Meanwhile: train an improved model offline and hot-swap it into the
+  // serving process. The swap publishes atomically between batches; the
+  // parameter-generation bump invalidates the prediction cache, so no
+  // stale answer survives.
   granite::core::GraniteModel improved(&vocabulary, model_config);
-  improved.parameters().CopyValuesFrom(model.parameters());
+  improved.parameters().CopyValuesFrom(trained.parameters());
   Train(improved, split.first, 60);
   server.UpdateModel(improved.parameters());
   std::printf("hot-swapped retrained parameters mid-traffic\n\n");
 
   for (std::thread& client : clients) client.join();
   server.Shutdown();
-  PrintStats("final server stats:", server.Stats());
+  std::printf("final server stats:\n%s", server.StatsString().c_str());
 
   // The demo trains on cycles-per-iteration targets (target_scale 100),
   // so scale raw model output back to the paper's value range.
-  const double example = improved.PredictBatch({hot_set[0]}, 0)[0] * 100.0;
+  const double example = model->PredictBatch({hot_set[0]}, 0)[0] * 100.0;
   std::printf("\nexample block prediction (cycles/100 iters): %.2f\n",
               example);
+  std::filesystem::remove(bundle_path);
   return 0;
 }

@@ -1,9 +1,9 @@
 #include "core/granite_model.h"
 
-#include <unordered_map>
+#include <utility>
 
 #include "base/logging.h"
-#include "uarch/measurement.h"
+#include "model/config_io.h"
 
 namespace granite::core {
 
@@ -12,11 +12,68 @@ GraniteConfig GraniteConfig::WithEmbeddingSize(int size) const {
   scaled.node_embedding_size = size;
   scaled.edge_embedding_size = size;
   scaled.global_embedding_size = size;
-  scaled.node_update_layers = {size, size};
-  scaled.edge_update_layers = {size, size};
-  scaled.global_update_layers = {size, size};
-  scaled.decoder_layers = {size, size};
+  scaled.node_update_layers = model::ScaledLayers(node_update_layers, size);
+  scaled.edge_update_layers = model::ScaledLayers(edge_update_layers, size);
+  scaled.global_update_layers =
+      model::ScaledLayers(global_update_layers, size);
+  scaled.decoder_layers = model::ScaledLayers(decoder_layers, size);
   return scaled;
+}
+
+std::string SerializeConfig(const GraniteConfig& config) {
+  model::ConfigMap map;
+  map.SetInt("node_embedding_size", config.node_embedding_size);
+  map.SetInt("edge_embedding_size", config.edge_embedding_size);
+  map.SetInt("global_embedding_size", config.global_embedding_size);
+  map.SetIntList("node_update_layers", config.node_update_layers);
+  map.SetIntList("edge_update_layers", config.edge_update_layers);
+  map.SetIntList("global_update_layers", config.global_update_layers);
+  map.SetIntList("decoder_layers", config.decoder_layers);
+  map.SetInt("message_passing_iterations",
+             config.message_passing_iterations);
+  map.SetBool("use_layer_norm", config.use_layer_norm);
+  map.SetBool("use_residual", config.use_residual);
+  map.SetInt("num_tasks", config.num_tasks);
+  map.SetFloat("decoder_output_bias_init", config.decoder_output_bias_init);
+  map.SetUint("seed", config.seed);
+  return map.Serialize();
+}
+
+GraniteConfig GraniteConfigFromText(const std::string& text) {
+  const model::ConfigMap map = model::ConfigMap::Parse(text);
+  GraniteConfig config;
+  config.node_embedding_size = static_cast<int>(
+      map.GetInt("node_embedding_size", config.node_embedding_size));
+  config.edge_embedding_size = static_cast<int>(
+      map.GetInt("edge_embedding_size", config.edge_embedding_size));
+  config.global_embedding_size = static_cast<int>(
+      map.GetInt("global_embedding_size", config.global_embedding_size));
+  config.node_update_layers =
+      map.GetIntList("node_update_layers", config.node_update_layers);
+  config.edge_update_layers =
+      map.GetIntList("edge_update_layers", config.edge_update_layers);
+  config.global_update_layers =
+      map.GetIntList("global_update_layers", config.global_update_layers);
+  config.decoder_layers =
+      map.GetIntList("decoder_layers", config.decoder_layers);
+  config.message_passing_iterations =
+      static_cast<int>(map.GetInt("message_passing_iterations",
+                                  config.message_passing_iterations));
+  config.use_layer_norm =
+      map.GetBool("use_layer_norm", config.use_layer_norm);
+  config.use_residual = map.GetBool("use_residual", config.use_residual);
+  config.num_tasks =
+      static_cast<int>(map.GetInt("num_tasks", config.num_tasks));
+  config.decoder_output_bias_init = map.GetFloat(
+      "decoder_output_bias_init", config.decoder_output_bias_init);
+  config.seed = map.GetUint("seed", config.seed);
+  return config;
+}
+
+GraniteModel::GraniteModel(std::unique_ptr<graph::Vocabulary> vocabulary,
+                           const GraniteConfig& config)
+    : GraniteModel(vocabulary.get(), config) {
+  owned_vocabulary_ = std::move(vocabulary);
 }
 
 GraniteModel::GraniteModel(const graph::Vocabulary* vocabulary,
@@ -169,135 +226,31 @@ std::vector<double> GraniteModel::Predict(
   return result;
 }
 
-void GraniteModel::EnablePredictionCache(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (capacity == 0) {
-    prediction_cache_.reset();
-    return;
-  }
-  prediction_cache_ =
-      std::make_unique<base::LruCache<uint64_t, std::vector<double>>>(
-          capacity);
-  cache_generation_ = parameters_->generation();
+std::vector<ml::Var> GraniteModel::ForwardGraphsOrBlocks(
+    ml::Tape& tape, const std::vector<const assembly::BasicBlock*>* blocks,
+    const graph::BatchedGraph* graph) const {
+  GRANITE_CHECK((blocks != nullptr) != (graph != nullptr));
+  return graph != nullptr ? ForwardGraphs(tape, *graph)
+                          : Forward(tape, *blocks);
 }
 
-void GraniteModel::InvalidateStaleCacheLocked() const {
-  if (prediction_cache_ == nullptr) return;
-  const uint64_t generation = parameters_->generation();
-  if (generation == cache_generation_) return;
-  prediction_cache_->Clear();
-  cache_generation_ = generation;
-}
-
-std::size_t GraniteModel::prediction_cache_hits() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return prediction_cache_ ? prediction_cache_->hits() : 0;
-}
-
-std::size_t GraniteModel::prediction_cache_misses() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return prediction_cache_ ? prediction_cache_->misses() : 0;
-}
-
-std::vector<double> GraniteModel::PredictBatch(
-    const std::vector<const assembly::BasicBlock*>& blocks, int task) const {
-  GRANITE_CHECK(task >= 0 && task < config_.num_tasks);
-  const std::vector<std::vector<double>> per_block =
-      PredictBatchAllTasks(blocks);
-  std::vector<double> result(blocks.size());
-  for (std::size_t i = 0; i < per_block.size(); ++i) {
-    result[i] = per_block[i][task];
-  }
-  return result;
-}
-
-std::vector<std::vector<double>> GraniteModel::PredictBatchAllTasks(
+std::vector<std::vector<double>> GraniteModel::ComputeBatchAllTasks(
     const std::vector<const assembly::BasicBlock*>& blocks) const {
-  if (blocks.empty()) return {};
   const int num_tasks = config_.num_tasks;
-  std::vector<std::vector<double>> result(blocks.size());
-  bool cache_enabled;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    cache_enabled = prediction_cache_ != nullptr;
-  }
-  // Forward passes run outside the cache lock, here and below, so
-  // concurrent PredictBatch callers are never serialized on the GNN.
-  if (!cache_enabled) {
-    ml::Tape tape(backend_);
-    const std::vector<ml::Var> predictions = Forward(tape, blocks);
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      result[i].resize(num_tasks);
-      for (int t = 0; t < num_tasks; ++t) {
-        result[i][t] =
-            tape.value(predictions[t]).at(static_cast<int>(i), 0);
-      }
-    }
-    return result;
-  }
-  // Distinct fingerprint → block indices that need a forward pass.
-  std::unordered_map<uint64_t, std::vector<std::size_t>> misses;
-  std::vector<uint64_t> miss_order;
-  std::vector<uint64_t> keys(blocks.size());
-  // The parameter generation the forward pass below will compute under;
-  // results are only cached if it is still current afterwards.
-  uint64_t forward_generation = 0;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    // Drop entries computed under an older parameter generation (the
-    // cache self-versions on training/checkpoint updates).
-    InvalidateStaleCacheLocked();
-    forward_generation = parameters_->generation();
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      GRANITE_CHECK(blocks[i] != nullptr);
-      keys[i] = uarch::BlockFingerprint(*blocks[i]);
-      // The cache may have been reset since the enabled check above.
-      const std::vector<double>* cached =
-          prediction_cache_ ? prediction_cache_->Get(keys[i]) : nullptr;
-      if (cached != nullptr) {
-        result[i] = *cached;
-        continue;
-      }
-      auto [it, inserted] = misses.try_emplace(keys[i]);
-      if (inserted) miss_order.push_back(keys[i]);
-      it->second.push_back(i);
-    }
-  }
-  if (miss_order.empty()) return result;
-
-  // One deduplicated forward pass over the missing blocks, evaluating
-  // every task head: the decoders are a sliver of the GNN trunk cost, so
-  // caching all tasks at once makes later PredictBatch(…, other_task)
-  // calls hits too. The cache lock is not held during the forward pass.
-  std::vector<const assembly::BasicBlock*> miss_blocks;
-  miss_blocks.reserve(miss_order.size());
-  for (const uint64_t key : miss_order) {
-    miss_blocks.push_back(blocks[misses.at(key).front()]);
-  }
   ml::Tape tape(backend_);
-  const std::vector<ml::Var> predictions = Forward(tape, miss_blocks);
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  // A concurrent EnablePredictionCache(0) may have disabled caching and a
-  // concurrent optimizer step may have advanced the parameter generation
-  // while the forward pass ran. The results are still valid to return,
-  // but only cache them when they were computed at the generation the
-  // cache currently holds.
-  InvalidateStaleCacheLocked();
-  const bool cache_results =
-      prediction_cache_ != nullptr && cache_generation_ == forward_generation;
-  for (std::size_t j = 0; j < miss_order.size(); ++j) {
-    std::vector<double> per_task(num_tasks);
+  const std::vector<ml::Var> predictions = Forward(tape, blocks);
+  std::vector<std::vector<double>> result(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    result[i].resize(num_tasks);
     for (int t = 0; t < num_tasks; ++t) {
-      per_task[t] = tape.value(predictions[t]).at(static_cast<int>(j), 0);
-    }
-    for (const std::size_t i : misses.at(miss_order[j])) {
-      result[i] = per_task;
-    }
-    if (cache_results) {
-      prediction_cache_->Put(miss_order[j], std::move(per_task));
+      result[i][t] = tape.value(predictions[t]).at(static_cast<int>(i), 0);
     }
   }
   return result;
+}
+
+std::string GraniteModel::DescribeConfig() const {
+  return SerializeConfig(config_);
 }
 
 }  // namespace granite::core

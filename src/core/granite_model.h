@@ -16,18 +16,17 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "asm/instruction.h"
-#include "base/lru_cache.h"
 #include "core/graph_net.h"
 #include "graph/graph_builder.h"
 #include "graph/vocabulary.h"
 #include "ml/layers.h"
 #include "ml/parameter.h"
 #include "ml/tape.h"
+#include "model/throughput_predictor.h"
 
 namespace granite::core {
 
@@ -69,14 +68,28 @@ struct GraniteConfig {
   GraniteConfig WithEmbeddingSize(int size) const;
 };
 
+/** Serializes `config` as the canonical key=value text stored in
+ * checkpoint bundles (kernel_backend is a runtime choice, not a model
+ * property, and is deliberately not serialized). */
+std::string SerializeConfig(const GraniteConfig& config);
+
+/** Parses SerializeConfig output; unknown keys are ignored and missing
+ * keys keep their defaults. Throws std::runtime_error on malformed
+ * values. */
+GraniteConfig GraniteConfigFromText(const std::string& text);
+
 /** The GRANITE throughput estimation model. */
-class GraniteModel {
+class GraniteModel : public model::ThroughputPredictor {
  public:
   /**
    * @param vocabulary Token vocabulary; must outlive the model.
    * @param config Model hyper-parameters.
    */
   GraniteModel(const graph::Vocabulary* vocabulary,
+               const GraniteConfig& config);
+
+  /** As above, but the model owns the vocabulary (checkpoint loading). */
+  GraniteModel(std::unique_ptr<graph::Vocabulary> vocabulary,
                const GraniteConfig& config);
 
   /**
@@ -91,48 +104,19 @@ class GraniteModel {
   std::vector<ml::Var> ForwardGraphs(ml::Tape& tape,
                                      const graph::BatchedGraph& batch) const;
 
+  /**
+   * Unified forward entry point (model::ThroughputPredictor): dispatches
+   * to ForwardGraphs when `graph` is non-null, else to Forward.
+   */
+  std::vector<ml::Var> ForwardGraphsOrBlocks(
+      ml::Tape& tape,
+      const std::vector<const assembly::BasicBlock*>* blocks,
+      const graph::BatchedGraph* graph) const override;
+
   /** Convenience inference: predictions of one task for a block batch. */
   std::vector<double> Predict(
-      const std::vector<const assembly::BasicBlock*>& blocks, int task) const;
-
-  /**
-   * Batched inference with prediction caching. Blocks whose canonical
-   * fingerprint (uarch::BlockFingerprint of the textual form) is in the
-   * LRU cache are answered without touching the GNN; the remaining
-   * distinct blocks run through one forward pass (deduplicated, all task
-   * heads at once) and populate the cache. BHive-style corpora repeat the
-   * same hot blocks constantly, making this the intended serving path.
-   * Without EnablePredictionCache() it degrades to a plain batched
-   * forward pass. Thread-safe.
-   */
-  std::vector<double> PredictBatch(
-      const std::vector<const assembly::BasicBlock*>& blocks, int task) const;
-
-  /**
-   * Like PredictBatch() but returns every task head: entry i holds
-   * config().num_tasks predictions for blocks[i]. One forward pass (at
-   * most) answers the whole batch regardless of which tasks the caller
-   * needs, which is what lets the inference server coalesce requests for
-   * different microarchitectures into a single GNN invocation. Uses the
-   * same cache and dedup machinery as PredictBatch; PredictBatch(blocks,
-   * task)[i] == PredictBatchAllTasks(blocks)[i][task] bit-for-bit.
-   * Thread-safe.
-   */
-  std::vector<std::vector<double>> PredictBatchAllTasks(
-      const std::vector<const assembly::BasicBlock*>& blocks) const;
-
-  /**
-   * Sizes the PredictBatch LRU cache to `capacity` unique blocks and
-   * clears it; 0 disables caching. The cache versions itself on the
-   * parameter store's generation counter, so training steps, checkpoint
-   * loads, and snapshot restores invalidate it automatically — no manual
-   * reset is needed after parameter updates.
-   */
-  void EnablePredictionCache(std::size_t capacity);
-
-  /** Lifetime PredictBatch() cache hit / miss counters. */
-  std::size_t prediction_cache_hits() const;
-  std::size_t prediction_cache_misses() const;
+      const std::vector<const assembly::BasicBlock*>& blocks,
+      int task) const override;
 
   /** Number of GNN forward passes executed by this model (every
    * ForwardGraphs call; lets tests verify that cache hits bypass the
@@ -154,18 +138,35 @@ class GraniteModel {
 
   /** Encodes blocks into a batched graph using the model's vocabulary. */
   graph::BatchedGraph EncodeBlocks(
-      const std::vector<const assembly::BasicBlock*>& blocks) const;
+      const std::vector<const assembly::BasicBlock*>& blocks) const override;
 
-  ml::ParameterStore& parameters() { return *parameters_; }
-  const ml::ParameterStore& parameters() const { return *parameters_; }
+  /** GRANITE supports the pre-encoded-graph training/serving fast path. */
+  bool SupportsGraphEncoding() const override { return true; }
+
+  int num_tasks() const override { return config_.num_tasks; }
+  model::ModelKind kind() const override {
+    return model::ModelKind::kGranite;
+  }
+  std::string DescribeConfig() const override;
+
+  ml::ParameterStore& parameters() override { return *parameters_; }
+  const ml::ParameterStore& parameters() const override {
+    return *parameters_;
+  }
   const GraniteConfig& config() const { return config_; }
-  const graph::Vocabulary& vocabulary() const { return *vocabulary_; }
+  const graph::Vocabulary& vocabulary() const override {
+    return *vocabulary_;
+  }
+
+ protected:
+  /** Uncached all-task batched forward for the inherited
+   * PredictBatchAllTasks cache/dedup machinery. */
+  std::vector<std::vector<double>> ComputeBatchAllTasks(
+      const std::vector<const assembly::BasicBlock*>& blocks) const override;
 
  private:
-  /** Clears the cache when the parameter generation moved since it was
-   * filled. Requires cache_mutex_ to be held. */
-  void InvalidateStaleCacheLocked() const;
-
+  /** Set only by the owning-vocabulary constructor. */
+  std::unique_ptr<graph::Vocabulary> owned_vocabulary_;
   const graph::Vocabulary* vocabulary_;
   GraniteConfig config_;
   /** Kernel backend for internally created tapes (config.kernel_backend). */
@@ -183,13 +184,6 @@ class GraniteModel {
   /** One decoder per task (§3.4). */
   std::vector<std::unique_ptr<ml::Mlp>> decoders_;
 
-  /** PredictBatch cache: canonical block fingerprint → one prediction per
-   * task. Guarded by cache_mutex_; mutable because inference is const. */
-  mutable std::mutex cache_mutex_;
-  mutable std::unique_ptr<base::LruCache<uint64_t, std::vector<double>>>
-      prediction_cache_;
-  /** Parameter generation the cache contents were computed at. */
-  mutable uint64_t cache_generation_ = 0;
   mutable std::atomic<std::size_t> num_forward_passes_{0};
 };
 

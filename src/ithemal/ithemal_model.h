@@ -15,6 +15,7 @@
 #define GRANITE_ITHEMAL_ITHEMAL_MODEL_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "asm/instruction.h"
@@ -22,6 +23,7 @@
 #include "ml/layers.h"
 #include "ml/parameter.h"
 #include "ml/tape.h"
+#include "model/throughput_predictor.h"
 
 namespace granite::ithemal {
 
@@ -53,11 +55,24 @@ struct IthemalConfig {
   IthemalConfig WithEmbeddingSize(int size) const;
 };
 
+/** Serializes `config` as the canonical key=value text stored in
+ * checkpoint bundles. */
+std::string SerializeConfig(const IthemalConfig& config);
+
+/** Parses SerializeConfig output; unknown keys are ignored and missing
+ * keys keep their defaults. Throws std::runtime_error on malformed
+ * values. */
+IthemalConfig IthemalConfigFromText(const std::string& text);
+
 /** The Ithemal / Ithemal+ throughput estimation model. */
-class IthemalModel {
+class IthemalModel : public model::ThroughputPredictor {
  public:
   /** The vocabulary (CreateIthemalVocabulary()) must outlive the model. */
   IthemalModel(const graph::Vocabulary* vocabulary,
+               const IthemalConfig& config);
+
+  /** As above, but the model owns the vocabulary (checkpoint loading). */
+  IthemalModel(std::unique_ptr<graph::Vocabulary> vocabulary,
                const IthemalConfig& config);
 
   /**
@@ -68,12 +83,41 @@ class IthemalModel {
       ml::Tape& tape,
       const std::vector<const assembly::BasicBlock*>& blocks) const;
 
+  /**
+   * Unified forward entry point (model::ThroughputPredictor). The LSTM
+   * models have no graph encoding, so `graph` must be null.
+   */
+  std::vector<ml::Var> ForwardGraphsOrBlocks(
+      ml::Tape& tape,
+      const std::vector<const assembly::BasicBlock*>* blocks,
+      const graph::BatchedGraph* graph) const override;
+
   /** Convenience inference for one task. */
   std::vector<double> Predict(
-      const std::vector<const assembly::BasicBlock*>& blocks, int task) const;
+      const std::vector<const assembly::BasicBlock*>& blocks,
+      int task) const override;
 
-  ml::ParameterStore& parameters() { return *parameters_; }
+  int num_tasks() const override { return config_.num_tasks; }
+  model::ModelKind kind() const override {
+    return model::ModelKind::kIthemal;
+  }
+  std::string DescribeConfig() const override;
+
+  ml::ParameterStore& parameters() override { return *parameters_; }
+  const ml::ParameterStore& parameters() const override {
+    return *parameters_;
+  }
   const IthemalConfig& config() const { return config_; }
+  const graph::Vocabulary& vocabulary() const override {
+    return *vocabulary_;
+  }
+
+ protected:
+  /** Uncached all-task batched forward for the inherited
+   * PredictBatchAllTasks cache/dedup machinery — the batched/cached
+   * serving path Ithemal historically lacked. */
+  std::vector<std::vector<double>> ComputeBatchAllTasks(
+      const std::vector<const assembly::BasicBlock*>& blocks) const override;
 
  private:
   /** Computes one embedding row per instruction of every block:
@@ -83,6 +127,8 @@ class IthemalModel {
       const std::vector<const assembly::BasicBlock*>& blocks,
       std::vector<int>& block_of_instruction) const;
 
+  /** Set only by the owning-vocabulary constructor. */
+  std::unique_ptr<graph::Vocabulary> owned_vocabulary_;
   const graph::Vocabulary* vocabulary_;
   IthemalConfig config_;
   std::unique_ptr<ml::ParameterStore> parameters_;

@@ -1,0 +1,353 @@
+#include "model/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/granite_model.h"
+#include "ithemal/ithemal_model.h"
+#include "ml/tensor.h"
+
+namespace granite::model {
+namespace {
+
+// Sanity bounds rejecting absurd sizes before any allocation, so a
+// corrupt length field raises CheckpointError instead of bad_alloc.
+constexpr std::uint64_t kMaxStringBytes = 1ull << 20;
+constexpr std::uint64_t kMaxTokens = 1ull << 22;
+constexpr std::uint64_t kMaxParameters = 1ull << 20;
+constexpr std::uint64_t kMaxTensorElements = 1ull << 28;
+
+std::uint64_t Fnv1a(std::uint64_t hash, const char* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+class BundleWriter {
+ public:
+  BundleWriter(const std::string& path)
+      : path_(path), file_(path, std::ios::binary | std::ios::trunc) {
+    if (!file_.is_open()) {
+      throw CheckpointError("cannot write checkpoint bundle: " + path);
+    }
+  }
+
+  /** Every written byte feeds the running checksum, so the trailer
+   * covers the whole bundle — kind, config and vocabulary included, not
+   * just the parameter payload. */
+  void WriteRaw(const char* data, std::size_t size) {
+    file_.write(data, static_cast<std::streamsize>(size));
+    checksum_ = Fnv1a(checksum_, data, size);
+  }
+
+  template <typename T>
+  void WriteScalar(T value) {
+    WriteRaw(reinterpret_cast<const char*>(&value), sizeof(value));
+  }
+
+  void WriteString(std::string_view value) {
+    WriteScalar<std::uint64_t>(value.size());
+    WriteRaw(value.data(), value.size());
+  }
+
+  /** Appends the checksum trailer (not part of its own coverage) and
+   * verifies the stream. */
+  void FinishWithChecksum() {
+    const std::uint64_t checksum = checksum_;
+    file_.write(reinterpret_cast<const char*>(&checksum),
+                sizeof(checksum));
+    file_.flush();
+    if (!file_.good()) {
+      throw CheckpointError("write failed for checkpoint bundle: " + path_);
+    }
+  }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  std::uint64_t checksum_ = kFnvOffsetBasis;
+};
+
+class BundleReader {
+ public:
+  BundleReader(const std::string& path)
+      : path_(path), file_(path, std::ios::binary) {
+    if (!file_.is_open()) {
+      throw CheckpointError("cannot read checkpoint bundle: " + path);
+    }
+  }
+
+  /** Mirrors BundleWriter::WriteRaw: every consumed byte feeds the
+   * running checksum. */
+  void ReadRaw(char* data, std::size_t size, const char* what) {
+    file_.read(data, static_cast<std::streamsize>(size));
+    if (static_cast<std::size_t>(file_.gcount()) != size) {
+      throw CheckpointError("truncated checkpoint bundle (" +
+                            std::string(what) + "): " + path_);
+    }
+    checksum_ = Fnv1a(checksum_, data, size);
+  }
+
+  /** The checksum of everything read so far. */
+  std::uint64_t checksum() const { return checksum_; }
+
+  /** Reads the trailer without feeding it into its own coverage. */
+  std::uint64_t ReadStoredChecksum() {
+    std::uint64_t value = 0;
+    file_.read(reinterpret_cast<char*>(&value), sizeof(value));
+    if (static_cast<std::size_t>(file_.gcount()) != sizeof(value)) {
+      throw CheckpointError("truncated checkpoint bundle (checksum): " +
+                            path_);
+    }
+    return value;
+  }
+
+  template <typename T>
+  T ReadScalar(const char* what) {
+    T value{};
+    ReadRaw(reinterpret_cast<char*>(&value), sizeof(value), what);
+    return value;
+  }
+
+  std::string ReadString(const char* what) {
+    const std::uint64_t size = ReadScalar<std::uint64_t>(what);
+    if (size > kMaxStringBytes) {
+      throw CheckpointError("corrupt checkpoint bundle (oversized " +
+                            std::string(what) + "): " + path_);
+    }
+    std::string value(size, '\0');
+    ReadRaw(value.data(), size, what);
+    return value;
+  }
+
+  bool AtEof() {
+    file_.peek();
+    return file_.eof();
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ifstream file_;
+  std::uint64_t checksum_ = kFnvOffsetBasis;
+};
+
+// Bounds on config values parsed from a bundle: a bit-flipped but
+// parseable config must not reach the model constructors' GRANITE_CHECK
+// aborts or absurd allocations — reject it as a clean CheckpointError
+// first. (Content corruption is additionally caught by the whole-stream
+// checksum, but only after construction.)
+void CheckConfigRange(std::int64_t value, std::int64_t low,
+                      std::int64_t high, const char* what,
+                      const std::string& path) {
+  if (value < low || value > high) {
+    throw CheckpointError("corrupt checkpoint bundle (" +
+                          std::string(what) + " = " +
+                          std::to_string(value) + " outside [" +
+                          std::to_string(low) + ", " +
+                          std::to_string(high) + "]): " + path);
+  }
+}
+
+void CheckLayerList(const std::vector<int>& layers, const char* what,
+                    const std::string& path) {
+  CheckConfigRange(static_cast<std::int64_t>(layers.size()), 0, 64, what,
+                   path);
+  for (const int width : layers) {
+    CheckConfigRange(width, 1, 1 << 16, what, path);
+  }
+}
+
+void ValidateConfig(const core::GraniteConfig& config,
+                    const std::string& path) {
+  CheckConfigRange(config.node_embedding_size, 1, 1 << 16,
+                   "node_embedding_size", path);
+  CheckConfigRange(config.edge_embedding_size, 1, 1 << 16,
+                   "edge_embedding_size", path);
+  CheckConfigRange(config.global_embedding_size, 1, 1 << 16,
+                   "global_embedding_size", path);
+  CheckLayerList(config.node_update_layers, "node_update_layers", path);
+  CheckLayerList(config.edge_update_layers, "edge_update_layers", path);
+  CheckLayerList(config.global_update_layers, "global_update_layers",
+                 path);
+  CheckLayerList(config.decoder_layers, "decoder_layers", path);
+  CheckConfigRange(config.message_passing_iterations, 1, 1 << 10,
+                   "message_passing_iterations", path);
+  CheckConfigRange(config.num_tasks, 1, 1 << 10, "num_tasks", path);
+}
+
+void ValidateConfig(const ithemal::IthemalConfig& config,
+                    const std::string& path) {
+  CheckConfigRange(config.embedding_size, 1, 1 << 16, "embedding_size",
+                   path);
+  CheckConfigRange(config.hidden_size, 1, 1 << 16, "hidden_size", path);
+  CheckLayerList(config.decoder_layers, "decoder_layers", path);
+  CheckConfigRange(config.num_tasks, 1, 1 << 10, "num_tasks", path);
+}
+
+std::unique_ptr<ThroughputPredictor> ConstructModel(
+    ModelKind kind, const std::string& config_text,
+    std::unique_ptr<graph::Vocabulary> vocabulary, const std::string& path) {
+  try {
+    switch (kind) {
+      case ModelKind::kGranite: {
+        const core::GraniteConfig config =
+            core::GraniteConfigFromText(config_text);
+        ValidateConfig(config, path);
+        return std::make_unique<core::GraniteModel>(std::move(vocabulary),
+                                                    config);
+      }
+      case ModelKind::kIthemal: {
+        const ithemal::IthemalConfig config =
+            ithemal::IthemalConfigFromText(config_text);
+        ValidateConfig(config, path);
+        return std::make_unique<ithemal::IthemalModel>(
+            std::move(vocabulary), config);
+      }
+    }
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::runtime_error& error) {
+    throw CheckpointError("corrupt checkpoint bundle (bad config): " + path +
+                          ": " + error.what());
+  }
+  throw CheckpointError("corrupt checkpoint bundle (bad kind): " + path);
+}
+
+}  // namespace
+
+void SaveModel(const ThroughputPredictor& model, const std::string& path) {
+  BundleWriter writer(path);
+  writer.WriteRaw(kBundleMagic.data(), kBundleMagic.size());
+  writer.WriteScalar<std::uint32_t>(kBundleFormatVersion);
+  writer.WriteString(ModelKindName(model.kind()));
+  writer.WriteString(model.DescribeConfig());
+
+  const std::vector<std::string>& tokens = model.vocabulary().tokens();
+  writer.WriteScalar<std::uint64_t>(tokens.size());
+  for (const std::string& token : tokens) writer.WriteString(token);
+
+  const auto& parameters = model.parameters().parameters();
+  writer.WriteScalar<std::uint64_t>(parameters.size());
+  for (const auto& parameter : parameters) {
+    writer.WriteString(parameter->name);
+    writer.WriteScalar<std::int32_t>(parameter->value.rows());
+    writer.WriteScalar<std::int32_t>(parameter->value.cols());
+    writer.WriteRaw(reinterpret_cast<const char*>(parameter->value.data()),
+                    parameter->value.size() * sizeof(float));
+  }
+  writer.FinishWithChecksum();
+}
+
+std::unique_ptr<ThroughputPredictor> LoadModel(const std::string& path) {
+  BundleReader reader(path);
+
+  std::array<char, 8> magic{};
+  reader.ReadRaw(magic.data(), magic.size(), "magic");
+  if (magic != kBundleMagic) {
+    throw CheckpointError("not a GRANITE checkpoint bundle (bad magic): " +
+                          path);
+  }
+  const std::uint32_t version = reader.ReadScalar<std::uint32_t>("version");
+  if (version != kBundleFormatVersion) {
+    throw CheckpointError(
+        "unsupported checkpoint bundle version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kBundleFormatVersion) + "): " + path);
+  }
+
+  const std::string kind_name = reader.ReadString("model kind");
+  const std::optional<ModelKind> kind = ModelKindFromName(kind_name);
+  if (!kind.has_value()) {
+    throw CheckpointError("unknown model kind '" + kind_name +
+                          "' in checkpoint bundle: " + path);
+  }
+  const std::string config_text = reader.ReadString("config");
+
+  const std::uint64_t num_tokens =
+      reader.ReadScalar<std::uint64_t>("vocabulary size");
+  if (num_tokens == 0 || num_tokens > kMaxTokens) {
+    throw CheckpointError(
+        "corrupt checkpoint bundle (bad vocabulary size): " + path);
+  }
+  std::vector<std::string> tokens;
+  tokens.reserve(num_tokens);
+  for (std::uint64_t i = 0; i < num_tokens; ++i) {
+    tokens.push_back(reader.ReadString("vocabulary token"));
+  }
+
+  std::unique_ptr<ThroughputPredictor> model = ConstructModel(
+      *kind, config_text,
+      std::make_unique<graph::Vocabulary>(std::move(tokens)), path);
+
+  const std::uint64_t num_parameters =
+      reader.ReadScalar<std::uint64_t>("parameter count");
+  const auto& parameters = model->parameters().parameters();
+  if (num_parameters > kMaxParameters ||
+      num_parameters != parameters.size()) {
+    throw CheckpointError(
+        "checkpoint bundle parameter count mismatch (file has " +
+        std::to_string(num_parameters) + ", model has " +
+        std::to_string(parameters.size()) + "): " + path);
+  }
+  std::unordered_set<std::string> loaded;
+  for (std::uint64_t i = 0; i < num_parameters; ++i) {
+    const std::string name = reader.ReadString("parameter name");
+    if (!loaded.insert(name).second) {
+      throw CheckpointError(
+          "corrupt checkpoint bundle (duplicate parameter '" + name +
+          "'): " + path);
+    }
+    const auto rows = reader.ReadScalar<std::int32_t>("parameter rows");
+    const auto cols = reader.ReadScalar<std::int32_t>("parameter cols");
+    if (rows < 0 || cols < 0 ||
+        static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) >
+            kMaxTensorElements) {
+      throw CheckpointError(
+          "corrupt checkpoint bundle (bad tensor shape for '" + name +
+          "'): " + path);
+    }
+    // Bundles restore by name, so parameter creation order may change
+    // between builds without invalidating existing files.
+    if (!model->parameters().Contains(name)) {
+      throw CheckpointError("checkpoint bundle parameter '" + name +
+                            "' does not exist in the reconstructed model: " +
+                            path);
+    }
+    ml::Parameter* parameter = model->parameters().Get(name);
+    if (parameter->value.rows() != rows || parameter->value.cols() != cols) {
+      throw CheckpointError(
+          "checkpoint bundle shape mismatch for '" + name + "' (file " +
+          std::to_string(rows) + "x" + std::to_string(cols) + ", model " +
+          std::to_string(parameter->value.rows()) + "x" +
+          std::to_string(parameter->value.cols()) + "): " + path);
+    }
+    reader.ReadRaw(reinterpret_cast<char*>(parameter->value.data()),
+                   parameter->value.size() * sizeof(float),
+                   "parameter values");
+  }
+  const std::uint64_t computed_checksum = reader.checksum();
+  if (reader.ReadStoredChecksum() != computed_checksum) {
+    throw CheckpointError(
+        "corrupt checkpoint bundle (checksum mismatch): " + path);
+  }
+  if (!reader.AtEof()) {
+    throw CheckpointError(
+        "corrupt checkpoint bundle (trailing bytes after checksum): " +
+        path);
+  }
+  // The values changed under the model: advance the generation so any
+  // prediction cache attached before the load self-invalidates.
+  model->parameters().BumpGeneration();
+  return model;
+}
+
+}  // namespace granite::model

@@ -1,0 +1,192 @@
+#include "model/config_io.h"
+
+#include <cfloat>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace granite::model {
+namespace {
+
+[[noreturn]] void ParseError(const std::string& key,
+                             const std::string& value, const char* type) {
+  throw std::runtime_error("config value for '" + key +
+                           "' is not a valid " + type + ": '" + value + "'");
+}
+
+/** Strict digit check: strtoll/strtoull tolerate leading whitespace (and
+ * strtoull wraps negatives), which would let malformed values through. */
+bool IsDecimal(const std::string& value, bool allow_sign) {
+  std::size_t start = 0;
+  if (allow_sign && !value.empty() && value.front() == '-') start = 1;
+  if (start >= value.size()) return false;
+  return value.find_first_not_of("0123456789", start) == std::string::npos;
+}
+
+std::int64_t ParseInt(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (!IsDecimal(value, /*allow_sign=*/true) || errno != 0 ||
+      *end != '\0') {
+    ParseError(key, value, "integer");
+  }
+  return parsed;
+}
+
+std::uint64_t ParseUint(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (!IsDecimal(value, /*allow_sign=*/false) || errno != 0 ||
+      *end != '\0') {
+    ParseError(key, value, "unsigned integer");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+ConfigMap ConfigMap::Parse(const std::string& text) {
+  ConfigMap map;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t separator = line.find('=');
+    if (separator == std::string::npos) {
+      throw std::runtime_error("malformed config line (no '='): '" + line +
+                               "'");
+    }
+    map.Put(line.substr(0, separator), line.substr(separator + 1));
+  }
+  return map;
+}
+
+void ConfigMap::Put(const std::string& key, std::string value) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].second = std::move(value);
+    return;
+  }
+  index_.emplace(key, entries_.size());
+  entries_.emplace_back(key, std::move(value));
+}
+
+const std::string* ConfigMap::Find(const std::string& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &entries_[it->second].second;
+}
+
+bool ConfigMap::Has(const std::string& key) const {
+  return Find(key) != nullptr;
+}
+
+void ConfigMap::SetString(const std::string& key, std::string value) {
+  Put(key, std::move(value));
+}
+
+void ConfigMap::SetInt(const std::string& key, std::int64_t value) {
+  Put(key, std::to_string(value));
+}
+
+void ConfigMap::SetUint(const std::string& key, std::uint64_t value) {
+  Put(key, std::to_string(value));
+}
+
+void ConfigMap::SetBool(const std::string& key, bool value) {
+  Put(key, value ? "1" : "0");
+}
+
+void ConfigMap::SetFloat(const std::string& key, float value) {
+  // FLT_DECIMAL_DIG significant digits round-trip any float bit-exactly.
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", FLT_DECIMAL_DIG,
+                static_cast<double>(value));
+  Put(key, buffer);
+}
+
+void ConfigMap::SetIntList(const std::string& key,
+                           const std::vector<int>& values) {
+  std::string joined;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) joined += ',';
+    joined += std::to_string(values[i]);
+  }
+  Put(key, std::move(joined));
+}
+
+std::string ConfigMap::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const std::string* value = Find(key);
+  return value == nullptr ? fallback : *value;
+}
+
+std::int64_t ConfigMap::GetInt(const std::string& key,
+                               std::int64_t fallback) const {
+  const std::string* value = Find(key);
+  return value == nullptr ? fallback : ParseInt(key, *value);
+}
+
+std::uint64_t ConfigMap::GetUint(const std::string& key,
+                                 std::uint64_t fallback) const {
+  const std::string* value = Find(key);
+  return value == nullptr ? fallback : ParseUint(key, *value);
+}
+
+bool ConfigMap::GetBool(const std::string& key, bool fallback) const {
+  const std::string* value = Find(key);
+  if (value == nullptr) return fallback;
+  if (*value == "1" || *value == "true") return true;
+  if (*value == "0" || *value == "false") return false;
+  ParseError(key, *value, "boolean");
+}
+
+float ConfigMap::GetFloat(const std::string& key, float fallback) const {
+  const std::string* value = Find(key);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const float parsed = std::strtof(value->c_str(), &end);
+  if (errno != 0 || end == value->c_str() || *end != '\0') {
+    ParseError(key, *value, "float");
+  }
+  return parsed;
+}
+
+std::vector<int> ConfigMap::GetIntList(
+    const std::string& key, const std::vector<int>& fallback) const {
+  const std::string* value = Find(key);
+  if (value == nullptr) return fallback;
+  std::vector<int> values;
+  if (value->empty()) return values;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = value->find(',', start);
+    const std::string item = value->substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    values.push_back(static_cast<int>(ParseInt(key, item)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+std::string ConfigMap::Serialize() const {
+  std::string text;
+  for (const auto& [key, value] : entries_) {
+    text += key;
+    text += '=';
+    text += value;
+    text += '\n';
+  }
+  return text;
+}
+
+std::vector<int> ScaledLayers(const std::vector<int>& layers, int size) {
+  return std::vector<int>(layers.size(), size);
+}
+
+}  // namespace granite::model

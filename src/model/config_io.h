@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Key=value (de)serialization of model hyper-parameter structs, used by
+ * the self-describing checkpoint bundles (model/checkpoint.h) and by
+ * ThroughputPredictor::DescribeConfig().
+ *
+ * The format is one `key=value` pair per line, in insertion order.
+ * Parsing is forward- and backward-compatible by construction: unknown
+ * keys are ignored and missing keys keep the caller-supplied default, so
+ * configs gain fields without breaking old bundles. Malformed text (a
+ * line without '=', a value that does not parse as the requested type)
+ * throws std::runtime_error, which model::LoadModel converts into a
+ * CheckpointError.
+ *
+ * Floats are written with enough digits (FLT_DECIMAL_DIG) to round-trip
+ * bit-exactly, so a reloaded config reproduces the original model
+ * architecture and initialization exactly.
+ */
+#ifndef GRANITE_MODEL_CONFIG_IO_H_
+#define GRANITE_MODEL_CONFIG_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace granite::model {
+
+/** An ordered key=value map with typed accessors. */
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  /** Parses Serialize() output. Throws std::runtime_error on malformed
+   * lines (missing '='); blank lines and `#` comments are skipped. */
+  static ConfigMap Parse(const std::string& text);
+
+  void SetString(const std::string& key, std::string value);
+  void SetInt(const std::string& key, std::int64_t value);
+  void SetUint(const std::string& key, std::uint64_t value);
+  void SetBool(const std::string& key, bool value);
+  void SetFloat(const std::string& key, float value);
+  void SetIntList(const std::string& key, const std::vector<int>& values);
+
+  bool Has(const std::string& key) const;
+
+  /** Each getter returns `fallback` when the key is absent and throws
+   * std::runtime_error when the stored value does not parse. */
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t GetUint(const std::string& key,
+                        std::uint64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  float GetFloat(const std::string& key, float fallback) const;
+  std::vector<int> GetIntList(const std::string& key,
+                              const std::vector<int>& fallback) const;
+
+  /** One `key=value` line per entry, in insertion order. */
+  std::string Serialize() const;
+
+ private:
+  const std::string* Find(const std::string& key) const;
+  void Put(const std::string& key, std::string value);
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/**
+ * Returns `layers` with every entry replaced by `size`, preserving depth.
+ * The shared core of GraniteConfig::WithEmbeddingSize and
+ * IthemalConfig::WithEmbeddingSize: proportionally scaled-down model
+ * variants (tests, benches, CLI) shrink every hidden-layer width to the
+ * embedding size without changing the layer count.
+ */
+std::vector<int> ScaledLayers(const std::vector<int>& layers, int size);
+
+}  // namespace granite::model
+
+#endif  // GRANITE_MODEL_CONFIG_IO_H_

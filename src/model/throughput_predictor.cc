@@ -1,0 +1,150 @@
+#include "model/throughput_predictor.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "base/logging.h"
+#include "uarch/measurement.h"
+
+namespace granite::model {
+
+std::string_view ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kGranite:
+      return "granite";
+    case ModelKind::kIthemal:
+      return "ithemal";
+  }
+  GRANITE_PANIC("unhandled ModelKind " << static_cast<int>(kind));
+}
+
+std::optional<ModelKind> ModelKindFromName(std::string_view name) {
+  if (name == "granite") return ModelKind::kGranite;
+  if (name == "ithemal") return ModelKind::kIthemal;
+  return std::nullopt;
+}
+
+graph::BatchedGraph ThroughputPredictor::EncodeBlocks(
+    const std::vector<const assembly::BasicBlock*>& blocks) const {
+  (void)blocks;
+  GRANITE_PANIC("EncodeBlocks called on a model without graph encoding ("
+                << ModelKindName(kind()) << ")");
+}
+
+void ThroughputPredictor::EnablePredictionCache(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (capacity == 0) {
+    prediction_cache_.reset();
+    return;
+  }
+  prediction_cache_ =
+      std::make_unique<base::LruCache<uint64_t, std::vector<double>>>(
+          capacity);
+  cache_generation_ = parameters().generation();
+}
+
+void ThroughputPredictor::InvalidateStaleCacheLocked() const {
+  if (prediction_cache_ == nullptr) return;
+  const uint64_t generation = parameters().generation();
+  if (generation == cache_generation_) return;
+  prediction_cache_->Clear();
+  cache_generation_ = generation;
+}
+
+std::size_t ThroughputPredictor::prediction_cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return prediction_cache_ ? prediction_cache_->hits() : 0;
+}
+
+std::size_t ThroughputPredictor::prediction_cache_misses() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return prediction_cache_ ? prediction_cache_->misses() : 0;
+}
+
+std::vector<double> ThroughputPredictor::PredictBatch(
+    const std::vector<const assembly::BasicBlock*>& blocks, int task) const {
+  GRANITE_CHECK(task >= 0 && task < num_tasks());
+  const std::vector<std::vector<double>> per_block =
+      PredictBatchAllTasks(blocks);
+  std::vector<double> result(blocks.size());
+  for (std::size_t i = 0; i < per_block.size(); ++i) {
+    result[i] = per_block[i][task];
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> ThroughputPredictor::PredictBatchAllTasks(
+    const std::vector<const assembly::BasicBlock*>& blocks) const {
+  if (blocks.empty()) return {};
+  std::vector<std::vector<double>> result(blocks.size());
+  bool cache_enabled;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_enabled = prediction_cache_ != nullptr;
+  }
+  // Forward passes run outside the cache lock, here and below, so
+  // concurrent PredictBatch callers are never serialized on the model.
+  if (!cache_enabled) return ComputeBatchAllTasks(blocks);
+
+  // Distinct fingerprint → block indices that need a forward pass.
+  std::unordered_map<uint64_t, std::vector<std::size_t>> misses;
+  std::vector<uint64_t> miss_order;
+  std::vector<uint64_t> keys(blocks.size());
+  // The parameter generation the forward pass below will compute under;
+  // results are only cached if it is still current afterwards.
+  uint64_t forward_generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    // Drop entries computed under an older parameter generation (the
+    // cache self-versions on training/checkpoint updates).
+    InvalidateStaleCacheLocked();
+    forward_generation = parameters().generation();
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      GRANITE_CHECK(blocks[i] != nullptr);
+      keys[i] = uarch::BlockFingerprint(*blocks[i]);
+      // The cache may have been reset since the enabled check above.
+      const std::vector<double>* cached =
+          prediction_cache_ ? prediction_cache_->Get(keys[i]) : nullptr;
+      if (cached != nullptr) {
+        result[i] = *cached;
+        continue;
+      }
+      auto [it, inserted] = misses.try_emplace(keys[i]);
+      if (inserted) miss_order.push_back(keys[i]);
+      it->second.push_back(i);
+    }
+  }
+  if (miss_order.empty()) return result;
+
+  // One deduplicated forward pass over the missing blocks, evaluating
+  // every task head: the decoder heads are a sliver of the trunk cost,
+  // so caching all tasks at once makes later PredictBatch(…, other_task)
+  // calls hits too. The cache lock is not held during the forward pass.
+  std::vector<const assembly::BasicBlock*> miss_blocks;
+  miss_blocks.reserve(miss_order.size());
+  for (const uint64_t key : miss_order) {
+    miss_blocks.push_back(blocks[misses.at(key).front()]);
+  }
+  std::vector<std::vector<double>> computed =
+      ComputeBatchAllTasks(miss_blocks);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // A concurrent EnablePredictionCache(0) may have disabled caching and a
+  // concurrent optimizer step may have advanced the parameter generation
+  // while the forward pass ran. The results are still valid to return,
+  // but only cache them when they were computed at the generation the
+  // cache currently holds.
+  InvalidateStaleCacheLocked();
+  const bool cache_results =
+      prediction_cache_ != nullptr && cache_generation_ == forward_generation;
+  for (std::size_t j = 0; j < miss_order.size(); ++j) {
+    for (const std::size_t i : misses.at(miss_order[j])) {
+      result[i] = computed[j];
+    }
+    if (cache_results) {
+      prediction_cache_->Put(miss_order[j], std::move(computed[j]));
+    }
+  }
+  return result;
+}
+
+}  // namespace granite::model

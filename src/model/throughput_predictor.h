@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The unified throughput-estimator interface.
+ *
+ * The paper evaluates a family of estimators (GRANITE, Ithemal, Ithemal+,
+ * multi-task variants) over the same block corpora; this interface is the
+ * seam that lets every layer above the models — the Trainer, the
+ * InferenceServer, the ModelRouter, the checkpoint bundles and the CLI —
+ * drive any member of that family without knowing which one it holds.
+ *
+ * The base class also owns the serving-path machinery that used to live in
+ * GraniteModel: PredictBatchAllTasks with canonical-fingerprint
+ * deduplication and a self-versioning LRU prediction cache (keyed on the
+ * ParameterStore generation counter, so training steps and checkpoint
+ * loads invalidate it automatically). Concrete models only implement the
+ * uncached batched forward (ComputeBatchAllTasks), which gives Ithemal the
+ * same batched/cached all-task serving path as GRANITE for free.
+ */
+#ifndef GRANITE_MODEL_THROUGHPUT_PREDICTOR_H_
+#define GRANITE_MODEL_THROUGHPUT_PREDICTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/instruction.h"
+#include "base/lru_cache.h"
+#include "graph/batch.h"
+#include "graph/vocabulary.h"
+#include "ml/parameter.h"
+#include "ml/tape.h"
+
+namespace granite::model {
+
+/** Identifies a concrete model family in checkpoint bundles and logs. */
+enum class ModelKind {
+  /** core::GraniteModel (graph network, paper §3). */
+  kGranite,
+  /** ithemal::IthemalModel (two-level LSTM, §2.2/§4; the config decides
+   * between the vanilla dot-product decoder and the Ithemal+ MLP). */
+  kIthemal,
+};
+
+/** Stable lowercase identifier, e.g. "granite"; used in bundle files. */
+std::string_view ModelKindName(ModelKind kind);
+
+/** Inverse of ModelKindName; empty for unknown names. */
+std::optional<ModelKind> ModelKindFromName(std::string_view name);
+
+/**
+ * A trained (or trainable) basic-block throughput estimator with one
+ * prediction head per task (target microarchitecture).
+ *
+ * Thread-safety: the inference entry points (Predict, PredictBatch,
+ * PredictBatchAllTasks) are safe to call concurrently; forward passes
+ * never run under the cache lock. ForwardGraphsOrBlocks records onto a
+ * caller-owned tape and is safe as long as each thread uses its own tape.
+ */
+class ThroughputPredictor {
+ public:
+  virtual ~ThroughputPredictor() = default;
+
+  /**
+   * Runs the model on a batch, recording onto `tape`, and returns one
+   * [num_blocks, 1] prediction column per task. Exactly one of `blocks`
+   * and `graph` must be non-null: models whose SupportsGraphEncoding()
+   * is true accept a pre-encoded batched graph (letting the training
+   * pipeline move graph construction off the training thread); every
+   * model accepts raw blocks.
+   */
+  virtual std::vector<ml::Var> ForwardGraphsOrBlocks(
+      ml::Tape& tape,
+      const std::vector<const assembly::BasicBlock*>* blocks,
+      const graph::BatchedGraph* graph) const = 0;
+
+  /** Convenience inference: predictions of one task for a block batch. */
+  virtual std::vector<double> Predict(
+      const std::vector<const assembly::BasicBlock*>& blocks,
+      int task) const = 0;
+
+  /**
+   * Batched inference with deduplication and prediction caching. Blocks
+   * whose canonical fingerprint is in the LRU cache are answered without
+   * a forward pass; the remaining distinct blocks run through one
+   * ComputeBatchAllTasks call (all task heads at once) and populate the
+   * cache. Entry i of the result holds num_tasks() predictions for
+   * blocks[i]. Without EnablePredictionCache() this degrades to a plain
+   * batched forward pass. Thread-safe.
+   */
+  std::vector<std::vector<double>> PredictBatchAllTasks(
+      const std::vector<const assembly::BasicBlock*>& blocks) const;
+
+  /** One task head's column of PredictBatchAllTasks:
+   * PredictBatch(blocks, task)[i] == PredictBatchAllTasks(blocks)[i][task]
+   * bit-for-bit. Thread-safe. */
+  std::vector<double> PredictBatch(
+      const std::vector<const assembly::BasicBlock*>& blocks,
+      int task) const;
+
+  /**
+   * Sizes the PredictBatch LRU cache to `capacity` unique blocks and
+   * clears it; 0 disables caching. The cache versions itself on the
+   * parameter store's generation counter, so training steps, checkpoint
+   * loads and snapshot restores invalidate it automatically.
+   */
+  void EnablePredictionCache(std::size_t capacity);
+
+  /** Lifetime PredictBatch() cache hit / miss counters. */
+  std::size_t prediction_cache_hits() const;
+  std::size_t prediction_cache_misses() const;
+
+  /** Number of prediction heads (target microarchitectures). */
+  virtual int num_tasks() const = 0;
+
+  /** The model's trainable parameters. */
+  virtual ml::ParameterStore& parameters() = 0;
+  virtual const ml::ParameterStore& parameters() const = 0;
+
+  /** The token vocabulary the model was built against. */
+  virtual const graph::Vocabulary& vocabulary() const = 0;
+
+  /** The concrete model family (for bundles, routers, logs). */
+  virtual ModelKind kind() const = 0;
+
+  /**
+   * The model's hyper-parameters as the canonical key=value text written
+   * into checkpoint bundles; parsing it back and constructing a model of
+   * kind() over the same vocabulary reproduces this model's architecture
+   * exactly (see model::LoadModel).
+   */
+  virtual std::string DescribeConfig() const = 0;
+
+  /** True when the model supports pre-encoded-graph batching, i.e.
+   * EncodeBlocks() and the `graph` input of ForwardGraphsOrBlocks. */
+  virtual bool SupportsGraphEncoding() const { return false; }
+
+  /** Encodes blocks into a batched graph (SupportsGraphEncoding only). */
+  virtual graph::BatchedGraph EncodeBlocks(
+      const std::vector<const assembly::BasicBlock*>& blocks) const;
+
+ protected:
+  /**
+   * Uncached batched forward pass evaluating every task head: entry i of
+   * the result holds num_tasks() predictions for blocks[i]. Called by
+   * PredictBatchAllTasks outside the cache lock, possibly from several
+   * threads at once; implementations must record onto a private tape.
+   */
+  virtual std::vector<std::vector<double>> ComputeBatchAllTasks(
+      const std::vector<const assembly::BasicBlock*>& blocks) const = 0;
+
+ private:
+  /** Clears the cache when the parameter generation moved since it was
+   * filled. Requires cache_mutex_ to be held. */
+  void InvalidateStaleCacheLocked() const;
+
+  /** PredictBatch cache: canonical block fingerprint → one prediction
+   * per task. Guarded by cache_mutex_; mutable because inference is
+   * const. */
+  mutable std::mutex cache_mutex_;
+  mutable std::unique_ptr<base::LruCache<uint64_t, std::vector<double>>>
+      prediction_cache_;
+  /** Parameter generation the cache contents were computed at. */
+  mutable uint64_t cache_generation_ = 0;
+};
+
+}  // namespace granite::model
+
+#endif  // GRANITE_MODEL_THROUGHPUT_PREDICTOR_H_

@@ -1,13 +1,14 @@
 #include "serve/inference_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "base/logging.h"
 
 namespace granite::serve {
 
-InferenceServer::InferenceServer(core::GraniteModel* model,
+InferenceServer::InferenceServer(model::ThroughputPredictor* model,
                                  const InferenceServerConfig& config)
     : model_(model), config_(config), start_time_(Clock::now()) {
   GRANITE_CHECK(model != nullptr);
@@ -17,6 +18,10 @@ InferenceServer::InferenceServer(core::GraniteModel* model,
   GRANITE_CHECK_GE(config.batch_window.count(), 0);
   if (config.prediction_cache_capacity > 0) {
     model_->EnablePredictionCache(config.prediction_cache_capacity);
+  }
+  task_latency_us_.reserve(model_->num_tasks());
+  for (int task = 0; task < model_->num_tasks(); ++task) {
+    task_latency_us_.emplace_back(1.0, 1e8);
   }
   workers_.reserve(config.num_workers);
   for (int i = 0; i < config.num_workers; ++i) {
@@ -29,7 +34,7 @@ InferenceServer::~InferenceServer() { Shutdown(); }
 std::optional<std::future<double>> InferenceServer::Submit(
     const assembly::BasicBlock* block, int task) {
   GRANITE_CHECK(block != nullptr);
-  GRANITE_CHECK(task >= 0 && task < model_->config().num_tasks);
+  GRANITE_CHECK(task >= 0 && task < model_->num_tasks());
   std::unique_lock<std::mutex> lock(mutex_);
   if (config_.overflow_policy == OverflowPolicy::kBlock) {
     space_event_.wait(lock, [this] {
@@ -149,11 +154,13 @@ void InferenceServer::ExecuteBatch(std::vector<Request>& batch,
       case FlushReason::kShutdown: ++shutdown_flushes_; break;
     }
     for (const Request& request : batch) {
-      latency_us_.Add(
+      const double latency_us =
           std::chrono::duration_cast<
               std::chrono::duration<double, std::micro>>(
               completion_time - request.enqueue_time)
-              .count());
+              .count();
+      latency_us_.Add(latency_us);
+      task_latency_us_[request.task].Add(latency_us);
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -225,6 +232,16 @@ ServerStats InferenceServer::Stats() const {
   stats.latency_p50_us = latency_us_.Percentile(50.0);
   stats.latency_p95_us = latency_us_.Percentile(95.0);
   stats.latency_p99_us = latency_us_.Percentile(99.0);
+  stats.per_task.resize(task_latency_us_.size());
+  for (std::size_t task = 0; task < task_latency_us_.size(); ++task) {
+    const Histogram& histogram = task_latency_us_[task];
+    TaskStats& task_stats = stats.per_task[task];
+    task_stats.completed = histogram.count();
+    task_stats.latency_mean_us = histogram.mean();
+    task_stats.latency_p50_us = histogram.Percentile(50.0);
+    task_stats.latency_p95_us = histogram.Percentile(95.0);
+    task_stats.latency_p99_us = histogram.Percentile(99.0);
+  }
   const std::size_t hits = model_->prediction_cache_hits();
   const std::size_t misses = model_->prediction_cache_misses();
   stats.cache_hit_rate =
@@ -232,6 +249,55 @@ ServerStats InferenceServer::Stats() const {
           ? 0.0
           : static_cast<double>(hits) / static_cast<double>(hits + misses);
   return stats;
+}
+
+std::string InferenceServer::StatsString() const {
+  return FormatServerStats(Stats());
+}
+
+std::string FormatServerStats(const ServerStats& stats) {
+  char line[256];
+  std::string text;
+  std::snprintf(line, sizeof(line),
+                "requests: %llu submitted, %llu completed (%llu failed), "
+                "%llu rejected\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.rejected));
+  text += line;
+  std::snprintf(line, sizeof(line),
+                "batches: %llu (%llu size-flush, %llu deadline-flush, "
+                "%llu shutdown-flush), mean occupancy %.2f\n",
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.size_flushes),
+                static_cast<unsigned long long>(stats.deadline_flushes),
+                static_cast<unsigned long long>(stats.shutdown_flushes),
+                stats.mean_batch_occupancy);
+  text += line;
+  std::snprintf(line, sizeof(line),
+                "qps: %.0f   latency us: mean %.0f  p50 %.0f  p95 %.0f  "
+                "p99 %.0f\n",
+                stats.qps, stats.latency_mean_us, stats.latency_p50_us,
+                stats.latency_p95_us, stats.latency_p99_us);
+  text += line;
+  for (std::size_t task = 0; task < stats.per_task.size(); ++task) {
+    const TaskStats& task_stats = stats.per_task[task];
+    std::snprintf(line, sizeof(line),
+                  "task %zu: %llu completed, latency us: mean %.0f  "
+                  "p50 %.0f  p95 %.0f  p99 %.0f\n",
+                  task,
+                  static_cast<unsigned long long>(task_stats.completed),
+                  task_stats.latency_mean_us, task_stats.latency_p50_us,
+                  task_stats.latency_p95_us, task_stats.latency_p99_us);
+    text += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "cache hit rate: %.1f%%   model updates: %llu\n",
+                100.0 * stats.cache_hit_rate,
+                static_cast<unsigned long long>(stats.model_updates));
+  text += line;
+  return text;
 }
 
 }  // namespace granite::serve

@@ -7,11 +7,14 @@
  * future back; the server coalesces pending requests into batches —
  * flushing on max-batch-size or on a deadline relative to the oldest
  * pending request, whichever comes first — and drains each batch through
- * GraniteModel::PredictBatchAllTasks on dedicated worker threads. Mixed
- * tasks (microarchitectures) coalesce into the same batch because every
- * task head is evaluated by the one forward pass, and identical blocks
- * are deduplicated by canonical fingerprint inside the model (and served
- * from its LRU prediction cache when enabled).
+ * ThroughputPredictor::PredictBatchAllTasks on dedicated worker threads.
+ * The server is model-agnostic: it hosts any model::ThroughputPredictor
+ * (GRANITE, Ithemal, Ithemal+), typically one loaded from a checkpoint
+ * bundle (model::LoadModel). Mixed tasks (microarchitectures) coalesce
+ * into the same batch because every task head is evaluated by the one
+ * forward pass, and identical blocks are deduplicated by canonical
+ * fingerprint inside the model (and served from its LRU prediction cache
+ * when enabled).
  *
  * Backpressure: the request queue is bounded; when it is full, Submit()
  * either blocks until space frees up or rejects the request, per the
@@ -35,13 +38,14 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "asm/instruction.h"
 #include "base/statistics.h"
-#include "core/granite_model.h"
 #include "ml/parameter.h"
+#include "model/throughput_predictor.h"
 
 namespace granite::serve {
 
@@ -77,6 +81,17 @@ struct InferenceServerConfig {
   std::size_t prediction_cache_capacity = 0;
 };
 
+/** Latency/volume breakdown of one task head (microarchitecture). */
+struct TaskStats {
+  /** Requests answered for this task head (subset of completed). */
+  std::uint64_t completed = 0;
+  /** Request latency (enqueue to answer) in microseconds. */
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+};
+
 /** A point-in-time snapshot of the server's live statistics. */
 struct ServerStats {
   /** Requests accepted into the queue. */
@@ -108,7 +123,14 @@ struct ServerStats {
   double cache_hit_rate = 0.0;
   /** UpdateModel() calls published so far. */
   std::uint64_t model_updates = 0;
+  /** Per-task-head latency/volume breakdown, indexed by task. The
+   * task-head `completed` counters sum to the global `completed`. */
+  std::vector<TaskStats> per_task;
 };
+
+/** Human-readable multi-line rendering of a stats snapshot (requests,
+ * batches, latency percentiles, per-task breakdown, cache hit rate). */
+std::string FormatServerStats(const ServerStats& stats);
 
 /**
  * A long-lived server answering block-throughput queries with coalesced
@@ -122,7 +144,7 @@ class InferenceServer {
    *   mutates it only through UpdateModel() and (optionally)
    *   EnablePredictionCache().
    */
-  InferenceServer(core::GraniteModel* model,
+  InferenceServer(model::ThroughputPredictor* model,
                   const InferenceServerConfig& config);
 
   /** Shuts down (draining queued requests) and joins the workers. */
@@ -168,10 +190,13 @@ class InferenceServer {
   /** Snapshot of the live serving statistics. */
   ServerStats Stats() const;
 
+  /** FormatServerStats(Stats()): the live stats as printable text. */
+  std::string StatsString() const;
+
   const InferenceServerConfig& config() const { return config_; }
 
   /** The served model (e.g. for reading cache counters in tests). */
-  const core::GraniteModel& model() const { return *model_; }
+  const model::ThroughputPredictor& model() const { return *model_; }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -193,7 +218,7 @@ class InferenceServer {
   /** Runs one coalesced batch and fulfills its promises. */
   void ExecuteBatch(std::vector<Request>& batch, FlushReason reason);
 
-  core::GraniteModel* model_;
+  model::ThroughputPredictor* model_;
   InferenceServerConfig config_;
   Clock::time_point start_time_;
 
@@ -224,6 +249,9 @@ class InferenceServer {
   std::uint64_t shutdown_flushes_ = 0;
   /** Request latency in microseconds, 1us..100s. */
   Histogram latency_us_{1.0, 1e8};
+  /** Per-task-head request latency (same bucketization), indexed by
+   * task; sized to the model's task count at construction. */
+  std::vector<Histogram> task_latency_us_;
 
   std::vector<std::thread> workers_;
 };

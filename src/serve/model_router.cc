@@ -1,0 +1,141 @@
+#include "serve/model_router.h"
+
+#include <utility>
+
+#include "base/logging.h"
+
+namespace granite::serve {
+
+ModelRouter::ModelRouter(const InferenceServerConfig& default_config)
+    : default_config_(default_config) {}
+
+ModelRouter::~ModelRouter() { Shutdown(); }
+
+void ModelRouter::AddModel(
+    const std::string& name,
+    std::unique_ptr<model::ThroughputPredictor> predictor) {
+  AddModel(name, std::move(predictor), default_config_);
+}
+
+void ModelRouter::AddModel(
+    const std::string& name,
+    std::unique_ptr<model::ThroughputPredictor> predictor,
+    const InferenceServerConfig& config) {
+  GRANITE_CHECK(predictor != nullptr);
+  Entry entry;
+  entry.predictor = predictor.get();
+  entry.owned = std::move(predictor);
+  entry.server =
+      std::make_unique<InferenceServer>(entry.predictor, config);
+  AddEntry(name, std::move(entry));
+}
+
+void ModelRouter::AddModel(const std::string& name,
+                           model::ThroughputPredictor* predictor,
+                           const InferenceServerConfig& config) {
+  GRANITE_CHECK(predictor != nullptr);
+  Entry entry;
+  entry.predictor = predictor;
+  entry.server = std::make_unique<InferenceServer>(predictor, config);
+  AddEntry(name, std::move(entry));
+}
+
+void ModelRouter::AddEntry(const std::string& name, Entry entry) {
+  std::unique_lock<std::shared_mutex> lock(routes_mutex_);
+  const auto [it, inserted] = routes_.emplace(name, std::move(entry));
+  (void)it;
+  GRANITE_CHECK_MSG(inserted, "duplicate model name: " << name);
+}
+
+const ModelRouter::Entry* ModelRouter::FindEntry(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  const auto it = routes_.find(name);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::future<double>> ModelRouter::Submit(
+    const std::string& name, const assembly::BasicBlock* block, int task) {
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    unknown_model_requests_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return entry->server->Submit(block, task);
+}
+
+double ModelRouter::Predict(const std::string& name,
+                            const assembly::BasicBlock& block, int task) {
+  const Entry* entry = FindEntry(name);
+  GRANITE_CHECK_MSG(entry != nullptr, "unknown model: " << name);
+  return entry->server->Predict(block, task);
+}
+
+void ModelRouter::UpdateModel(const std::string& name,
+                              const ml::ParameterStore& new_parameters) {
+  const Entry* entry = FindEntry(name);
+  GRANITE_CHECK_MSG(entry != nullptr, "unknown model: " << name);
+  entry->server->UpdateModel(new_parameters);
+}
+
+bool ModelRouter::HasModel(const std::string& name) const {
+  return FindEntry(name) != nullptr;
+}
+
+std::vector<std::string> ModelRouter::ModelNames() const {
+  std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+  std::vector<std::string> names;
+  names.reserve(routes_.size());
+  for (const auto& [name, entry] : routes_) names.push_back(name);
+  return names;
+}
+
+ServerStats ModelRouter::Stats(const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  GRANITE_CHECK_MSG(entry != nullptr, "unknown model: " << name);
+  return entry->server->Stats();
+}
+
+const model::ThroughputPredictor& ModelRouter::Model(
+    const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  GRANITE_CHECK_MSG(entry != nullptr, "unknown model: " << name);
+  return *entry->predictor;
+}
+
+std::string ModelRouter::StatsString() const {
+  std::string text;
+  for (const std::string& name : ModelNames()) {
+    const Entry* entry = FindEntry(name);
+    if (entry == nullptr) continue;  // Raced a (hypothetical) removal.
+    text += "model '" + name + "' (";
+    text += model::ModelKindName(entry->predictor->kind());
+    text += ", " + std::to_string(entry->predictor->num_tasks()) +
+            " task(s)):\n";
+    std::string stats = entry->server->StatsString();
+    // Indent the per-server block under its model heading.
+    std::size_t start = 0;
+    while (start < stats.size()) {
+      const std::size_t end = stats.find('\n', start);
+      text += "  " + stats.substr(start, end - start) + "\n";
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+  }
+  text += "unknown-model submissions: " +
+          std::to_string(unknown_model_requests()) + "\n";
+  return text;
+}
+
+void ModelRouter::Shutdown() {
+  // Collect first so no lock is held while servers drain and join.
+  std::vector<InferenceServer*> servers;
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mutex_);
+    servers.reserve(routes_.size());
+    for (auto& [name, entry] : routes_) servers.push_back(entry.server.get());
+  }
+  for (InferenceServer* server : servers) server->Shutdown();
+}
+
+}  // namespace granite::serve

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Multi-model serving router.
+ *
+ * Hosts several named ThroughputPredictors — typically loaded from
+ * checkpoint bundles (model::LoadModel) — behind one submit API. Each
+ * model gets its own InferenceServer (own request queue, batching window,
+ * workers and stats), so traffic for one model never blocks another and
+ * per-model per-task statistics stay separable; the router is the thin
+ * name → server indirection on top. Models can be added while traffic
+ * flows and hot-swapped per name (UpdateModel), mirroring the
+ * measurement-pipeline discipline of keeping model artifacts decoupled
+ * from the serving process.
+ */
+#ifndef GRANITE_SERVE_MODEL_ROUTER_H_
+#define GRANITE_SERVE_MODEL_ROUTER_H_
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "model/throughput_predictor.h"
+#include "serve/inference_server.h"
+
+namespace granite::serve {
+
+/**
+ * Routes block-throughput requests to named models, each served by its
+ * own InferenceServer. All public methods are thread-safe.
+ */
+class ModelRouter {
+ public:
+  /** @param default_config Server configuration applied to models added
+   *   without an explicit per-model configuration. */
+  explicit ModelRouter(const InferenceServerConfig& default_config = {});
+
+  /** Shuts down every hosted server. */
+  ~ModelRouter();
+
+  ModelRouter(const ModelRouter&) = delete;
+  ModelRouter& operator=(const ModelRouter&) = delete;
+
+  /**
+   * Adds a model under `name` (fails on duplicates) and starts serving
+   * it immediately. The router owns the model — the natural fit for
+   * predictors returned by model::LoadModel.
+   */
+  void AddModel(const std::string& name,
+                std::unique_ptr<model::ThroughputPredictor> predictor);
+  void AddModel(const std::string& name,
+                std::unique_ptr<model::ThroughputPredictor> predictor,
+                const InferenceServerConfig& config);
+
+  /** As above with a caller-owned model (must outlive the router). */
+  void AddModel(const std::string& name,
+                model::ThroughputPredictor* predictor,
+                const InferenceServerConfig& config);
+
+  /**
+   * Enqueues one prediction request on the named model's server.
+   * Returns an empty optional when `name` is unknown (counted in
+   * unknown_model_requests()) or when that model's server rejects the
+   * request (backpressure/shutdown).
+   */
+  std::optional<std::future<double>> Submit(const std::string& name,
+                                            const assembly::BasicBlock* block,
+                                            int task);
+
+  /** Synchronous convenience wrapper: Submit() + wait; fails on an
+   * unknown model or a rejected request. */
+  double Predict(const std::string& name, const assembly::BasicBlock& block,
+                 int task);
+
+  /** Hot-swaps the named model's parameters (see
+   * InferenceServer::UpdateModel). Fails on an unknown name. */
+  void UpdateModel(const std::string& name,
+                   const ml::ParameterStore& new_parameters);
+
+  /** True when a model is registered under `name`. */
+  bool HasModel(const std::string& name) const;
+
+  /** Registered model names, sorted. */
+  std::vector<std::string> ModelNames() const;
+
+  /** The named model's live stats. Fails on an unknown name. */
+  ServerStats Stats(const std::string& name) const;
+
+  /** The named model (e.g. for reading cache counters in tests). */
+  const model::ThroughputPredictor& Model(const std::string& name) const;
+
+  /** Submissions turned away because the model name was unknown. */
+  std::uint64_t unknown_model_requests() const {
+    return unknown_model_requests_.load(std::memory_order_relaxed);
+  }
+
+  /** Per-model stats blocks (FormatServerStats) for every hosted model,
+   * plus the router-level unknown-name counter. */
+  std::string StatsString() const;
+
+  /** Shuts down every hosted server (idempotent); subsequent submissions
+   * are rejected. */
+  void Shutdown();
+
+ private:
+  /** One hosted model: optional ownership + its dedicated server. */
+  struct Entry {
+    std::unique_ptr<model::ThroughputPredictor> owned;
+    model::ThroughputPredictor* predictor = nullptr;
+    std::unique_ptr<InferenceServer> server;
+  };
+
+  void AddEntry(const std::string& name, Entry entry);
+
+  /** Returns the entry for `name`, or null. Shared-locks routes_mutex_
+   * only for the lookup; Entry pointers are stable (map nodes). */
+  const Entry* FindEntry(const std::string& name) const;
+
+  InferenceServerConfig default_config_;
+  /** Guards routes_ (the map structure; entries are node-stable). */
+  mutable std::shared_mutex routes_mutex_;
+  std::map<std::string, Entry> routes_;
+  std::atomic<std::uint64_t> unknown_model_requests_{0};
+};
+
+}  // namespace granite::serve
+
+#endif  // GRANITE_SERVE_MODEL_ROUTER_H_

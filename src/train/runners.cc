@@ -1,81 +1,72 @@
 #include "train/runners.h"
 
+#include <utility>
+
 #include "base/logging.h"
 #include "ithemal/tokenizer.h"
+#include "model/checkpoint.h"
 
 namespace granite::train {
 
-GraniteRunner::GraniteRunner(const core::GraniteConfig& model_config,
-                             const TrainerConfig& trainer_config) {
-  GRANITE_CHECK_EQ(static_cast<std::size_t>(model_config.num_tasks),
+ModelRunner::ModelRunner(const core::GraniteConfig& model_config,
+                         const TrainerConfig& trainer_config)
+    : ModelRunner(std::make_unique<core::GraniteModel>(
+                      std::make_unique<graph::Vocabulary>(
+                          graph::Vocabulary::CreateDefault()),
+                      model_config),
+                  trainer_config) {}
+
+ModelRunner::ModelRunner(const ithemal::IthemalConfig& model_config,
+                         const TrainerConfig& trainer_config)
+    : ModelRunner(std::make_unique<ithemal::IthemalModel>(
+                      std::make_unique<graph::Vocabulary>(
+                          ithemal::CreateIthemalVocabulary()),
+                      model_config),
+                  trainer_config) {}
+
+ModelRunner::ModelRunner(std::unique_ptr<model::ThroughputPredictor> model,
+                         const TrainerConfig& trainer_config)
+    : model_(std::move(model)) {
+  GRANITE_CHECK(model_ != nullptr);
+  GRANITE_CHECK_EQ(static_cast<std::size_t>(model_->num_tasks()),
                    trainer_config.tasks.size());
-  vocabulary_ = std::make_unique<graph::Vocabulary>(
-      graph::Vocabulary::CreateDefault());
-  model_ = std::make_unique<core::GraniteModel>(vocabulary_.get(),
-                                                model_config);
-  core::GraniteModel* model = model_.get();
+  model::ThroughputPredictor* raw = model_.get();
   trainer_ = std::make_unique<Trainer>(
-      [model](ml::Tape& tape,
-              const std::vector<const assembly::BasicBlock*>& blocks) {
-        return model->Forward(tape, blocks);
+      [raw](ml::Tape& tape,
+            const std::vector<const assembly::BasicBlock*>& blocks) {
+        return raw->ForwardGraphsOrBlocks(tape, &blocks, nullptr);
       },
       &model_->parameters(), trainer_config);
-  // Train through the pre-encoded-graph path so the prefetch pipeline
-  // can move graph construction off the training thread.
-  trainer_->SetGraphPath(
-      [model](ml::Tape& tape, const graph::BatchedGraph& batch) {
-        return model->ForwardGraphs(tape, batch);
-      },
-      [model](const std::vector<const assembly::BasicBlock*>& blocks) {
-        return model->EncodeBlocks(blocks);
-      });
+  if (model_->SupportsGraphEncoding()) {
+    // Train through the pre-encoded-graph path so the prefetch pipeline
+    // can move graph construction off the training thread.
+    trainer_->SetGraphPath(
+        [raw](ml::Tape& tape, const graph::BatchedGraph& batch) {
+          return raw->ForwardGraphsOrBlocks(tape, nullptr, &batch);
+        },
+        [raw](const std::vector<const assembly::BasicBlock*>& blocks) {
+          return raw->EncodeBlocks(blocks);
+        });
+  }
 }
 
-TrainingResult GraniteRunner::Train(const dataset::Dataset& train_data,
-                                    const dataset::Dataset& validation) {
+TrainingResult ModelRunner::Train(const dataset::Dataset& train_data,
+                                  const dataset::Dataset& validation) {
   return trainer_->Train(train_data, validation);
 }
 
-EvaluationResult GraniteRunner::Evaluate(const dataset::Dataset& data,
-                                         int task) const {
+EvaluationResult ModelRunner::Evaluate(const dataset::Dataset& data,
+                                       int task) const {
   return trainer_->EvaluateTask(data, task);
 }
 
-std::vector<double> GraniteRunner::Predict(const dataset::Dataset& data,
-                                           int task) const {
-  return trainer_->Predict(data, task);
-}
-
-IthemalRunner::IthemalRunner(const ithemal::IthemalConfig& model_config,
-                             const TrainerConfig& trainer_config) {
-  GRANITE_CHECK_EQ(static_cast<std::size_t>(model_config.num_tasks),
-                   trainer_config.tasks.size());
-  vocabulary_ = std::make_unique<graph::Vocabulary>(
-      ithemal::CreateIthemalVocabulary());
-  model_ = std::make_unique<ithemal::IthemalModel>(vocabulary_.get(),
-                                                   model_config);
-  ithemal::IthemalModel* model = model_.get();
-  trainer_ = std::make_unique<Trainer>(
-      [model](ml::Tape& tape,
-              const std::vector<const assembly::BasicBlock*>& blocks) {
-        return model->Forward(tape, blocks);
-      },
-      &model_->parameters(), trainer_config);
-}
-
-TrainingResult IthemalRunner::Train(const dataset::Dataset& train_data,
-                                    const dataset::Dataset& validation) {
-  return trainer_->Train(train_data, validation);
-}
-
-EvaluationResult IthemalRunner::Evaluate(const dataset::Dataset& data,
+std::vector<double> ModelRunner::Predict(const dataset::Dataset& data,
                                          int task) const {
-  return trainer_->EvaluateTask(data, task);
+  return trainer_->Predict(data, task);
 }
 
-std::vector<double> IthemalRunner::Predict(const dataset::Dataset& data,
-                                           int task) const {
-  return trainer_->Predict(data, task);
+void ModelRunner::Save(const std::string& path) const {
+  model::SaveModel(*model_, path);
 }
 
 }  // namespace granite::train

@@ -1,30 +1,52 @@
 /**
  * @file
- * Self-contained model runners bundling a vocabulary, a model and a
- * Trainer. These are the top-level convenience objects used by the
- * examples and by every benchmark binary: construct, Train(), Evaluate().
+ * Self-contained model runner bundling a model, its vocabulary and a
+ * Trainer. This is the top-level convenience object used by the examples,
+ * the benchmark binaries and granite_cli: construct (from a config or
+ * from a checkpoint-loaded predictor), Train(), Evaluate(), SaveModel().
+ *
+ * The runner is model-agnostic: it drives any model::ThroughputPredictor
+ * through the unified interface, wiring the pre-encoded-graph fast path
+ * automatically for models that support it. The historical GraniteRunner
+ * / IthemalRunner classes are thin aliases; overload resolution on the
+ * config type picks the model family.
  */
 #ifndef GRANITE_TRAIN_RUNNERS_H_
 #define GRANITE_TRAIN_RUNNERS_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/granite_model.h"
 #include "ithemal/ithemal_model.h"
+#include "model/throughput_predictor.h"
 #include "train/trainer.h"
 
 namespace granite::train {
 
-/** GRANITE model + trainer bundle. */
-class GraniteRunner {
+/** Model + vocabulary + trainer bundle over the unified interface. */
+class ModelRunner {
  public:
   /**
-   * @param model_config GRANITE hyper-parameters. num_tasks must equal
-   *   trainer_config.tasks.size().
-   * @param trainer_config Training-run configuration.
+   * Builds a GRANITE model (over the default vocabulary) and its
+   * trainer. model_config.num_tasks must equal
+   * trainer_config.tasks.size().
    */
-  GraniteRunner(const core::GraniteConfig& model_config,
-                const TrainerConfig& trainer_config);
+  ModelRunner(const core::GraniteConfig& model_config,
+              const TrainerConfig& trainer_config);
+
+  /** Builds an Ithemal/Ithemal+ model (over the Ithemal vocabulary). */
+  ModelRunner(const ithemal::IthemalConfig& model_config,
+              const TrainerConfig& trainer_config);
+
+  /**
+   * Wraps an existing predictor — typically model::LoadModel() output —
+   * for evaluation, prediction or continued training. The predictor must
+   * have trainer_config.tasks.size() task heads.
+   */
+  ModelRunner(std::unique_ptr<model::ThroughputPredictor> model,
+              const TrainerConfig& trainer_config);
 
   /** Trains on `train_data`, selecting checkpoints on `validation`. */
   TrainingResult Train(const dataset::Dataset& train_data,
@@ -34,40 +56,24 @@ class GraniteRunner {
   EvaluationResult Evaluate(const dataset::Dataset& data, int task) const;
 
   /** Whole-dataset inference for one task. */
-  std::vector<double> Predict(const dataset::Dataset& data,
-                              int task) const;
+  std::vector<double> Predict(const dataset::Dataset& data, int task) const;
 
-  core::GraniteModel& model() { return *model_; }
+  /** Writes the model as a self-describing checkpoint bundle
+   * (model::SaveModel). */
+  void Save(const std::string& path) const;
+
+  model::ThroughputPredictor& model() { return *model_; }
+  const model::ThroughputPredictor& model() const { return *model_; }
   Trainer& trainer() { return *trainer_; }
 
  private:
-  std::unique_ptr<graph::Vocabulary> vocabulary_;
-  std::unique_ptr<core::GraniteModel> model_;
+  std::unique_ptr<model::ThroughputPredictor> model_;
   std::unique_ptr<Trainer> trainer_;
 };
 
-/** Ithemal / Ithemal+ model + trainer bundle. */
-class IthemalRunner {
- public:
-  IthemalRunner(const ithemal::IthemalConfig& model_config,
-                const TrainerConfig& trainer_config);
-
-  TrainingResult Train(const dataset::Dataset& train_data,
-                       const dataset::Dataset& validation);
-
-  EvaluationResult Evaluate(const dataset::Dataset& data, int task) const;
-
-  std::vector<double> Predict(const dataset::Dataset& data,
-                              int task) const;
-
-  ithemal::IthemalModel& model() { return *model_; }
-  Trainer& trainer() { return *trainer_; }
-
- private:
-  std::unique_ptr<graph::Vocabulary> vocabulary_;
-  std::unique_ptr<ithemal::IthemalModel> model_;
-  std::unique_ptr<Trainer> trainer_;
-};
+/** Source-compatibility aliases for the pre-unification runner names. */
+using GraniteRunner = ModelRunner;
+using IthemalRunner = ModelRunner;
 
 }  // namespace granite::train
 

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Checkpoint-bundle robustness suite: save/load round-trips must be
+ * bit-exact for every model kind under both kernel backends, and every
+ * class of malformed file (bad magic, truncation, unknown kind, future
+ * version, flipped payload bytes, trailing garbage) must raise a clean
+ * CheckpointError — never UB, never a partial model.
+ */
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/granite_model.h"
+#include "dataset/generator.h"
+#include "gtest/gtest.h"
+#include "ithemal/ithemal_model.h"
+#include "ithemal/tokenizer.h"
+#include "ml/kernels/kernel_backend.h"
+#include "model/checkpoint.h"
+#include "model/config_io.h"
+
+namespace granite::model {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() {
+    dataset::BlockGenerator generator(dataset::GeneratorConfig(), 77);
+    blocks_storage_ = generator.GenerateMany(10);
+    for (const assembly::BasicBlock& block : blocks_storage_) {
+      blocks_.push_back(&block);
+    }
+    path_ = (std::filesystem::temp_directory_path() /
+             ("checkpoint_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->random_seed()) +
+              "_" + std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+              ".gmb"))
+                .string();
+  }
+
+  ~CheckpointTest() override {
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+
+  static std::unique_ptr<core::GraniteModel> MakeGranite(int num_tasks) {
+    core::GraniteConfig config =
+        core::GraniteConfig().WithEmbeddingSize(8);
+    config.message_passing_iterations = 2;
+    config.num_tasks = num_tasks;
+    config.decoder_output_bias_init = 0.75f;
+    config.seed = 1234;
+    return std::make_unique<core::GraniteModel>(
+        std::make_unique<graph::Vocabulary>(
+            graph::Vocabulary::CreateDefault()),
+        config);
+  }
+
+  static std::unique_ptr<ithemal::IthemalModel> MakeIthemalPlus(
+      int num_tasks) {
+    ithemal::IthemalConfig config =
+        ithemal::IthemalConfig().WithEmbeddingSize(8);
+    config.decoder = ithemal::DecoderKind::kMlp;
+    config.num_tasks = num_tasks;
+    config.seed = 99;
+    return std::make_unique<ithemal::IthemalModel>(
+        std::make_unique<graph::Vocabulary>(
+            ithemal::CreateIthemalVocabulary()),
+        config);
+  }
+
+  /** Reads the bundle file into memory. */
+  std::vector<char> ReadBundle() const {
+    std::ifstream file(path_, std::ios::binary);
+    EXPECT_TRUE(file.is_open());
+    return std::vector<char>(std::istreambuf_iterator<char>(file),
+                             std::istreambuf_iterator<char>());
+  }
+
+  /** Overwrites the bundle file with `bytes`. */
+  void WriteBundle(const std::vector<char>& bytes) const {
+    std::ofstream file(path_, std::ios::binary | std::ios::trunc);
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /**
+   * Asserts a bit-exact all-task round-trip through SaveModel/LoadModel
+   * under both kernel backends. Models resolve their backend at
+   * construction, so `make` builds a fresh original inside each backend
+   * environment.
+   */
+  void ExpectBitExactRoundTrip(
+      const std::function<std::unique_ptr<ThroughputPredictor>()>& make) {
+    for (const ml::KernelBackendKind backend :
+         {ml::KernelBackendKind::kOptimized,
+          ml::KernelBackendKind::kReference}) {
+      SCOPED_TRACE("backend " + std::to_string(static_cast<int>(backend)));
+      ml::SetDefaultKernelBackend(&ml::GetKernelBackend(backend));
+      const std::unique_ptr<ThroughputPredictor> original = make();
+      SaveModel(*original, path_);
+      const std::unique_ptr<ThroughputPredictor> reloaded = LoadModel(path_);
+      ASSERT_NE(reloaded, nullptr);
+      EXPECT_EQ(reloaded->kind(), original->kind());
+      EXPECT_EQ(reloaded->num_tasks(), original->num_tasks());
+      EXPECT_EQ(reloaded->DescribeConfig(), original->DescribeConfig());
+      EXPECT_EQ(reloaded->vocabulary().tokens(),
+                original->vocabulary().tokens());
+      const auto expected = original->PredictBatchAllTasks(blocks_);
+      const auto actual = reloaded->PredictBatchAllTasks(blocks_);
+      ASSERT_EQ(actual.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(actual[i].size(), expected[i].size());
+        for (std::size_t t = 0; t < expected[i].size(); ++t) {
+          EXPECT_EQ(actual[i][t], expected[i][t])
+              << "block " << i << " task " << t;
+        }
+      }
+      ml::SetDefaultKernelBackend(nullptr);
+    }
+  }
+
+  std::vector<assembly::BasicBlock> blocks_storage_;
+  std::vector<const assembly::BasicBlock*> blocks_;
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, GraniteRoundTripIsBitExact) {
+  ExpectBitExactRoundTrip([] { return MakeGranite(/*num_tasks=*/3); });
+}
+
+TEST_F(CheckpointTest, IthemalPlusRoundTripIsBitExact) {
+  ExpectBitExactRoundTrip([] { return MakeIthemalPlus(/*num_tasks=*/2); });
+}
+
+TEST_F(CheckpointTest, VanillaIthemalRoundTripIsBitExact) {
+  ExpectBitExactRoundTrip([] {
+    ithemal::IthemalConfig config =
+        ithemal::IthemalConfig().WithEmbeddingSize(8);
+    config.decoder = ithemal::DecoderKind::kDotProduct;
+    return std::make_unique<ithemal::IthemalModel>(
+        std::make_unique<graph::Vocabulary>(
+            ithemal::CreateIthemalVocabulary()),
+        config);
+  });
+}
+
+TEST_F(CheckpointTest, LoadedModelIsServableAndCacheable) {
+  // The reconstructed model owns its vocabulary and supports the full
+  // batched/cached serving path without any caller-side setup.
+  SaveModel(*MakeGranite(1), path_);
+  const std::unique_ptr<ThroughputPredictor> loaded = LoadModel(path_);
+  loaded->EnablePredictionCache(64);
+  const auto first = loaded->PredictBatchAllTasks(blocks_);
+  const auto second = loaded->PredictBatchAllTasks(blocks_);
+  EXPECT_EQ(first, second);
+  EXPECT_GT(loaded->prediction_cache_hits(), 0u);
+}
+
+TEST_F(CheckpointTest, ReloadAfterTrainingStylePerturbation) {
+  // Values written after construction (as training would) survive the
+  // round trip: the bundle stores values, not the init recipe.
+  ExpectBitExactRoundTrip([] {
+    auto original = MakeGranite(1);
+    for (const auto& parameter : original->parameters().parameters()) {
+      float* data = parameter->value.data();
+      for (std::size_t i = 0; i < parameter->value.size(); ++i) {
+        data[i] += 0.001f * static_cast<float>(i % 7);
+      }
+    }
+    original->parameters().BumpGeneration();
+    return original;
+  });
+}
+
+TEST_F(CheckpointTest, CorruptMagicRaisesCleanError) {
+  SaveModel(*MakeGranite(1), path_);
+  std::vector<char> bytes = ReadBundle();
+  bytes[0] ^= 0x5a;
+  WriteBundle(bytes);
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, TruncatedFileRaisesCleanError) {
+  SaveModel(*MakeGranite(1), path_);
+  const std::vector<char> bytes = ReadBundle();
+  // Truncation at any prefix must fail cleanly; probe a spread of cut
+  // points including mid-header, mid-vocabulary and mid-tensor.
+  for (const double fraction : {0.001, 0.01, 0.3, 0.7, 0.999}) {
+    const std::size_t cut =
+        static_cast<std::size_t>(static_cast<double>(bytes.size()) *
+                                 fraction);
+    WriteBundle(std::vector<char>(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(cut)));
+    EXPECT_THROW(LoadModel(path_), CheckpointError) << "cut at " << cut;
+  }
+}
+
+TEST_F(CheckpointTest, UnknownModelKindRaisesCleanError) {
+  // A structurally valid header claiming a model kind this build does
+  // not know (e.g. a bundle from a newer build with more families).
+  std::ofstream file(path_, std::ios::binary | std::ios::trunc);
+  file.write(kBundleMagic.data(), kBundleMagic.size());
+  const std::uint32_t version = kBundleFormatVersion;
+  file.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::string kind = "alien_model";
+  const std::uint64_t kind_size = kind.size();
+  file.write(reinterpret_cast<const char*>(&kind_size), sizeof(kind_size));
+  file.write(kind.data(), static_cast<std::streamsize>(kind.size()));
+  file.close();
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, FutureFormatVersionRaisesCleanError) {
+  SaveModel(*MakeGranite(1), path_);
+  std::vector<char> bytes = ReadBundle();
+  // The u32 version sits directly after the 8-byte magic.
+  const std::uint32_t future = kBundleFormatVersion + 1;
+  std::memcpy(bytes.data() + kBundleMagic.size(), &future, sizeof(future));
+  WriteBundle(bytes);
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, FlippedPayloadByteRaisesChecksumError) {
+  SaveModel(*MakeGranite(1), path_);
+  std::vector<char> bytes = ReadBundle();
+  // Flip one byte inside the last parameter tensor (well before the
+  // trailing 8-byte checksum, after all headers).
+  bytes[bytes.size() - 16] ^= 0x01;
+  WriteBundle(bytes);
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, FlippedVocabularyByteRaisesChecksumError) {
+  // The checksum covers the whole stream, not just tensors: corrupting
+  // a vocabulary token (lengths intact) must not load a model that
+  // silently tokenizes against the wrong vocabulary.
+  SaveModel(*MakeGranite(1), path_);
+  std::vector<char> bytes = ReadBundle();
+  const std::string needle = "_IMMEDIATE_";
+  const auto it = std::search(bytes.begin(), bytes.end(), needle.begin(),
+                              needle.end());
+  ASSERT_NE(it, bytes.end());
+  *it ^= 0x04;
+  WriteBundle(bytes);
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, AbsurdConfigValueRaisesCleanErrorNotAbort) {
+  // A parseable-but-insane config (e.g. a flipped digit) must fail as a
+  // CheckpointError before reaching the model constructors' checked
+  // aborts or any huge allocation. Patch same-length digits so the
+  // binary layout stays valid and only config content changes.
+  SaveModel(*MakeGranite(1), path_);
+  std::vector<char> bytes = ReadBundle();
+  const std::string needle = "message_passing_iterations=2";
+  const auto it = std::search(bytes.begin(), bytes.end(), needle.begin(),
+                              needle.end());
+  ASSERT_NE(it, bytes.end());
+  *(it + static_cast<long>(needle.size()) - 1) = '0';
+  WriteBundle(bytes);
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, TrailingGarbageRaisesCleanError) {
+  SaveModel(*MakeGranite(1), path_);
+  std::vector<char> bytes = ReadBundle();
+  bytes.push_back('x');
+  WriteBundle(bytes);
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, MissingFileRaisesCleanError) {
+  EXPECT_THROW(LoadModel(path_ + ".does_not_exist"), CheckpointError);
+}
+
+TEST_F(CheckpointTest, WrongKindConfigTextRaisesCleanError) {
+  // Claim kind "ithemal" over a GRANITE config body whose decoder value
+  // is garbage for Ithemal's parser.
+  SaveModel(*MakeIthemalPlus(1), path_);
+  std::vector<char> bytes = ReadBundle();
+  const std::string needle = "decoder=mlp";
+  const auto it = std::search(bytes.begin(), bytes.end(), needle.begin(),
+                              needle.end());
+  ASSERT_NE(it, bytes.end());
+  std::copy_n("decoder=xyz", needle.size(), it);
+  WriteBundle(bytes);
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
+TEST(ConfigMapTest, RoundTripsTypedValues) {
+  ConfigMap map;
+  map.SetInt("answer", -42);
+  map.SetUint("seed", 0xFFFFFFFFFFFFFFFFull);
+  map.SetBool("flag", true);
+  map.SetFloat("bias", 0.1f);
+  map.SetIntList("layers", {16, 32, 16});
+  map.SetString("name", "granite");
+  const ConfigMap parsed = ConfigMap::Parse(map.Serialize());
+  EXPECT_EQ(parsed.GetInt("answer", 0), -42);
+  EXPECT_EQ(parsed.GetUint("seed", 0), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_TRUE(parsed.GetBool("flag", false));
+  EXPECT_EQ(parsed.GetFloat("bias", 0.0f), 0.1f);
+  EXPECT_EQ(parsed.GetIntList("layers", {}), (std::vector<int>{16, 32, 16}));
+  EXPECT_EQ(parsed.GetString("name", ""), "granite");
+  // Missing keys keep the fallback; unknown keys are ignored.
+  EXPECT_EQ(parsed.GetInt("absent", 7), 7);
+}
+
+TEST(ConfigMapTest, MalformedValuesThrow) {
+  EXPECT_THROW(ConfigMap::Parse("no_separator_line"), std::runtime_error);
+  const ConfigMap map = ConfigMap::Parse("x=abc\nb=maybe\n");
+  EXPECT_THROW(map.GetInt("x", 0), std::runtime_error);
+  EXPECT_THROW(map.GetBool("b", false), std::runtime_error);
+  // Unsigned values reject negatives even behind strtoull's whitespace
+  // skipping (which would otherwise silently wrap ' -1' to 2^64 - 1).
+  const ConfigMap negatives = ConfigMap::Parse("u= -1\nv=-1\nw= 3\n");
+  EXPECT_THROW(negatives.GetUint("u", 0), std::runtime_error);
+  EXPECT_THROW(negatives.GetUint("v", 0), std::runtime_error);
+  EXPECT_THROW(negatives.GetInt("w", 0), std::runtime_error);
+}
+
+TEST(ConfigSerializationTest, GraniteConfigRoundTrips) {
+  core::GraniteConfig config;
+  config.node_embedding_size = 24;
+  config.decoder_layers = {48, 24};
+  config.message_passing_iterations = 5;
+  config.use_residual = false;
+  config.num_tasks = 3;
+  config.decoder_output_bias_init = 1.625f;
+  config.seed = 777;
+  const core::GraniteConfig parsed =
+      core::GraniteConfigFromText(core::SerializeConfig(config));
+  EXPECT_EQ(core::SerializeConfig(parsed), core::SerializeConfig(config));
+}
+
+TEST(ConfigSerializationTest, IthemalConfigRoundTrips) {
+  ithemal::IthemalConfig config;
+  config.embedding_size = 12;
+  config.decoder = ithemal::DecoderKind::kMlp;
+  config.decoder_layers = {12};
+  config.decoder_layer_norm = false;
+  config.num_tasks = 2;
+  config.seed = 5;
+  const ithemal::IthemalConfig parsed =
+      ithemal::IthemalConfigFromText(ithemal::SerializeConfig(config));
+  EXPECT_EQ(ithemal::SerializeConfig(parsed),
+            ithemal::SerializeConfig(config));
+}
+
+TEST(ScaledLayersTest, PreservesDepth) {
+  EXPECT_EQ(ScaledLayers({256, 256}, 16), (std::vector<int>{16, 16}));
+  EXPECT_EQ(ScaledLayers({64, 128, 64}, 8), (std::vector<int>{8, 8, 8}));
+  EXPECT_TRUE(ScaledLayers({}, 8).empty());
+}
+
+}  // namespace
+}  // namespace granite::model

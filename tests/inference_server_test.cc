@@ -23,6 +23,8 @@
 #include "core/granite_model.h"
 #include "dataset/generator.h"
 #include "gtest/gtest.h"
+#include "ithemal/ithemal_model.h"
+#include "ithemal/tokenizer.h"
 #include "serve/inference_server.h"
 
 namespace granite::serve {
@@ -351,6 +353,62 @@ TEST_F(InferenceServerTest, UpdateModelMidTrafficNeverServesATornRead) {
   EXPECT_EQ(torn.load(), 0);
   EXPECT_EQ(server.Stats().model_updates, 25u);
   EXPECT_GE(served_count.load(), 50u);
+}
+
+TEST_F(InferenceServerTest, PerTaskLatencyBreakdownSplitsCompletions) {
+  core::GraniteModel model(&vocabulary_, TinyConfig(/*num_tasks=*/2));
+  InferenceServerConfig config;
+  config.max_batch_size = 4;
+  config.batch_window = microseconds{100};
+  InferenceServer server(&model, config);
+
+  // 6 requests on task 0, 3 on task 1, all answered synchronously.
+  for (int r = 0; r < 6; ++r) {
+    server.Predict(blocks_[r % blocks_.size()], 0);
+  }
+  for (int r = 0; r < 3; ++r) {
+    server.Predict(blocks_[r % blocks_.size()], 1);
+  }
+
+  const ServerStats stats = server.Stats();
+  ASSERT_EQ(stats.per_task.size(), 2u);
+  EXPECT_EQ(stats.per_task[0].completed, 6u);
+  EXPECT_EQ(stats.per_task[1].completed, 3u);
+  EXPECT_EQ(stats.per_task[0].completed + stats.per_task[1].completed,
+            stats.completed);
+  for (const TaskStats& task_stats : stats.per_task) {
+    EXPECT_GT(task_stats.latency_mean_us, 0.0);
+    EXPECT_GT(task_stats.latency_p50_us, 0.0);
+    EXPECT_LE(task_stats.latency_p50_us, task_stats.latency_p95_us);
+    EXPECT_LE(task_stats.latency_p95_us, task_stats.latency_p99_us);
+  }
+
+  // The breakdown is surfaced in the printable stats rendering.
+  const std::string text = server.StatsString();
+  EXPECT_NE(text.find("task 0:"), std::string::npos);
+  EXPECT_NE(text.find("task 1:"), std::string::npos);
+}
+
+TEST_F(InferenceServerTest, ServesAnIthemalModelThroughTheInterface) {
+  // The server is model-agnostic: an Ithemal+ predictor behind the same
+  // API serves exact (batch-composition-invariant) values.
+  graph::Vocabulary vocabulary = ithemal::CreateIthemalVocabulary();
+  ithemal::IthemalConfig config =
+      ithemal::IthemalConfig().WithEmbeddingSize(8);
+  config.decoder = ithemal::DecoderKind::kMlp;
+  ithemal::IthemalModel model(&vocabulary, config);
+  std::vector<double> expected(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    expected[i] = model.PredictBatch({&blocks_[i]}, 0)[0];
+  }
+
+  InferenceServerConfig server_config;
+  server_config.max_batch_size = 4;
+  server_config.batch_window = microseconds{200};
+  InferenceServer server(&model, server_config);
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    EXPECT_EQ(server.Predict(blocks_[i], 0), expected[i]);
+  }
 }
 
 TEST_F(InferenceServerTest, StatsReportCoherentLatencyPercentiles) {

@@ -4,10 +4,12 @@
  * contribution API.
  */
 #include <cmath>
+#include <filesystem>
 #include <numeric>
 
 #include "gtest/gtest.h"
 #include "asm/parser.h"
+#include "model/checkpoint.h"
 #include "train/runners.h"
 
 namespace granite::train {
@@ -108,6 +110,38 @@ TEST(PerInstructionContributionsTest, InstructionsDiffer) {
       model.PredictPerInstruction({&*block.value}, 0);
   ASSERT_EQ(contributions[0].size(), 2u);
   EXPECT_NE(contributions[0][0], contributions[0][1]);
+}
+
+TEST(ModelRunnerTest, WrapsACheckpointLoadedPredictor) {
+  // Train → Save → Load → wrap in a fresh runner: evaluation through the
+  // loaded bundle matches the original runner bit-for-bit (the Trainer
+  // drives both through the same ThroughputPredictor interface).
+  const dataset::Dataset data = TinyDataset(16);
+  GraniteRunner original(TinyGranite(1), FastConfig(40, 1));
+  original.Train(data, dataset::Dataset());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "runners_test.gmb")
+          .string();
+  original.Save(path);
+
+  ModelRunner reloaded(model::LoadModel(path), FastConfig(40, 1));
+  EXPECT_EQ(reloaded.Predict(data, 0), original.Predict(data, 0));
+  EXPECT_EQ(reloaded.Evaluate(data, 0).mape,
+            original.Evaluate(data, 0).mape);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelRunnerTest, IthemalHasNoGraphPathButTrainsTheSame) {
+  // The unified runner only wires the pre-encoded-graph pipeline for
+  // models that support it; Ithemal trains through the block path.
+  const dataset::Dataset data = TinyDataset(12);
+  ithemal::IthemalConfig config =
+      ithemal::IthemalConfig().WithEmbeddingSize(8);
+  config.decoder = ithemal::DecoderKind::kMlp;
+  IthemalRunner runner(config, FastConfig(20, 1));
+  EXPECT_FALSE(runner.model().SupportsGraphEncoding());
+  const TrainingResult result = runner.Train(data, dataset::Dataset());
+  EXPECT_TRUE(std::isfinite(result.final_train_loss));
 }
 
 TEST(TrainerConfigTest, LearningRateDecayReachesFloor) {

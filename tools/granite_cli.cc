@@ -1,0 +1,565 @@
+/**
+ * @file
+ * granite_cli — train, evaluate, query and serve throughput models from
+ * self-describing checkpoint bundles.
+ *
+ * Subcommands:
+ *   train    Synthesize a labeled corpus, train a model (GRANITE,
+ *            Ithemal or Ithemal+), report held-out metrics and write a
+ *            checkpoint bundle (model::SaveModel).
+ *   eval     Load a bundle and print Pearson / Spearman / MAPE per task
+ *            head against a freshly synthesized held-out corpus.
+ *   predict  Load a bundle and print per-task throughput predictions for
+ *            a basic block given via --asm or stdin.
+ *   serve    Load one or more bundles into a serve::ModelRouter, replay
+ *            synthetic client traffic against the named models, and
+ *            print per-model per-task serving stats.
+ *
+ * Run `granite_cli help` (or any subcommand with --help) for flags.
+ *
+ * Task convention: task head i is trained/evaluated against
+ * uarch::Microarchitecture(i) (Ivy Bridge, Haswell, Skylake), the
+ * paper's task order. Models are trained on cycles-per-iteration targets
+ * (--target-scale, default 100) and predictions are reported on the
+ * paper's cycles-per-100-iterations scale.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <future>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "asm/parser.h"
+#include "base/statistics.h"
+#include "core/granite_model.h"
+#include "dataset/dataset.h"
+#include "ithemal/ithemal_model.h"
+#include "ithemal/tokenizer.h"
+#include "model/checkpoint.h"
+#include "serve/model_router.h"
+#include "train/runners.h"
+#include "uarch/microarchitecture.h"
+
+namespace {
+
+using granite::model::ThroughputPredictor;
+
+/** Parsed --key=value flags (last occurrence wins) plus repeatable
+ * --model-file values in order. */
+struct Flags {
+  std::map<std::string, std::string> values;
+  std::vector<std::string> model_files;
+  bool help = false;
+
+  bool Has(const std::string& key) const { return values.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    const auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    char* end = nullptr;
+    const long parsed = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "granite_cli: --%s wants an integer, got '%s'\n",
+                   key.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return parsed;
+  }
+
+  /** GetInt with an enforced [low, high] range, so negative or absurd
+   * counts fail with a message instead of wrapping through size_t. */
+  long GetCount(const std::string& key, long fallback, long low,
+                long high) const {
+    const long parsed = GetInt(key, fallback);
+    if (parsed < low || parsed > high) {
+      std::fprintf(stderr,
+                   "granite_cli: --%s=%ld out of range [%ld, %ld]\n",
+                   key.c_str(), parsed, low, high);
+      std::exit(2);
+    }
+    return parsed;
+  }
+
+  /** Rejects flags no subcommand knows, so a typo'd flag cannot
+   * silently fall back to a default. */
+  void RequireKnown(const std::vector<std::string>& known) const {
+    for (const auto& [key, value] : values) {
+      bool found = false;
+      for (const std::string& candidate : known) {
+        if (key == candidate) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr,
+                     "granite_cli: unknown flag --%s for this command "
+                     "(see granite_cli help)\n",
+                     key.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::fprintf(stderr, "granite_cli: --%s wants a number, got '%s'\n",
+                   key.c_str(), it->second.c_str());
+      std::exit(2);
+    }
+    return parsed;
+  }
+
+  /** GetDouble constrained to strictly positive values (scales). */
+  double GetPositiveDouble(const std::string& key, double fallback) const {
+    const double parsed = GetDouble(key, fallback);
+    if (!(parsed > 0.0)) {
+      std::fprintf(stderr, "granite_cli: --%s must be > 0, got %g\n",
+                   key.c_str(), parsed);
+      std::exit(2);
+    }
+    return parsed;
+  }
+};
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string argument = argv[i];
+    if (argument == "--help" || argument == "-h") {
+      flags.help = true;
+      continue;
+    }
+    if (argument.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "granite_cli: unexpected argument '%s'\n",
+                   argument.c_str());
+      std::exit(2);
+    }
+    const std::size_t separator = argument.find('=');
+    if (separator == std::string::npos) {
+      std::fprintf(stderr,
+                   "granite_cli: flags use --key=value form, got '%s'\n",
+                   argument.c_str());
+      std::exit(2);
+    }
+    const std::string key = argument.substr(2, separator - 2);
+    const std::string value = argument.substr(separator + 1);
+    if (key == "model-file") {
+      flags.model_files.push_back(value);
+    }
+    flags.values[key] = value;
+  }
+  return flags;
+}
+
+void PrintUsage() {
+  std::printf(
+      "granite_cli — throughput-model training, evaluation and serving\n"
+      "\n"
+      "usage: granite_cli <command> [--key=value ...]\n"
+      "\n"
+      "commands:\n"
+      "  train    train a model and write a checkpoint bundle\n"
+      "           --out=PATH (required), --model=granite|ithemal|\n"
+      "           ithemal_plus, --blocks=N, --steps=N, --tasks=1..3,\n"
+      "           --embedding=N, --mp-iterations=N, --batch-size=N,\n"
+      "           --seed=N, --target-scale=S, --verbose=1\n"
+      "  eval     evaluate a bundle per task on a held-out corpus\n"
+      "           --model-file=PATH (required), --blocks=N, --seed=N,\n"
+      "           --target-scale=S\n"
+      "  predict  predict one block's throughput on every task head\n"
+      "           --model-file=PATH (required), --asm=\"INSTR; INSTR\"\n"
+      "           (or block text on stdin), --target-scale=S\n"
+      "  serve    serve bundles behind a multi-model router\n"
+      "           --model-file=[NAME=]PATH (repeatable, required),\n"
+      "           --requests=N, --workers=N, --batch-size=N,\n"
+      "           --window-us=N, --cache=N, --blocks=N, --seed=N\n"
+      "  help     this text\n");
+}
+
+/** Task head i is supervised by Microarchitecture(i). */
+std::vector<granite::uarch::Microarchitecture> TasksFor(int num_tasks) {
+  if (num_tasks < 1 || num_tasks > granite::uarch::kNumMicroarchitectures) {
+    std::fprintf(stderr,
+                 "granite_cli: task count %d out of range (1..%d)\n",
+                 num_tasks, granite::uarch::kNumMicroarchitectures);
+    std::exit(2);
+  }
+  const auto& all = granite::uarch::AllMicroarchitectures();
+  return {all.begin(), all.begin() + num_tasks};
+}
+
+granite::dataset::Dataset SynthesizeCorpus(std::size_t num_blocks,
+                                           uint64_t seed) {
+  granite::dataset::SynthesisConfig synthesis;
+  synthesis.num_blocks = num_blocks;
+  synthesis.seed = seed;
+  synthesis.generator.max_instructions = 8;
+  return granite::dataset::SynthesizeDataset(synthesis);
+}
+
+double MeanInstructionsPerBlock(const granite::dataset::Dataset& data) {
+  if (data.empty()) return 1.0;
+  std::size_t instructions = 0;
+  for (const auto& sample : data.samples()) {
+    instructions += sample.block.instructions.size();
+  }
+  return std::max<double>(
+      1.0, static_cast<double>(instructions) /
+               static_cast<double>(data.size()));
+}
+
+std::unique_ptr<ThroughputPredictor> LoadBundleOrDie(
+    const std::string& path) {
+  try {
+    return granite::model::LoadModel(path);
+  } catch (const granite::model::CheckpointError& error) {
+    std::fprintf(stderr, "granite_cli: %s\n", error.what());
+    std::exit(1);
+  }
+}
+
+/** Builds the evaluation harness around an existing predictor. */
+granite::train::TrainerConfig EvalConfig(const ThroughputPredictor& model,
+                                         double target_scale) {
+  granite::train::TrainerConfig config;
+  config.tasks = TasksFor(model.num_tasks());
+  config.target_scale = target_scale;
+  return config;
+}
+
+int RunTrain(const Flags& flags) {
+  flags.RequireKnown({"out", "model", "blocks", "steps", "tasks",
+                      "embedding", "mp-iterations", "batch-size", "seed",
+                      "target-scale", "verbose"});
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "granite_cli train: --out=PATH is required\n");
+    return 2;
+  }
+  const std::string model_name = flags.GetString("model", "granite");
+  const int num_blocks =
+      static_cast<int>(flags.GetCount("blocks", 160, 16, 1000000));
+  const int steps = static_cast<int>(flags.GetCount("steps", 300, 1,
+                                                    10000000));
+  const int num_tasks = static_cast<int>(flags.GetCount("tasks", 1, 1, 3));
+  const int embedding =
+      static_cast<int>(flags.GetCount("embedding", 16, 1, 4096));
+  const int mp_iterations =
+      static_cast<int>(flags.GetCount("mp-iterations", 2, 1, 64));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const double target_scale = flags.GetPositiveDouble("target-scale", 100.0);
+
+  const granite::dataset::Dataset corpus =
+      SynthesizeCorpus(static_cast<std::size_t>(num_blocks), seed);
+  const granite::dataset::DatasetSplit train_test =
+      corpus.SplitFraction(0.83, 1);
+  const granite::dataset::DatasetSplit train_validation =
+      train_test.first.SplitFraction(0.98, 2);
+
+  granite::train::TrainerConfig trainer_config;
+  trainer_config.num_steps = steps;
+  trainer_config.batch_size =
+      static_cast<int>(flags.GetCount("batch-size", 16, 1, 100000));
+  trainer_config.adam.learning_rate = 0.008f;
+  trainer_config.final_learning_rate = 0.0008f;
+  trainer_config.target_scale = target_scale;
+  trainer_config.tasks = TasksFor(num_tasks);
+  trainer_config.validation_every = std::max(1, steps / 4);
+  trainer_config.verbose = flags.GetInt("verbose", 0) != 0;
+  trainer_config.seed = seed + 1;
+
+  // Initialize decoder biases at the per-instruction mean target so the
+  // scaled-down schedules converge quickly (see TrainerConfig docs).
+  const double mean_target =
+      granite::Mean(train_validation.first.Throughputs(
+          trainer_config.tasks[0])) /
+      target_scale;
+  const float bias_init = static_cast<float>(
+      mean_target / MeanInstructionsPerBlock(train_validation.first));
+
+  std::unique_ptr<granite::train::ModelRunner> runner;
+  if (model_name == "granite") {
+    granite::core::GraniteConfig config =
+        granite::core::GraniteConfig().WithEmbeddingSize(embedding);
+    config.message_passing_iterations = mp_iterations;
+    config.num_tasks = num_tasks;
+    config.decoder_output_bias_init = bias_init;
+    config.seed = seed + 2;
+    runner = std::make_unique<granite::train::ModelRunner>(config,
+                                                           trainer_config);
+  } else if (model_name == "ithemal" || model_name == "ithemal_plus") {
+    granite::ithemal::IthemalConfig config =
+        granite::ithemal::IthemalConfig().WithEmbeddingSize(embedding);
+    config.decoder = model_name == "ithemal"
+                         ? granite::ithemal::DecoderKind::kDotProduct
+                         : granite::ithemal::DecoderKind::kMlp;
+    config.num_tasks = num_tasks;
+    config.decoder_output_bias_init = bias_init;
+    config.seed = seed + 2;
+    runner = std::make_unique<granite::train::ModelRunner>(config,
+                                                           trainer_config);
+  } else {
+    std::fprintf(stderr,
+                 "granite_cli train: unknown --model '%s' (granite, "
+                 "ithemal, ithemal_plus)\n",
+                 model_name.c_str());
+    return 2;
+  }
+
+  std::printf("training %s (%zu weights, %d task(s)) on %zu blocks for "
+              "%d steps...\n",
+              model_name.c_str(),
+              runner->model().parameters().TotalWeights(), num_tasks,
+              train_validation.first.size(), steps);
+  const granite::train::TrainingResult result =
+      runner->Train(train_validation.first, train_validation.second);
+  std::printf("final training loss: %.4f\n", result.final_train_loss);
+
+  for (int task = 0; task < num_tasks; ++task) {
+    const granite::train::EvaluationResult eval =
+        runner->Evaluate(train_test.second, task);
+    std::printf("task %d (%s): mape=%.1f%% pearson=%.3f spearman=%.3f "
+                "(%zu held-out blocks)\n",
+                task,
+                std::string(granite::uarch::MicroarchitectureName(
+                                trainer_config.tasks[task]))
+                    .c_str(),
+                100.0 * eval.mape, eval.pearson, eval.spearman,
+                eval.count);
+  }
+
+  runner->Save(out);
+  std::printf("wrote checkpoint bundle: %s\n", out.c_str());
+  return 0;
+}
+
+int RunEval(const Flags& flags) {
+  flags.RequireKnown({"model-file", "blocks", "seed", "target-scale"});
+  const std::string path = flags.GetString("model-file", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "granite_cli eval: --model-file=PATH is required\n");
+    return 2;
+  }
+  const int num_blocks =
+      static_cast<int>(flags.GetCount("blocks", 64, 1, 1000000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  const double target_scale = flags.GetPositiveDouble("target-scale", 100.0);
+
+  std::unique_ptr<ThroughputPredictor> loaded = LoadBundleOrDie(path);
+  std::printf("loaded %s model, %d task(s), %zu weights\n",
+              std::string(granite::model::ModelKindName(loaded->kind()))
+                  .c_str(),
+              loaded->num_tasks(), loaded->parameters().TotalWeights());
+
+  const granite::train::TrainerConfig eval_config =
+      EvalConfig(*loaded, target_scale);
+  const int num_tasks = loaded->num_tasks();
+  const granite::dataset::Dataset corpus =
+      SynthesizeCorpus(static_cast<std::size_t>(num_blocks), seed);
+  granite::train::ModelRunner runner(std::move(loaded), eval_config);
+  for (int task = 0; task < num_tasks; ++task) {
+    const granite::train::EvaluationResult eval =
+        runner.Evaluate(corpus, task);
+    std::printf("task %d (%s): mape=%.1f%% pearson=%.3f spearman=%.3f "
+                "(%zu blocks)\n",
+                task,
+                std::string(granite::uarch::MicroarchitectureName(
+                                eval_config.tasks[task]))
+                    .c_str(),
+                100.0 * eval.mape, eval.pearson, eval.spearman,
+                eval.count);
+  }
+  return 0;
+}
+
+int RunPredict(const Flags& flags) {
+  flags.RequireKnown({"model-file", "asm", "target-scale"});
+  const std::string path = flags.GetString("model-file", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "granite_cli predict: --model-file=PATH is required\n");
+    return 2;
+  }
+  const double target_scale = flags.GetPositiveDouble("target-scale", 100.0);
+  std::string text = flags.GetString("asm", "");
+  if (text.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+  // Accept ';' as an instruction separator so one-liners work in --asm.
+  for (char& character : text) {
+    if (character == ';') character = '\n';
+  }
+  const auto parsed = granite::assembly::ParseBasicBlock(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "granite_cli predict: parse error: %s\n",
+                 parsed.error.c_str());
+    return 1;
+  }
+
+  const std::unique_ptr<ThroughputPredictor> loaded = LoadBundleOrDie(path);
+  const std::vector<std::vector<double>> predictions =
+      loaded->PredictBatchAllTasks({&*parsed.value});
+  const auto tasks = TasksFor(loaded->num_tasks());
+  std::printf("block (%zu instructions):\n",
+              parsed.value->instructions.size());
+  for (int task = 0; task < loaded->num_tasks(); ++task) {
+    std::printf("  task %d (%s): %.2f cycles/100 iterations\n", task,
+                std::string(granite::uarch::MicroarchitectureName(
+                                tasks[task]))
+                    .c_str(),
+                predictions[0][task] * target_scale);
+  }
+  return 0;
+}
+
+int RunServe(const Flags& flags) {
+  flags.RequireKnown({"model-file", "requests", "blocks", "seed",
+                      "workers", "batch-size", "window-us", "cache"});
+  if (flags.model_files.empty()) {
+    std::fprintf(stderr,
+                 "granite_cli serve: at least one --model-file=[NAME=]PATH "
+                 "is required\n");
+    return 2;
+  }
+  const int requests =
+      static_cast<int>(flags.GetCount("requests", 400, 1, 100000000));
+  const int num_blocks =
+      static_cast<int>(flags.GetCount("blocks", 64, 1, 1000000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+
+  granite::serve::InferenceServerConfig server_config;
+  server_config.num_workers =
+      static_cast<int>(flags.GetCount("workers", 2, 1, 256));
+  server_config.max_batch_size =
+      static_cast<int>(flags.GetCount("batch-size", 16, 1, 100000));
+  server_config.batch_window =
+      std::chrono::microseconds{flags.GetCount("window-us", 2000, 0,
+                                               60000000)};
+  server_config.prediction_cache_capacity =
+      static_cast<std::size_t>(flags.GetCount("cache", 512, 0, 100000000));
+
+  granite::serve::ModelRouter router(server_config);
+  std::vector<std::pair<std::string, int>> models;  // name → num_tasks
+  for (const std::string& entry : flags.model_files) {
+    // --model-file=NAME=PATH names the route; bare PATH uses the file
+    // stem (checkpoints/granite.gmb → "granite").
+    std::string name;
+    std::string path;
+    const std::size_t separator = entry.find('=');
+    if (separator != std::string::npos) {
+      name = entry.substr(0, separator);
+      path = entry.substr(separator + 1);
+    } else {
+      path = entry;
+      const std::size_t slash = path.find_last_of('/');
+      const std::size_t stem = slash == std::string::npos ? 0 : slash + 1;
+      const std::size_t dot = path.find('.', stem);
+      name = path.substr(stem, dot == std::string::npos ? std::string::npos
+                                                        : dot - stem);
+    }
+    if (router.HasModel(name)) {
+      std::fprintf(stderr,
+                   "granite_cli serve: duplicate route name '%s' (use "
+                   "--model-file=NAME=PATH to disambiguate)\n",
+                   name.c_str());
+      return 2;
+    }
+    std::unique_ptr<ThroughputPredictor> loaded = LoadBundleOrDie(path);
+    const int num_tasks = loaded->num_tasks();
+    std::printf("serving '%s' (%s, %d task(s)) from %s\n", name.c_str(),
+                std::string(granite::model::ModelKindName(loaded->kind()))
+                    .c_str(),
+                num_tasks, path.c_str());
+    router.AddModel(name, std::move(loaded));
+    models.emplace_back(name, num_tasks);
+  }
+
+  const granite::dataset::Dataset corpus =
+      SynthesizeCorpus(static_cast<std::size_t>(num_blocks), seed);
+  const std::vector<const granite::assembly::BasicBlock*> blocks =
+      corpus.Blocks();
+
+  // A few client threads spread requests over models, blocks and tasks.
+  constexpr int kClients = 2;
+  std::vector<std::thread> clients;
+  std::atomic<int> answered{0};
+  std::atomic<int> failed{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<double>> futures;
+      for (int r = c; r < requests; r += kClients) {
+        const auto& [name, num_tasks] = models[r % models.size()];
+        auto future = router.Submit(
+            name, blocks[(c * 13 + r) % blocks.size()], r % num_tasks);
+        if (future.has_value()) futures.push_back(std::move(*future));
+      }
+      for (std::future<double>& future : futures) {
+        // A failed batch (e.g. bad_alloc in a forward pass) surfaces
+        // through the future; report it instead of std::terminate-ing
+        // the CLI from a client thread.
+        try {
+          future.get();
+          ++answered;
+        } catch (const std::exception&) {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  router.Shutdown();
+
+  std::printf("\nanswered %d/%d requests (%d failed)\n\n", answered.load(),
+              requests, failed.load());
+  std::printf("%s", router.StatsString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "help" || flags.help) {
+    PrintUsage();
+    return 0;
+  }
+  try {
+    if (command == "train") return RunTrain(flags);
+    if (command == "eval") return RunEval(flags);
+    if (command == "predict") return RunPredict(flags);
+    if (command == "serve") return RunServe(flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "granite_cli: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "granite_cli: unknown command '%s'\n",
+               command.c_str());
+  PrintUsage();
+  return 2;
+}
