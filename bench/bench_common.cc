@@ -2,14 +2,61 @@
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <sstream>
 
 namespace granite::bench {
+namespace {
+
+/** Metric registry state; benches are single-threaded at record time. */
+std::string& MetricsJsonPath() {
+  static std::string path;
+  return path;
+}
+
+std::map<std::string, double>& Metrics() {
+  static std::map<std::string, double> metrics;
+  return metrics;
+}
+
+}  // namespace
+
+void SetMetricsJsonPath(const std::string& path) {
+  MetricsJsonPath() = path;
+}
+
+void RecordMetric(const std::string& name, double value) {
+  Metrics()[name] = value;
+}
+
+bool WriteMetricsJson() {
+  if (MetricsJsonPath().empty()) return false;
+  std::FILE* file = std::fopen(MetricsJsonPath().c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write metrics JSON: %s\n",
+                 MetricsJsonPath().c_str());
+    return false;
+  }
+  std::fprintf(file, "{\n");
+  std::size_t remaining = Metrics().size();
+  for (const auto& [name, value] : Metrics()) {
+    std::fprintf(file, "  \"%s\": %.17g%s\n", name.c_str(), value,
+                 --remaining == 0 ? "" : ",");
+  }
+  std::fprintf(file, "}\n");
+  std::fclose(file);
+  std::printf("metrics JSON written: %s (%zu metrics)\n",
+              MetricsJsonPath().c_str(), Metrics().size());
+  return true;
+}
 
 Scale ParseScale(int argc, char** argv) {
   Scale scale;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) scale.quick = true;
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      SetMetricsJsonPath(argv[i] + 11);
+    }
   }
   if (scale.quick) {
     scale.ithemal_blocks /= 5;

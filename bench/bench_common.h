@@ -44,8 +44,21 @@ struct Scale {
   float final_learning_rate = 0.0005f;
 };
 
-/** Parses --quick from the command line. */
+/** Parses --quick and --json-out=PATH from the command line. */
 Scale ParseScale(int argc, char** argv);
+
+/**
+ * Machine-readable metric registry for the CI perf spine. Benches call
+ * RecordMetric() next to the human-readable printf of the same number;
+ * when a --json-out=PATH flag enabled output (SetMetricsJsonPath),
+ * WriteMetricsJson() dumps every recorded metric as a flat
+ * {"name": value, ...} JSON object for bench/compare_bench.py.
+ */
+void SetMetricsJsonPath(const std::string& path);
+void RecordMetric(const std::string& name, double value);
+
+/** Writes the metric JSON if a path was set; true when written. */
+bool WriteMetricsJson();
 
 /** Prints the standard scaled-configuration banner. */
 void PrintBanner(const std::string& title, const Scale& scale);

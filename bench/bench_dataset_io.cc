@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Dataset IO throughput: how fast corpora stream to and from disk.
+ *
+ * Three phases, all at bounded memory:
+ *   1. synthesize+write — StreamingSynthesisSource feeding CorpusWriter
+ *      (the `granite_cli dataset synthesize` path): blocks/sec and MB/s.
+ *   2. sequential read — the chunked CorpusReader (checksum-verified
+ *      full pass, one shard resident): blocks/sec and MB/s.
+ *   3. random access — StreamingCorpusSource under a shard-hopping
+ *      access pattern with a small LRU window: blocks/sec and the
+ *      shard reload count (the cost of sampling-style access).
+ *
+ * Peak RSS (VmHWM) is reported on Linux as a bounded-memory sanity
+ * check: it must track the shard window, not the corpus size.
+ *
+ * --quick shrinks the corpus for the CI perf-smoke job; --json-out=PATH
+ * emits the metrics for bench/compare_bench.py.
+ */
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "base/resource_usage.h"
+#include "bench_common.h"
+#include "dataset/block_source.h"
+#include "dataset/corpus_io.h"
+
+namespace granite::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void Run(int argc, char** argv) {
+  const Scale scale = ParseScale(argc, argv);
+  // The shard count always exceeds the random-access cache window, so
+  // phase 3 measures genuine reload traffic in both run sizes.
+  const std::size_t num_blocks = scale.quick ? 4000 : 25000;
+  const std::size_t records_per_shard = scale.quick ? 512 : 1024;
+
+  std::printf("== bench_dataset_io: corpus write/read/stream ==\n");
+  std::printf("%zu blocks, %zu records/shard, %s run\n\n", num_blocks,
+              records_per_shard, scale.quick ? "quick" : "full");
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bench_dataset_io_" + std::to_string(::getpid()) + ".gbc"))
+          .string();
+
+  dataset::SynthesisConfig synthesis;
+  synthesis.num_blocks = num_blocks;
+  synthesis.seed = 7;
+  synthesis.generator.max_instructions = 8;
+
+  // Phase 1: streaming synthesis straight to disk.
+  {
+    const Clock::time_point start = Clock::now();
+    dataset::StreamingSynthesisOptions options;
+    options.records_per_shard = records_per_shard;
+    options.cache_shards = 2;
+    const dataset::StreamingSynthesisSource source(synthesis, options);
+    dataset::SaveCorpus(source, path, synthesis.tool, synthesis.seed,
+                        records_per_shard);
+    const double seconds = SecondsSince(start);
+    const double mb = static_cast<double>(
+                          std::filesystem::file_size(path)) /
+                      (1024.0 * 1024.0);
+    const double blocks_per_sec =
+        static_cast<double>(num_blocks) / seconds;
+    std::printf("synthesize+write: %8.0f blocks/s  %6.1f MB/s  "
+                "(%.1f MB, %.2f s)\n",
+                blocks_per_sec, mb / seconds, mb, seconds);
+    RecordMetric("dataset_io.write.blocks_per_sec", blocks_per_sec);
+    RecordMetric("dataset_io.write.mb_per_sec", mb / seconds);
+    RecordMetric("dataset_io.corpus_mb", mb);
+  }
+
+  // Phase 2: sequential chunked read (checksum-verified full pass).
+  {
+    const Clock::time_point start = Clock::now();
+    dataset::CorpusReader reader(path);
+    std::vector<dataset::Sample> shard;
+    std::size_t total = 0;
+    std::size_t instructions = 0;
+    while (reader.NextShard(&shard)) {
+      total += shard.size();
+      for (const dataset::Sample& sample : shard) {
+        instructions += sample.block.instructions.size();
+      }
+    }
+    const double seconds = SecondsSince(start);
+    const double blocks_per_sec = static_cast<double>(total) / seconds;
+    std::printf("sequential read:  %8.0f blocks/s  (%zu blocks, "
+                "%zu instructions, %.2f s)\n",
+                blocks_per_sec, total, instructions, seconds);
+    RecordMetric("dataset_io.sequential_read.blocks_per_sec",
+                 blocks_per_sec);
+  }
+
+  // Phase 3: sampling-style random access through a small LRU window.
+  {
+    dataset::StreamingCorpusOptions options;
+    options.cache_shards = 4;
+    const dataset::StreamingCorpusSource source(path, options);
+    const std::size_t accesses = scale.quick ? 20000 : 100000;
+    const Clock::time_point start = Clock::now();
+    std::size_t instructions = 0;
+    for (std::size_t i = 0; i < accesses; ++i) {
+      // A large co-prime stride hops shards like shuffled sampling does.
+      const dataset::SampleView view =
+          source.Get((i * 7919) % source.size());
+      instructions += view.block->instructions.size();
+    }
+    const double seconds = SecondsSince(start);
+    const double blocks_per_sec =
+        static_cast<double>(accesses) / seconds;
+    std::printf("random access:    %8.0f blocks/s  (%zu gets, "
+                "%zu shard loads, cache %zu shards)\n",
+                blocks_per_sec, accesses, source.shard_loads(),
+                options.cache_shards);
+    RecordMetric("dataset_io.random_access.blocks_per_sec",
+                 blocks_per_sec);
+    RecordMetric("dataset_io.random_access.shard_loads",
+                 static_cast<double>(source.shard_loads()));
+  }
+
+  const double rss = base::PeakRssMb();
+  if (rss > 0.0) {
+    std::printf("peak RSS:         %8.1f MB (bounded by the shard "
+                "window, not the corpus)\n",
+                rss);
+    RecordMetric("dataset_io.peak_rss_mb", rss);
+  }
+
+  std::error_code ignored;
+  std::filesystem::remove(path, ignored);
+  WriteMetricsJson();
+}
+
+}  // namespace
+}  // namespace granite::bench
+
+int main(int argc, char** argv) { granite::bench::Run(argc, argv); }

@@ -142,6 +142,13 @@ void RunMatMulTable(bool quick) {
       const std::string shape_text = std::to_string(shape.m) + "x" +
                                      std::to_string(shape.k) + "x" +
                                      std::to_string(shape.n);
+      // The headline CI metric: the acceptance-target matmul.
+      if (variant == MatMulVariant::kPlain && shape.m == 256 &&
+          shape.k == 256 && shape.n == 256) {
+        RecordMetric("kernels.matmul256.reference_gflops", ref);
+        RecordMetric("kernels.matmul256.optimized_gflops", opt);
+        RecordMetric("kernels.matmul256.speedup", opt / ref);
+      }
       PrintRow({VariantName(variant), shape_text, Fixed(ref, 2),
                 Fixed(opt, 2), Fixed(opt / ref, 2) + "x"},
                widths);
@@ -194,6 +201,12 @@ void RunEndToEnd(const Scale& scale) {
       scale, data, steps, ml::KernelBackendKind::kReference);
   const double optimized_rate = MeasureTraining(
       scale, data, steps, ml::KernelBackendKind::kOptimized);
+  RecordMetric("kernels.train_step.reference_steps_per_sec",
+               reference_rate);
+  RecordMetric("kernels.train_step.optimized_steps_per_sec",
+               optimized_rate);
+  RecordMetric("kernels.train_step.speedup",
+               optimized_rate / reference_rate);
   PrintRow({"reference", Fixed(reference_rate, 2), "1.00x"}, widths);
   PrintRow({"optimized", Fixed(optimized_rate, 2),
             Fixed(optimized_rate / reference_rate, 2) + "x"},
@@ -210,6 +223,7 @@ void Run(int argc, char** argv) {
   PrintBanner("Kernel backends: blocked/SIMD vs reference loops", scale);
   RunMatMulTable(scale.quick);
   RunEndToEnd(scale);
+  WriteMetricsJson();
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
  * same offered load. A second table shows the cache-warm regime (hot
  * block set, LRU cache on), where hit rate, not batching, dominates.
  */
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/granite_model.h"
 #include "dataset/generator.h"
 #include "serve/inference_server.h"
@@ -147,10 +149,9 @@ std::vector<SweepRow> Sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  // ParseScale handles --quick and --json-out; the Scale sizes
+  // themselves are unused here (the sweep defines its own).
+  const bool quick = granite::bench::ParseScale(argc, argv).quick;
   std::printf("== bench_serving: batching-window load generator ==\n");
   std::printf("open-loop Poisson arrivals; %s run\n\n",
               quick ? "quick" : "full");
@@ -217,6 +218,13 @@ int main(int argc, char** argv) {
     }
   }
   const double speedup = best_batched_sustained / batch1_sustained;
+  granite::bench::RecordMetric("serving.batch1_capacity_qps",
+                               batch1_capacity);
+  granite::bench::RecordMetric("serving.cold.batch1_sustained_qps",
+                               batch1_sustained);
+  granite::bench::RecordMetric("serving.cold.best_batched_sustained_qps",
+                               best_batched_sustained);
+  granite::bench::RecordMetric("serving.cold.batching_speedup", speedup);
   std::printf("\nbatching speedup at fixed offered load: %.2fx "
               "(acceptance: >= 2x) -- %s\n\n",
               speedup, speedup >= 2.0 ? "PASS" : "FAIL");
@@ -229,6 +237,7 @@ int main(int argc, char** argv) {
               "load %.0f QPS --\n",
               3.0 * offered);
   PrintHeader();
+  double best_warm_sustained = 0.0;
   for (const SweepRow& row : Sweep()) {
     granite::core::GraniteModel model(&vocabulary, model_config);
     InferenceServerConfig config = row.config;
@@ -236,7 +245,12 @@ int main(int argc, char** argv) {
     InferenceServer server(&model, config);
     const LoadResult result =
         OfferLoad(server, hot_blocks, 3.0 * offered, cold_requests);
+    best_warm_sustained =
+        std::max(best_warm_sustained, result.sustained_qps);
     PrintRow(row.label, result);
   }
+  granite::bench::RecordMetric("serving.warm.best_sustained_qps",
+                               best_warm_sustained);
+  granite::bench::WriteMetricsJson();
   return 0;
 }

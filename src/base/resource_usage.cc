@@ -1,0 +1,23 @@
+#include "base/resource_usage.h"
+
+#include <cstdio>
+
+namespace granite::base {
+
+double PeakRssMb() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0.0;
+  double rss_mb = 0.0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    long kb = 0;
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) {
+      rss_mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(status);
+  return rss_mb;
+}
+
+}  // namespace granite::base

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Process resource-usage probes.
+ *
+ * Used as bounded-memory evidence by the streaming-dataset tooling:
+ * `granite_cli dataset synthesize` and bench_dataset_io report the peak
+ * RSS after writing a corpus, which must track the shard window rather
+ * than the corpus size.
+ */
+#ifndef GRANITE_BASE_RESOURCE_USAGE_H_
+#define GRANITE_BASE_RESOURCE_USAGE_H_
+
+namespace granite::base {
+
+/** Peak resident set size of this process in MB (VmHWM from
+ * /proc/self/status); 0.0 where /proc is unavailable. */
+double PeakRssMb();
+
+}  // namespace granite::base
+
+#endif  // GRANITE_BASE_RESOURCE_USAGE_H_

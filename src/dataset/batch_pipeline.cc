@@ -1,5 +1,6 @@
 #include "dataset/batch_pipeline.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/logging.h"
@@ -7,16 +8,25 @@
 
 namespace granite::dataset {
 
-PreparedBatch PrepareBatch(const Dataset& data,
+PreparedBatch PrepareBatch(const BlockSource& source,
                            std::vector<std::size_t> indices, int num_shards,
                            const EncodeFn& encode) {
   GRANITE_CHECK_GE(num_shards, 1);
   PreparedBatch batch;
   batch.indices = std::move(indices);
   batch.blocks.reserve(batch.indices.size());
+  batch.throughputs.reserve(batch.indices.size());
   for (const std::size_t index : batch.indices) {
-    batch.blocks.push_back(&data[index].block);
+    SampleView view = source.Get(index);
+    batch.blocks.push_back(view.block);
+    batch.throughputs.push_back(*view.throughput);
+    if (view.pin != nullptr) batch.pins.push_back(std::move(view.pin));
   }
+  // Random sampling revisits the same shard many times per batch; one
+  // pin per distinct shard suffices to keep every block alive.
+  std::sort(batch.pins.begin(), batch.pins.end());
+  batch.pins.erase(std::unique(batch.pins.begin(), batch.pins.end()),
+                   batch.pins.end());
   const auto ranges =
       base::ThreadPool::PartitionRange(batch.blocks.size(), num_shards);
   for (const auto& [begin, end] : ranges) {
@@ -36,13 +46,44 @@ PreparedBatch PrepareBatch(const Dataset& data,
   return batch;
 }
 
+PreparedBatch PrepareBatch(const Dataset& data,
+                           std::vector<std::size_t> indices, int num_shards,
+                           const EncodeFn& encode) {
+  return PrepareBatch(MaterializedBlockSource(&data), std::move(indices),
+                      num_shards, encode);
+}
+
 namespace {
 
-/** Null-checks `data` before the constructor's initializer list uses it. */
-std::size_t CheckedSize(const Dataset* data) {
+/** Null-checks `source` before the constructor's initializer list uses
+ * it. */
+std::size_t CheckedSize(const BlockSource* source) {
+  GRANITE_CHECK(source != nullptr);
+  GRANITE_CHECK(!source->empty());
+  return source->size();
+}
+
+}  // namespace
+
+PrefetchingBatchPipeline::PrefetchingBatchPipeline(const BlockSource* source,
+                                                   std::size_t batch_size,
+                                                   int num_shards,
+                                                   uint64_t seed,
+                                                   EncodeFn encode)
+    : source_(source),
+      num_shards_(num_shards),
+      encode_(std::move(encode)),
+      sampler_(CheckedSize(source), batch_size, seed) {
+  GRANITE_CHECK_GE(num_shards, 1);
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+namespace {
+
+/** Wraps `data` for the delegating constructor, null-checked first. */
+std::unique_ptr<BlockSource> WrapDataset(const Dataset* data) {
   GRANITE_CHECK(data != nullptr);
-  GRANITE_CHECK(!data->empty());
-  return data->size();
+  return std::make_unique<MaterializedBlockSource>(data);
 }
 
 }  // namespace
@@ -52,10 +93,11 @@ PrefetchingBatchPipeline::PrefetchingBatchPipeline(const Dataset* data,
                                                    int num_shards,
                                                    uint64_t seed,
                                                    EncodeFn encode)
-    : data_(data),
+    : owned_source_(WrapDataset(data)),
       num_shards_(num_shards),
       encode_(std::move(encode)),
-      sampler_(CheckedSize(data), batch_size, seed) {
+      sampler_(CheckedSize(owned_source_.get()), batch_size, seed) {
+  source_ = owned_source_.get();
   GRANITE_CHECK_GE(num_shards, 1);
   producer_ = std::thread([this] { ProducerLoop(); });
 }
@@ -74,7 +116,7 @@ void PrefetchingBatchPipeline::ProducerLoop() {
     // Sampling and encoding run outside the lock; the sampler is only
     // ever touched by this thread.
     PreparedBatch batch =
-        PrepareBatch(*data_, sampler_.NextBatch(), num_shards_, encode_);
+        PrepareBatch(*source_, sampler_.NextBatch(), num_shards_, encode_);
     std::unique_lock<std::mutex> lock(mutex_);
     slot_emptied_.wait(lock, [this] { return stop_ || !slot_.has_value(); });
     if (stop_) return;

@@ -15,11 +15,13 @@
 
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "dataset/block_source.h"
 #include "dataset/dataset.h"
 #include "graph/batch.h"
 
@@ -30,12 +32,20 @@ namespace granite::dataset {
 using EncodeFn = std::function<graph::BatchedGraph(
     const std::vector<const assembly::BasicBlock*>&)>;
 
-/** One training batch, sampled, sharded, and optionally pre-encoded. */
+/** One training batch, sampled, sharded, and optionally pre-encoded.
+ * A batch is self-contained: it carries the ground-truth labels and
+ * pins any streaming-source shards its block pointers live in, so a
+ * training step needs no further access to the source. */
 struct PreparedBatch {
   /** Sample indices into the source dataset, batch order. */
   std::vector<std::size_t> indices;
   /** Block pointer per sample (parallel to `indices`). */
   std::vector<const assembly::BasicBlock*> blocks;
+  /** Ground-truth labels per sample (parallel to `indices`). */
+  std::vector<std::array<double, uarch::kNumMicroarchitectures>>
+      throughputs;
+  /** Keep-alive handles for the shards of a streaming source. */
+  std::vector<std::shared_ptr<const void>> pins;
 
   /** A contiguous [begin, end) slice of the batch owned by one worker. */
   struct Shard {
@@ -50,10 +60,16 @@ struct PreparedBatch {
 };
 
 /**
- * Builds a PreparedBatch synchronously: resolves `indices` to blocks,
- * splits them into `num_shards` near-equal contiguous shards (empty
- * shards are dropped), and encodes each shard iff `encode` is non-null.
+ * Builds a PreparedBatch synchronously: resolves `indices` to blocks and
+ * labels, splits them into `num_shards` near-equal contiguous shards
+ * (empty shards are dropped), and encodes each shard iff `encode` is
+ * non-null. Streaming sources' backing shards are pinned in the batch.
  */
+PreparedBatch PrepareBatch(const BlockSource& source,
+                           std::vector<std::size_t> indices, int num_shards,
+                           const EncodeFn& encode);
+
+/** Convenience overload for materialized datasets. */
 PreparedBatch PrepareBatch(const Dataset& data,
                            std::vector<std::size_t> indices, int num_shards,
                            const EncodeFn& encode);
@@ -67,7 +83,12 @@ PreparedBatch PrepareBatch(const Dataset& data,
  */
 class PrefetchingBatchPipeline {
  public:
-  /** `data` must outlive the pipeline. `encode` may be null. */
+  /** `source` must outlive the pipeline. `encode` may be null. */
+  PrefetchingBatchPipeline(const BlockSource* source, std::size_t batch_size,
+                           int num_shards, uint64_t seed, EncodeFn encode);
+
+  /** Convenience overload wrapping a materialized dataset (`data` must
+   * outlive the pipeline). */
   PrefetchingBatchPipeline(const Dataset* data, std::size_t batch_size,
                            int num_shards, uint64_t seed, EncodeFn encode);
 
@@ -84,7 +105,9 @@ class PrefetchingBatchPipeline {
  private:
   void ProducerLoop();
 
-  const Dataset* data_;
+  const BlockSource* source_;
+  /** Set when constructed from a Dataset: the wrapper the pipeline owns. */
+  std::unique_ptr<BlockSource> owned_source_;
   int num_shards_;
   EncodeFn encode_;
   BatchSampler sampler_;

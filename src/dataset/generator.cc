@@ -51,6 +51,14 @@ BlockGenerator::BlockGenerator(const GeneratorConfig& config, uint64_t seed)
                    static_cast<std::size_t>(kNumWorkloadFamilies));
 }
 
+BlockGenerator::BlockGenerator(const GeneratorConfig& config, const Rng& rng)
+    : config_(config), rng_(rng) {
+  GRANITE_CHECK_GE(config.min_instructions, 1);
+  GRANITE_CHECK_GE(config.max_instructions, config.min_instructions);
+  GRANITE_CHECK_EQ(config.family_weights.size(),
+                   static_cast<std::size_t>(kNumWorkloadFamilies));
+}
+
 int BlockGenerator::SampleLength() {
   // Mildly skewed toward short blocks, like the BHive distribution where
   // the median block is a handful of instructions.

@@ -60,6 +60,14 @@ class BlockGenerator {
  public:
   BlockGenerator(const GeneratorConfig& config, uint64_t seed);
 
+  /** Resumes generation from a captured RNG state (see rng()): the
+   * continuation produces exactly the stream the snapshotted generator
+   * would have — the replay hook of StreamingSynthesisSource. */
+  BlockGenerator(const GeneratorConfig& config, const Rng& rng);
+
+  /** The current RNG state; copy it to snapshot the stream position. */
+  const Rng& rng() const { return rng_; }
+
   /** Generates the next block (family sampled from the config weights). */
   assembly::BasicBlock Generate();
 

@@ -82,6 +82,26 @@ class BundleReader {
     if (!file_.is_open()) {
       throw CheckpointError("cannot read checkpoint bundle: " + path);
     }
+    file_.seekg(0, std::ios::end);
+    file_size_ = static_cast<std::uint64_t>(file_.tellg());
+    file_.seekg(0);
+  }
+
+  std::uint64_t file_size() const { return file_size_; }
+
+  /**
+   * Seeks forward over `size` bytes without feeding the checksum — the
+   * metadata-only inspection path (InspectBundle), which skips tensor
+   * values and therefore cannot verify the trailer anyway.
+   */
+  void Skip(std::uint64_t size, const char* what) {
+    const std::uint64_t position =
+        static_cast<std::uint64_t>(file_.tellg());
+    if (file_.fail() || file_size_ - position < size) {
+      throw CheckpointError("truncated checkpoint bundle (" +
+                            std::string(what) + "): " + path_);
+    }
+    file_.seekg(static_cast<std::streamoff>(position + size));
   }
 
   /** Mirrors BundleWriter::WriteRaw: every consumed byte feeds the
@@ -137,6 +157,7 @@ class BundleReader {
  private:
   std::string path_;
   std::ifstream file_;
+  std::uint64_t file_size_ = 0;
   std::uint64_t checksum_ = kFnvOffsetBasis;
 };
 
@@ -348,6 +369,79 @@ std::unique_ptr<ThroughputPredictor> LoadModel(const std::string& path) {
   // prediction cache attached before the load self-invalidates.
   model->parameters().BumpGeneration();
   return model;
+}
+
+BundleInfo InspectBundle(const std::string& path) {
+  BundleReader reader(path);
+  BundleInfo info;
+  info.file_bytes = reader.file_size();
+
+  std::array<char, 8> magic{};
+  reader.ReadRaw(magic.data(), magic.size(), "magic");
+  if (magic != kBundleMagic) {
+    throw CheckpointError("not a GRANITE checkpoint bundle (bad magic): " +
+                          path);
+  }
+  info.version = reader.ReadScalar<std::uint32_t>("version");
+  if (info.version != kBundleFormatVersion) {
+    throw CheckpointError(
+        "unsupported checkpoint bundle version " +
+        std::to_string(info.version) + " (this build reads version " +
+        std::to_string(kBundleFormatVersion) + "): " + path);
+  }
+  info.kind = reader.ReadString("model kind");
+  info.config_text = reader.ReadString("config");
+
+  info.vocabulary_size = reader.ReadScalar<std::uint64_t>("vocabulary size");
+  if (info.vocabulary_size == 0 || info.vocabulary_size > kMaxTokens) {
+    throw CheckpointError(
+        "corrupt checkpoint bundle (bad vocabulary size): " + path);
+  }
+  for (std::uint64_t i = 0; i < info.vocabulary_size; ++i) {
+    const std::uint64_t token_bytes =
+        reader.ReadScalar<std::uint64_t>("vocabulary token");
+    if (token_bytes > kMaxStringBytes) {
+      throw CheckpointError(
+          "corrupt checkpoint bundle (oversized vocabulary token): " +
+          path);
+    }
+    reader.Skip(token_bytes, "vocabulary token");
+  }
+
+  const std::uint64_t num_parameters =
+      reader.ReadScalar<std::uint64_t>("parameter count");
+  if (num_parameters > kMaxParameters) {
+    throw CheckpointError(
+        "corrupt checkpoint bundle (bad parameter count): " + path);
+  }
+  info.tensors.reserve(num_parameters);
+  for (std::uint64_t i = 0; i < num_parameters; ++i) {
+    BundleTensorInfo tensor;
+    tensor.name = reader.ReadString("parameter name");
+    tensor.rows = reader.ReadScalar<std::int32_t>("parameter rows");
+    tensor.cols = reader.ReadScalar<std::int32_t>("parameter cols");
+    if (tensor.rows < 0 || tensor.cols < 0 ||
+        static_cast<std::uint64_t>(tensor.rows) *
+                static_cast<std::uint64_t>(tensor.cols) >
+            kMaxTensorElements) {
+      throw CheckpointError(
+          "corrupt checkpoint bundle (bad tensor shape for '" +
+          tensor.name + "'): " + path);
+    }
+    const std::uint64_t elements =
+        static_cast<std::uint64_t>(tensor.rows) *
+        static_cast<std::uint64_t>(tensor.cols);
+    reader.Skip(elements * sizeof(float), "parameter values");
+    info.total_weights += elements;
+    info.tensors.push_back(std::move(tensor));
+  }
+  reader.Skip(sizeof(std::uint64_t), "checksum");
+  if (!reader.AtEof()) {
+    throw CheckpointError(
+        "corrupt checkpoint bundle (trailing bytes after checksum): " +
+        path);
+  }
+  return info;
 }
 
 }  // namespace granite::model

@@ -34,6 +34,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "model/throughput_predictor.h"
 
@@ -69,6 +70,36 @@ void SaveModel(const ThroughputPredictor& model, const std::string& path);
  * Throws CheckpointError on any malformed input.
  */
 std::unique_ptr<ThroughputPredictor> LoadModel(const std::string& path);
+
+/** Shape entry of one named tensor in a bundle. */
+struct BundleTensorInfo {
+  std::string name;
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+};
+
+/** Bundle metadata readable without constructing the model. */
+struct BundleInfo {
+  std::uint32_t version = 0;
+  /** Raw kind string as stored (not required to name a known kind). */
+  std::string kind;
+  std::string config_text;
+  std::uint64_t vocabulary_size = 0;
+  std::vector<BundleTensorInfo> tensors;
+  /** Sum of rows*cols over all tensors. */
+  std::uint64_t total_weights = 0;
+  /** Bundle file size in bytes. */
+  std::uint64_t file_bytes = 0;
+};
+
+/**
+ * Reads a bundle's header-level metadata — kind, config, vocabulary
+ * size, tensor names/shapes — without constructing the model or reading
+ * tensor values (they are seeked over). Structural corruption and
+ * truncation raise CheckpointError; the payload checksum is NOT verified
+ * (that requires reading every byte — use LoadModel for a full check).
+ */
+BundleInfo InspectBundle(const std::string& path);
 
 }  // namespace granite::model
 

@@ -48,14 +48,22 @@ class ModelRunner {
   ModelRunner(std::unique_ptr<model::ThroughputPredictor> model,
               const TrainerConfig& trainer_config);
 
-  /** Trains on `train_data`, selecting checkpoints on `validation`. */
+  /** Trains on `train_data`, selecting checkpoints on `validation`.
+   * Sources may be streaming (see dataset::BlockSource): same seed +
+   * same sample content ⇒ bit-identical trained parameters. */
+  TrainingResult Train(const dataset::BlockSource& train_data,
+                       const dataset::BlockSource& validation);
   TrainingResult Train(const dataset::Dataset& train_data,
                        const dataset::Dataset& validation);
 
   /** Evaluates one task head against its microarchitecture labels. */
+  EvaluationResult Evaluate(const dataset::BlockSource& data,
+                            int task) const;
   EvaluationResult Evaluate(const dataset::Dataset& data, int task) const;
 
   /** Whole-dataset inference for one task. */
+  std::vector<double> Predict(const dataset::BlockSource& data,
+                              int task) const;
   std::vector<double> Predict(const dataset::Dataset& data, int task) const;
 
   /** Writes the model as a self-describing checkpoint bundle

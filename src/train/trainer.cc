@@ -10,16 +10,15 @@ namespace granite::train {
 namespace {
 
 /** Extracts the ground-truth column of one task for the [begin, end)
- * slice of the batch indices. */
-ml::Tensor TargetColumn(const dataset::Dataset& data,
-                        const std::vector<std::size_t>& indices,
+ * slice of the batch (labels travel inside the PreparedBatch). */
+ml::Tensor TargetColumn(const dataset::PreparedBatch& batch,
                         std::size_t begin, std::size_t end,
                         uarch::Microarchitecture microarchitecture,
                         double target_scale) {
   ml::Tensor column(static_cast<int>(end - begin), 1);
   for (std::size_t i = begin; i < end; ++i) {
     column.at(static_cast<int>(i - begin), 0) = static_cast<float>(
-        data[indices[i]].throughput[static_cast<int>(microarchitecture)] /
+        batch.throughputs[i][static_cast<int>(microarchitecture)] /
         target_scale);
   }
   return column;
@@ -67,8 +66,7 @@ std::vector<ml::Var> Trainer::ForwardShard(
   return forward_(tape, blocks);
 }
 
-double Trainer::TrainStep(const dataset::Dataset& data,
-                          const dataset::PreparedBatch& batch) {
+double Trainer::TrainStep(const dataset::PreparedBatch& batch) {
   const std::size_t batch_rows = batch.indices.size();
   const std::size_t num_shards = batch.shards.size();
   GRANITE_CHECK_GT(num_shards, 0u);
@@ -93,8 +91,8 @@ double Trainer::TrainStep(const dataset::Dataset& data,
     ml::Var shard_loss;
     for (std::size_t task = 0; task < config_.tasks.size(); ++task) {
       const ml::Var target = tape.Constant(
-          TargetColumn(data, batch.indices, shard.begin, shard.end,
-                       config_.tasks[task], config_.target_scale));
+          TargetColumn(batch, shard.begin, shard.end, config_.tasks[task],
+                       config_.target_scale));
       const ml::Var task_loss =
           ml::ComputeLoss(tape, predictions[task], target, config_.loss,
                           config_.huber_delta);
@@ -126,6 +124,14 @@ double Trainer::TrainStep(const dataset::Dataset& data,
 
 TrainingResult Trainer::Train(const dataset::Dataset& train_data,
                               const dataset::Dataset& validation_data) {
+  const dataset::MaterializedBlockSource train_source(&train_data);
+  const dataset::MaterializedBlockSource validation_source(
+      &validation_data);
+  return Train(train_source, validation_source);
+}
+
+TrainingResult Trainer::Train(const dataset::BlockSource& train_data,
+                              const dataset::BlockSource& validation_data) {
   GRANITE_CHECK(!train_data.empty());
   const int num_shards = config_.num_workers;
   const dataset::EncodeFn encode = graph_forward_ ? encode_ : nullptr;
@@ -163,7 +169,7 @@ TrainingResult Trainer::Train(const dataset::Dataset& train_data,
         pipeline ? pipeline->Next()
                  : dataset::PrepareBatch(train_data, sampler->NextBatch(),
                                          num_shards, encode);
-    const double loss_value = TrainStep(train_data, batch);
+    const double loss_value = TrainStep(batch);
 
     result.final_train_loss = loss_value;
     if (step % loss_sample_every == 0 || step == 1) {
@@ -197,6 +203,11 @@ TrainingResult Trainer::Train(const dataset::Dataset& train_data,
 
 std::vector<double> Trainer::Predict(const dataset::Dataset& data,
                                      int task) const {
+  return Predict(dataset::MaterializedBlockSource(&data), task);
+}
+
+std::vector<double> Trainer::Predict(const dataset::BlockSource& data,
+                                     int task) const {
   GRANITE_CHECK_GE(task, 0);
   const std::size_t batch_size =
       static_cast<std::size_t>(std::max(1, config_.eval_batch_size));
@@ -212,10 +223,14 @@ std::vector<double> Trainer::Predict(const dataset::Dataset& data,
   const auto run_batch = [&](std::size_t b) {
     const std::size_t begin = b * batch_size;
     const std::size_t end = std::min(begin + batch_size, data.size());
+    // Views pin their streaming shards until the batch is done.
+    std::vector<dataset::SampleView> views;
+    views.reserve(end - begin);
     std::vector<const assembly::BasicBlock*> blocks;
     blocks.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
-      blocks.push_back(&data[i].block);
+      views.push_back(data.Get(i));
+      blocks.push_back(views.back().block);
     }
     ml::Tape tape(backend_);
     const std::vector<ml::Var> outputs =
@@ -237,6 +252,11 @@ std::vector<double> Trainer::Predict(const dataset::Dataset& data,
 
 EvaluationResult Trainer::EvaluateTask(const dataset::Dataset& data,
                                        int task) const {
+  return EvaluateTask(dataset::MaterializedBlockSource(&data), task);
+}
+
+EvaluationResult Trainer::EvaluateTask(const dataset::BlockSource& data,
+                                       int task) const {
   GRANITE_CHECK_LT(static_cast<std::size_t>(task), config_.tasks.size());
   const std::vector<double> actual =
       data.Throughputs(config_.tasks[task]);
@@ -245,7 +265,7 @@ EvaluationResult Trainer::EvaluateTask(const dataset::Dataset& data,
 }
 
 double Trainer::ValidationMape(
-    const dataset::Dataset& validation_data) const {
+    const dataset::BlockSource& validation_data) const {
   double total = 0.0;
   for (std::size_t task = 0; task < config_.tasks.size(); ++task) {
     total += EvaluateTask(validation_data, static_cast<int>(task)).mape;

@@ -138,15 +138,26 @@ class Trainer {
    * Runs the configured number of steps on `train_data`, tracking the
    * validation MAPE on `validation_data` and restoring the best
    * checkpoint at the end (paper §4: "we use the validation split to
-   * select the best checkpoint").
+   * select the best checkpoint"). The sources may be streaming
+   * (file-backed or lazily synthesized): with the same seed and the same
+   * sample content, a streaming run is bit-identical to a materialized
+   * one.
    */
+  TrainingResult Train(const dataset::BlockSource& train_data,
+                       const dataset::BlockSource& validation_data);
+
+  /** Convenience overload for materialized datasets. */
   TrainingResult Train(const dataset::Dataset& train_data,
                        const dataset::Dataset& validation_data);
 
-  /** Inference over a whole dataset for one task head. */
+  /** Inference over a whole source for one task head. */
+  std::vector<double> Predict(const dataset::BlockSource& data,
+                              int task) const;
   std::vector<double> Predict(const dataset::Dataset& data, int task) const;
 
   /** Full metric suite of one task head against its ground truth. */
+  EvaluationResult EvaluateTask(const dataset::BlockSource& data,
+                                int task) const;
   EvaluationResult EvaluateTask(const dataset::Dataset& data,
                                 int task) const;
 
@@ -154,16 +165,16 @@ class Trainer {
 
  private:
   /** Mean validation MAPE across all task heads. */
-  double ValidationMape(const dataset::Dataset& validation_data) const;
+  double ValidationMape(const dataset::BlockSource& validation_data) const;
 
   /**
    * One data-parallel optimization step on `batch`: forward/backward per
    * shard on the shared pool (each worker accumulating into a private
    * sink), gradient reduction, optimizer step. Returns the batch
-   * training loss.
+   * training loss. The batch is self-contained (blocks, labels, pins),
+   * so no source access happens here.
    */
-  double TrainStep(const dataset::Dataset& data,
-                   const dataset::PreparedBatch& batch);
+  double TrainStep(const dataset::PreparedBatch& batch);
 
   /** Forward pass over one shard, via the graph path when available. */
   std::vector<ml::Var> ForwardShard(

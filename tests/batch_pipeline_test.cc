@@ -1,12 +1,17 @@
 /**
  * @file
- * Tests of batch preparation and the asynchronous prefetch pipeline.
+ * Tests of batch preparation and the asynchronous prefetch pipeline,
+ * including streaming-vs-materialized source equivalence: the same
+ * indices must yield byte-identical batch content whether the samples
+ * come from memory or stream from a corpus file.
  */
 #include <atomic>
 #include <set>
 
 #include "dataset/batch_pipeline.h"
+#include "dataset/corpus_io.h"
 #include "gtest/gtest.h"
+#include "temp_corpus.h"
 
 namespace granite::dataset {
 namespace {
@@ -111,6 +116,82 @@ TEST(PrefetchingBatchPipelineTest, DestructionMidStreamDoesNotHang) {
   // Never calling Next() leaves the producer blocked on a full slot; the
   // destructor must still stop and join it.
   PrefetchingBatchPipeline pipeline(&data, 4, /*num_shards=*/1, 5, nullptr);
+}
+
+TEST(PrepareBatchTest, CarriesLabelsAndNeedsNoFurtherSourceAccess) {
+  const Dataset data = TinyDataset(10);
+  const PreparedBatch batch =
+      PrepareBatch(data, {2, 7, 4}, /*num_shards=*/1, nullptr);
+  ASSERT_EQ(batch.throughputs.size(), 3u);
+  for (std::size_t i = 0; i < batch.indices.size(); ++i) {
+    for (int label = 0; label < uarch::kNumMicroarchitectures; ++label) {
+      EXPECT_EQ(batch.throughputs[i][label],
+                data[batch.indices[i]].throughput[label]);
+    }
+  }
+}
+
+TEST(PrepareBatchTest, StreamingSourceMatchesMaterialized) {
+  const Dataset data = TinyDataset(24);
+  const TempCorpus corpus(data, /*records_per_shard=*/8,
+                          "batch_pipeline_test");
+  StreamingCorpusOptions options;
+  options.cache_shards = 1;  // every cross-shard jump reloads
+  const StreamingCorpusSource streaming(corpus.path(), options);
+
+  const std::vector<std::size_t> indices = {0, 23, 9, 17, 3, 12};
+  const PreparedBatch from_memory =
+      PrepareBatch(data, indices, /*num_shards=*/2, nullptr);
+  const PreparedBatch from_file =
+      PrepareBatch(streaming, indices, /*num_shards=*/2, nullptr);
+
+  EXPECT_EQ(from_memory.indices, from_file.indices);
+  EXPECT_EQ(from_memory.throughputs, from_file.throughputs);
+  ASSERT_EQ(from_memory.blocks.size(), from_file.blocks.size());
+  for (std::size_t i = 0; i < from_memory.blocks.size(); ++i) {
+    EXPECT_EQ(from_memory.blocks[i]->ToString(),
+              from_file.blocks[i]->ToString());
+  }
+  // The streaming batch pins the shards its blocks live in.
+  EXPECT_FALSE(from_file.pins.empty());
+  EXPECT_TRUE(from_memory.pins.empty());
+}
+
+TEST(PrepareBatchTest, PinnedBlocksSurviveShardEviction) {
+  const Dataset data = TinyDataset(32);
+  const TempCorpus corpus(data, /*records_per_shard=*/8,
+                          "batch_pipeline_test");
+  StreamingCorpusOptions options;
+  options.cache_shards = 1;
+  const StreamingCorpusSource streaming(corpus.path(), options);
+
+  const PreparedBatch batch = PrepareBatch(
+      streaming, {0, 31, 8, 16}, /*num_shards=*/1, nullptr);
+  // Cycle the single-shard cache through every shard; the batch's
+  // blocks must stay valid because the batch pins their shards.
+  for (std::size_t i = 0; i < streaming.size(); ++i) streaming.Get(i);
+  for (std::size_t i = 0; i < batch.indices.size(); ++i) {
+    EXPECT_EQ(batch.blocks[i]->ToString(),
+              data[batch.indices[i]].block.ToString());
+  }
+}
+
+TEST(PrefetchingBatchPipelineTest, StreamingSourceReplaysSamplerExactly) {
+  const Dataset data = TinyDataset(20);
+  const TempCorpus corpus(data, /*records_per_shard=*/4,
+                          "batch_pipeline_test");
+  const StreamingCorpusSource streaming(corpus.path());
+
+  constexpr std::size_t kBatchSize = 6;
+  constexpr uint64_t kSeed = 77;
+  BatchSampler reference(streaming.size(), kBatchSize, kSeed);
+  PrefetchingBatchPipeline pipeline(
+      static_cast<const BlockSource*>(&streaming), kBatchSize,
+      /*num_shards=*/2, kSeed, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    const PreparedBatch batch = pipeline.Next();
+    EXPECT_EQ(batch.indices, reference.NextBatch()) << "batch " << i;
+  }
 }
 
 }  // namespace

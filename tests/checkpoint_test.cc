@@ -294,6 +294,69 @@ TEST_F(CheckpointTest, WrongKindConfigTextRaisesCleanError) {
   EXPECT_THROW(LoadModel(path_), CheckpointError);
 }
 
+TEST_F(CheckpointTest, InspectBundleReportsMetadataWithoutLoading) {
+  const std::unique_ptr<core::GraniteModel> model = MakeGranite(2);
+  SaveModel(*model, path_);
+  const BundleInfo info = InspectBundle(path_);
+  EXPECT_EQ(info.version, kBundleFormatVersion);
+  EXPECT_EQ(info.kind, ModelKindName(model->kind()));
+  EXPECT_EQ(info.config_text, model->DescribeConfig());
+  EXPECT_EQ(info.vocabulary_size, model->vocabulary().tokens().size());
+  EXPECT_EQ(info.tensors.size(),
+            model->parameters().parameters().size());
+  EXPECT_EQ(info.total_weights, model->parameters().TotalWeights());
+  // Tensor names and shapes match the live store entry by entry.
+  for (std::size_t i = 0; i < info.tensors.size(); ++i) {
+    const auto& live = *model->parameters().parameters()[i];
+    EXPECT_EQ(info.tensors[i].name, live.name);
+    EXPECT_EQ(info.tensors[i].rows, live.value.rows());
+    EXPECT_EQ(info.tensors[i].cols, live.value.cols());
+  }
+  const std::uint64_t file_size = ReadBundle().size();
+  EXPECT_EQ(info.file_bytes, file_size);
+}
+
+TEST_F(CheckpointTest, InspectBundleRejectsStructuralCorruption) {
+  SaveModel(*MakeGranite(1), path_);
+  const std::vector<char> bytes = ReadBundle();
+
+  // Bad magic.
+  std::vector<char> mutated = bytes;
+  mutated[0] ^= 0x5a;
+  WriteBundle(mutated);
+  EXPECT_THROW(InspectBundle(path_), CheckpointError);
+
+  // Truncation at several depths (vocabulary, tensor table, trailer).
+  for (const double fraction : {0.01, 0.5, 0.999}) {
+    const std::size_t cut = static_cast<std::size_t>(
+        static_cast<double>(bytes.size()) * fraction);
+    WriteBundle(std::vector<char>(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(cut)));
+    EXPECT_THROW(InspectBundle(path_), CheckpointError)
+        << "cut at " << cut;
+  }
+
+  // Trailing garbage after the checksum.
+  mutated = bytes;
+  mutated.push_back('x');
+  WriteBundle(mutated);
+  EXPECT_THROW(InspectBundle(path_), CheckpointError);
+}
+
+TEST_F(CheckpointTest, InspectBundleSkipsValuesNotValidation) {
+  // A flipped tensor-value byte is invisible to the header-level
+  // inspector (it seeks over values) — that is the documented contract;
+  // LoadModel still catches it via the checksum.
+  SaveModel(*MakeGranite(1), path_);
+  std::vector<char> bytes = ReadBundle();
+  // The byte just before the 8-byte trailer is the last tensor's final
+  // value byte — a pure payload byte for any tensor shape.
+  bytes[bytes.size() - 9] ^= 0x01;
+  WriteBundle(bytes);
+  EXPECT_NO_THROW(InspectBundle(path_));
+  EXPECT_THROW(LoadModel(path_), CheckpointError);
+}
+
 TEST(ConfigMapTest, RoundTripsTypedValues) {
   ConfigMap map;
   map.SetInt("answer", -42);

@@ -4,13 +4,16 @@
  * equivalence of sharded and single-threaded updates, prefetching, and
  * end-to-end convergence with multiple workers.
  */
+#include <filesystem>
 #include <memory>
 #include <vector>
 
 #include "core/granite_model.h"
+#include "dataset/corpus_io.h"
 #include "gtest/gtest.h"
 #include "ml/parameter.h"
 #include "ml/tape.h"
+#include "temp_corpus.h"
 #include "train/trainer.h"
 
 namespace granite::train {
@@ -93,10 +96,23 @@ TEST(GradientSinkTest, MultipleSinksReduceLikeOneBackward) {
   EXPECT_FLOAT_EQ(p->grad.at(0, 0), direct);
 }
 
+/** Trains a fresh tiny model on any BlockSource and returns its final
+ * parameter values. */
+std::vector<ml::Tensor> TrainAndSnapshotSource(
+    const dataset::BlockSource& data, int num_workers, bool prefetch,
+    bool graph_path);
+
 /** Trains a fresh tiny model and returns its final parameter values. */
 std::vector<ml::Tensor> TrainAndSnapshot(const dataset::Dataset& data,
                                          int num_workers, bool prefetch,
                                          bool graph_path) {
+  return TrainAndSnapshotSource(dataset::MaterializedBlockSource(&data),
+                                num_workers, prefetch, graph_path);
+}
+
+std::vector<ml::Tensor> TrainAndSnapshotSource(
+    const dataset::BlockSource& data, int num_workers, bool prefetch,
+    bool graph_path) {
   graph::Vocabulary vocabulary = graph::Vocabulary::CreateDefault();
   core::GraniteModel model(&vocabulary, TinyGraniteConfig());
   TrainerConfig config = FastConfig(5);
@@ -114,7 +130,8 @@ std::vector<ml::Tensor> TrainAndSnapshot(const dataset::Dataset& data,
           return raw->EncodeBlocks(blocks);
         });
   }
-  trainer.Train(data, dataset::Dataset());
+  const dataset::SubsetBlockSource no_validation(&data, {});
+  trainer.Train(data, no_validation);
   return model.parameters().SnapshotValues();
 }
 
@@ -246,6 +263,77 @@ TEST(ParallelTrainerTest, ValidationAndCheckpointingWorkWithWorkers) {
   const TrainingResult result = trainer.Train(split.first, split.second);
   EXPECT_GT(result.best_step, 0);
   EXPECT_GT(result.best_validation_mape, 0.0);
+}
+
+TEST(StreamingTrainerTest, FileBackedTrainingIsBitIdentical) {
+  const dataset::Dataset data = TinyDataset(24);
+  const dataset::TempCorpus corpus(data, /*records_per_shard=*/8,
+                          "parallel_trainer_test");
+  dataset::StreamingCorpusOptions options;
+  options.cache_shards = 1;  // random batch sampling evicts constantly
+  const dataset::StreamingCorpusSource streaming(corpus.path(), options);
+
+  // Same seed, same sample content, different storage: the parameter
+  // trajectories must be bit-identical, not merely close.
+  const auto materialized = TrainAndSnapshot(data, 1, false, false);
+  const auto from_file =
+      TrainAndSnapshotSource(streaming, 1, false, false);
+  ExpectNearSnapshots(materialized, from_file, 0.0f);
+}
+
+TEST(StreamingTrainerTest, FileBackedPrefetchGraphPathIsBitIdentical) {
+  const dataset::Dataset data = TinyDataset(24);
+  const dataset::TempCorpus corpus(data, /*records_per_shard=*/8,
+                          "parallel_trainer_test");
+  const dataset::StreamingCorpusSource streaming(corpus.path());
+
+  // The full fast path — prefetch thread + pre-encoded graphs — over a
+  // streaming file source, against the plain in-memory block path.
+  const auto materialized = TrainAndSnapshot(data, 1, false, false);
+  const auto streamed = TrainAndSnapshotSource(streaming, 1, true, true);
+  ExpectNearSnapshots(materialized, streamed, 0.0f);
+}
+
+TEST(StreamingTrainerTest, LazySynthesisTrainingIsBitIdentical) {
+  dataset::SynthesisConfig config;
+  config.num_blocks = 24;
+  config.seed = 5;
+  config.generator.max_instructions = 6;
+  const dataset::Dataset materialized =
+      dataset::SynthesizeDataset(config);
+  dataset::StreamingSynthesisOptions options;
+  options.records_per_shard = 8;
+  options.cache_shards = 1;
+  const dataset::StreamingSynthesisSource lazy(config, options);
+
+  const auto from_memory = TrainAndSnapshot(materialized, 1, false, false);
+  const auto from_lazy = TrainAndSnapshotSource(lazy, 1, false, false);
+  ExpectNearSnapshots(from_memory, from_lazy, 0.0f);
+}
+
+TEST(StreamingTrainerTest, StreamingValidationAndEvalMatchMaterialized) {
+  const dataset::Dataset data = TinyDataset(30);
+  const dataset::TempCorpus corpus(data, /*records_per_shard=*/8,
+                          "parallel_trainer_test");
+  dataset::StreamingCorpusOptions options;
+  options.cache_shards = 2;
+  const dataset::StreamingCorpusSource streaming(corpus.path(), options);
+
+  graph::Vocabulary vocabulary = graph::Vocabulary::CreateDefault();
+  core::GraniteModel model(&vocabulary, TinyGraniteConfig());
+  TrainerConfig config = FastConfig(5);
+  config.eval_batch_size = 7;  // batches straddle shard boundaries
+  Trainer trainer(GraniteForward(model), &model.parameters(), config);
+
+  const std::vector<double> from_memory = trainer.Predict(data, 0);
+  const std::vector<double> from_file = trainer.Predict(streaming, 0);
+  EXPECT_EQ(from_memory, from_file);
+
+  const EvaluationResult eval_memory = trainer.EvaluateTask(data, 0);
+  const EvaluationResult eval_file = trainer.EvaluateTask(streaming, 0);
+  EXPECT_EQ(eval_memory.mape, eval_file.mape);
+  EXPECT_EQ(eval_memory.pearson, eval_file.pearson);
+  EXPECT_EQ(eval_memory.count, eval_file.count);
 }
 
 }  // namespace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared RAII temp corpus file for the streaming-equivalence tests
+ * (batch_pipeline_test, parallel_trainer_test): writes `data` as a
+ * corpus under the system temp directory and removes it on destruction.
+ */
+#ifndef GRANITE_TESTS_TEMP_CORPUS_H_
+#define GRANITE_TESTS_TEMP_CORPUS_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "dataset/corpus_io.h"
+
+namespace granite::dataset {
+
+class TempCorpus {
+ public:
+  TempCorpus(const Dataset& data, std::uint64_t records_per_shard,
+             const std::string& prefix) {
+    path_ = (std::filesystem::temp_directory_path() /
+             (prefix + "_" +
+              std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+              ".gbc"))
+                .string();
+    SaveCorpus(data, path_, uarch::MeasurementTool::kIthemalTool, 0,
+               records_per_shard);
+  }
+
+  ~TempCorpus() {
+    std::error_code ignored;
+    std::filesystem::remove(path_, ignored);
+  }
+
+  TempCorpus(const TempCorpus&) = delete;
+  TempCorpus& operator=(const TempCorpus&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace granite::dataset
+
+#endif  // GRANITE_TESTS_TEMP_CORPUS_H_

@@ -4,18 +4,37 @@
  * self-describing checkpoint bundles.
  *
  * Subcommands:
- *   train    Synthesize a labeled corpus, train a model (GRANITE,
- *            Ithemal or Ithemal+), report held-out metrics and write a
- *            checkpoint bundle (model::SaveModel).
+ *   train    Train a model (GRANITE, Ithemal or Ithemal+) on a corpus
+ *            file (--dataset-file) or a freshly synthesized corpus,
+ *            report held-out metrics and write a checkpoint bundle
+ *            (model::SaveModel).
  *   eval     Load a bundle and print Pearson / Spearman / MAPE per task
- *            head against a freshly synthesized held-out corpus.
+ *            head against a corpus file (--dataset-file) or a freshly
+ *            synthesized held-out corpus.
  *   predict  Load a bundle and print per-task throughput predictions for
  *            a basic block given via --asm or stdin.
  *   serve    Load one or more bundles into a serve::ModelRouter, replay
  *            synthetic client traffic against the named models, and
  *            print per-model per-task serving stats.
+ *   inspect  Dump a checkpoint bundle's metadata (kind, config,
+ *            vocabulary size, tensor names/shapes) from the header,
+ *            without constructing the model.
+ *   dataset  Corpus-file tooling:
+ *     dataset synthesize  Stream a labeled synthetic corpus to disk
+ *                         (bounded memory — million-block corpora never
+ *                         materialize; dataset::StreamingSynthesisSource
+ *                         + dataset::CorpusWriter).
+ *     dataset inspect     Print a corpus file's header and stats without
+ *                         loading records (--verify=1 adds a full
+ *                         checksum pass).
  *
  * Run `granite_cli help` (or any subcommand with --help) for flags.
+ *
+ * Training reads corpora through dataset::BlockSource, so an on-disk
+ * corpus streams through an LRU shard window instead of materializing;
+ * with the same seed, `train --dataset-file` on a corpus written by
+ * `dataset synthesize` produces bit-identical parameters to in-memory
+ * synthesis of the same corpus.
  *
  * Task convention: task head i is trained/evaluated against
  * uarch::Microarchitecture(i) (Ivy Bridge, Haswell, Skylake), the
@@ -37,8 +56,10 @@
 #include <vector>
 
 #include "asm/parser.h"
-#include "base/statistics.h"
+#include "base/resource_usage.h"
 #include "core/granite_model.h"
+#include "dataset/block_source.h"
+#include "dataset/corpus_io.h"
 #include "dataset/dataset.h"
 #include "ithemal/ithemal_model.h"
 #include "ithemal/tokenizer.h"
@@ -178,11 +199,13 @@ void PrintUsage() {
       "commands:\n"
       "  train    train a model and write a checkpoint bundle\n"
       "           --out=PATH (required), --model=granite|ithemal|\n"
-      "           ithemal_plus, --blocks=N, --steps=N, --tasks=1..3,\n"
+      "           ithemal_plus, --dataset-file=PATH (else a corpus is\n"
+      "           synthesized from --blocks=N), --steps=N, --tasks=1..3,\n"
       "           --embedding=N, --mp-iterations=N, --batch-size=N,\n"
       "           --seed=N, --target-scale=S, --verbose=1\n"
       "  eval     evaluate a bundle per task on a held-out corpus\n"
-      "           --model-file=PATH (required), --blocks=N, --seed=N,\n"
+      "           --model-file=PATH (required), --dataset-file=PATH\n"
+      "           (else synthesized from --blocks=N), --seed=N,\n"
       "           --target-scale=S\n"
       "  predict  predict one block's throughput on every task head\n"
       "           --model-file=PATH (required), --asm=\"INSTR; INSTR\"\n"
@@ -191,6 +214,18 @@ void PrintUsage() {
       "           --model-file=[NAME=]PATH (repeatable, required),\n"
       "           --requests=N, --workers=N, --batch-size=N,\n"
       "           --window-us=N, --cache=N, --blocks=N, --seed=N\n"
+      "  inspect  dump checkpoint bundle metadata without loading the\n"
+      "           model: --model-file=PATH (required), --tensors=1 to\n"
+      "           list every tensor shape\n"
+      "  dataset  corpus-file tooling:\n"
+      "    dataset synthesize  stream a labeled corpus to disk with\n"
+      "           bounded memory\n"
+      "           --out=PATH (required), --blocks=N (up to 100M),\n"
+      "           --seed=N, --tool=ithemal|bhive, --max-instructions=N,\n"
+      "           --shard-size=N, --verbose=1\n"
+      "    dataset inspect     print corpus header/stats without loading\n"
+      "           records: --file=PATH (required), --verify=1 for a\n"
+      "           full checksum pass\n"
       "  help     this text\n");
 }
 
@@ -215,17 +250,6 @@ granite::dataset::Dataset SynthesizeCorpus(std::size_t num_blocks,
   return granite::dataset::SynthesizeDataset(synthesis);
 }
 
-double MeanInstructionsPerBlock(const granite::dataset::Dataset& data) {
-  if (data.empty()) return 1.0;
-  std::size_t instructions = 0;
-  for (const auto& sample : data.samples()) {
-    instructions += sample.block.instructions.size();
-  }
-  return std::max<double>(
-      1.0, static_cast<double>(instructions) /
-               static_cast<double>(data.size()));
-}
-
 std::unique_ptr<ThroughputPredictor> LoadBundleOrDie(
     const std::string& path) {
   try {
@@ -234,6 +258,73 @@ std::unique_ptr<ThroughputPredictor> LoadBundleOrDie(
     std::fprintf(stderr, "granite_cli: %s\n", error.what());
     std::exit(1);
   }
+}
+
+std::unique_ptr<granite::dataset::StreamingCorpusSource> OpenCorpusOrDie(
+    const std::string& path) {
+  try {
+    return std::make_unique<granite::dataset::StreamingCorpusSource>(path);
+  } catch (const granite::dataset::CorpusError& error) {
+    std::fprintf(stderr, "granite_cli: %s\n", error.what());
+    std::exit(1);
+  }
+}
+
+/** The corpus a command runs on: a streaming file-backed source when
+ * --dataset-file is given, else a freshly synthesized in-memory corpus.
+ * Both cases sample through the same BlockSource interface, so the two
+ * paths are interchangeable bit-for-bit given the same samples. */
+struct CorpusSource {
+  std::unique_ptr<granite::dataset::Dataset> owned;
+  std::unique_ptr<granite::dataset::BlockSource> source;
+};
+
+CorpusSource MakeCorpusSource(const Flags& flags, long default_blocks,
+                              long min_blocks, uint64_t seed) {
+  CorpusSource corpus;
+  const std::string dataset_file = flags.GetString("dataset-file", "");
+  if (!dataset_file.empty()) {
+    if (flags.Has("blocks")) {
+      std::fprintf(stderr,
+                   "granite_cli: --blocks is ignored with "
+                   "--dataset-file (the file fixes the corpus)\n");
+    }
+    auto streaming = OpenCorpusOrDie(dataset_file);
+    std::printf("streaming corpus %s: %llu blocks, %llu shards of %llu "
+                "(tool %s, seed %llu)\n",
+                dataset_file.c_str(),
+                static_cast<unsigned long long>(
+                    streaming->header().num_blocks),
+                static_cast<unsigned long long>(
+                    streaming->header().num_shards),
+                static_cast<unsigned long long>(
+                    streaming->header().records_per_shard),
+                std::string(granite::uarch::MeasurementToolName(
+                                streaming->header().tool))
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    streaming->header().generator_seed));
+    corpus.source = std::move(streaming);
+  } else {
+    const long num_blocks =
+        flags.GetCount("blocks", default_blocks, min_blocks, 1000000);
+    corpus.owned = std::make_unique<granite::dataset::Dataset>(
+        SynthesizeCorpus(static_cast<std::size_t>(num_blocks), seed));
+    corpus.source =
+        std::make_unique<granite::dataset::MaterializedBlockSource>(
+            corpus.owned.get());
+  }
+  return corpus;
+}
+
+/** Composes outer[inner[i]] — the index form of a split-of-a-split. */
+std::vector<std::size_t> ComposeIndices(
+    const std::vector<std::size_t>& outer,
+    const std::vector<std::size_t>& inner) {
+  std::vector<std::size_t> composed;
+  composed.reserve(inner.size());
+  for (const std::size_t index : inner) composed.push_back(outer[index]);
+  return composed;
 }
 
 /** Builds the evaluation harness around an existing predictor. */
@@ -246,17 +337,15 @@ granite::train::TrainerConfig EvalConfig(const ThroughputPredictor& model,
 }
 
 int RunTrain(const Flags& flags) {
-  flags.RequireKnown({"out", "model", "blocks", "steps", "tasks",
-                      "embedding", "mp-iterations", "batch-size", "seed",
-                      "target-scale", "verbose"});
+  flags.RequireKnown({"out", "model", "blocks", "dataset-file", "steps",
+                      "tasks", "embedding", "mp-iterations", "batch-size",
+                      "seed", "target-scale", "verbose"});
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "granite_cli train: --out=PATH is required\n");
     return 2;
   }
   const std::string model_name = flags.GetString("model", "granite");
-  const int num_blocks =
-      static_cast<int>(flags.GetCount("blocks", 160, 16, 1000000));
   const int steps = static_cast<int>(flags.GetCount("steps", 300, 1,
                                                     10000000));
   const int num_tasks = static_cast<int>(flags.GetCount("tasks", 1, 1, 3));
@@ -267,12 +356,28 @@ int RunTrain(const Flags& flags) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   const double target_scale = flags.GetPositiveDouble("target-scale", 100.0);
 
-  const granite::dataset::Dataset corpus =
-      SynthesizeCorpus(static_cast<std::size_t>(num_blocks), seed);
-  const granite::dataset::DatasetSplit train_test =
-      corpus.SplitFraction(0.83, 1);
-  const granite::dataset::DatasetSplit train_validation =
-      train_test.first.SplitFraction(0.98, 2);
+  const CorpusSource corpus =
+      MakeCorpusSource(flags, /*default_blocks=*/160, /*min_blocks=*/16,
+                       seed);
+  if (corpus.source->size() < 16) {
+    std::fprintf(stderr,
+                 "granite_cli train: corpus has %zu blocks, need >= 16\n",
+                 corpus.source->size());
+    return 2;
+  }
+  // The paper's splits, as index views over the source (identical sample
+  // sequences to Dataset::SplitFraction, without materializing copies).
+  const granite::dataset::IndexSplit train_test =
+      granite::dataset::SplitIndices(corpus.source->size(), 0.83, 1);
+  const granite::dataset::IndexSplit inner =
+      granite::dataset::SplitIndices(train_test.first.size(), 0.98, 2);
+  const granite::dataset::SubsetBlockSource train_source(
+      corpus.source.get(), ComposeIndices(train_test.first, inner.first));
+  const granite::dataset::SubsetBlockSource validation_source(
+      corpus.source.get(),
+      ComposeIndices(train_test.first, inner.second));
+  const granite::dataset::SubsetBlockSource test_source(
+      corpus.source.get(), train_test.second);
 
   granite::train::TrainerConfig trainer_config;
   trainer_config.num_steps = steps;
@@ -288,12 +393,23 @@ int RunTrain(const Flags& flags) {
 
   // Initialize decoder biases at the per-instruction mean target so the
   // scaled-down schedules converge quickly (see TrainerConfig docs).
-  const double mean_target =
-      granite::Mean(train_validation.first.Throughputs(
-          trainer_config.tasks[0])) /
-      target_scale;
-  const float bias_init = static_cast<float>(
-      mean_target / MeanInstructionsPerBlock(train_validation.first));
+  // One pass gathers both statistics: each Get() yields block and labels
+  // together, and a second pass over a shuffled streaming subset would
+  // re-page the whole shard window again.
+  double target_sum = 0.0;
+  std::size_t instruction_sum = 0;
+  const int first_task = static_cast<int>(trainer_config.tasks[0]);
+  for (std::size_t i = 0; i < train_source.size(); ++i) {
+    const granite::dataset::SampleView view = train_source.Get(i);
+    target_sum += (*view.throughput)[first_task];
+    instruction_sum += view.block->instructions.size();
+  }
+  const double train_count = static_cast<double>(train_source.size());
+  const double mean_target = target_sum / train_count / target_scale;
+  const double mean_instructions = std::max(
+      1.0, static_cast<double>(instruction_sum) / train_count);
+  const float bias_init =
+      static_cast<float>(mean_target / mean_instructions);
 
   std::unique_ptr<granite::train::ModelRunner> runner;
   if (model_name == "granite") {
@@ -328,14 +444,14 @@ int RunTrain(const Flags& flags) {
               "%d steps...\n",
               model_name.c_str(),
               runner->model().parameters().TotalWeights(), num_tasks,
-              train_validation.first.size(), steps);
+              train_source.size(), steps);
   const granite::train::TrainingResult result =
-      runner->Train(train_validation.first, train_validation.second);
+      runner->Train(train_source, validation_source);
   std::printf("final training loss: %.4f\n", result.final_train_loss);
 
   for (int task = 0; task < num_tasks; ++task) {
     const granite::train::EvaluationResult eval =
-        runner->Evaluate(train_test.second, task);
+        runner->Evaluate(test_source, task);
     std::printf("task %d (%s): mape=%.1f%% pearson=%.3f spearman=%.3f "
                 "(%zu held-out blocks)\n",
                 task,
@@ -352,15 +468,14 @@ int RunTrain(const Flags& flags) {
 }
 
 int RunEval(const Flags& flags) {
-  flags.RequireKnown({"model-file", "blocks", "seed", "target-scale"});
+  flags.RequireKnown(
+      {"model-file", "blocks", "dataset-file", "seed", "target-scale"});
   const std::string path = flags.GetString("model-file", "");
   if (path.empty()) {
     std::fprintf(stderr,
                  "granite_cli eval: --model-file=PATH is required\n");
     return 2;
   }
-  const int num_blocks =
-      static_cast<int>(flags.GetCount("blocks", 64, 1, 1000000));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
   const double target_scale = flags.GetPositiveDouble("target-scale", 100.0);
 
@@ -373,12 +488,13 @@ int RunEval(const Flags& flags) {
   const granite::train::TrainerConfig eval_config =
       EvalConfig(*loaded, target_scale);
   const int num_tasks = loaded->num_tasks();
-  const granite::dataset::Dataset corpus =
-      SynthesizeCorpus(static_cast<std::size_t>(num_blocks), seed);
+  const CorpusSource corpus =
+      MakeCorpusSource(flags, /*default_blocks=*/64, /*min_blocks=*/1,
+                       seed);
   granite::train::ModelRunner runner(std::move(loaded), eval_config);
   for (int task = 0; task < num_tasks; ++task) {
     const granite::train::EvaluationResult eval =
-        runner.Evaluate(corpus, task);
+        runner.Evaluate(*corpus.source, task);
     std::printf("task %d (%s): mape=%.1f%% pearson=%.3f spearman=%.3f "
                 "(%zu blocks)\n",
                 task,
@@ -536,6 +652,184 @@ int RunServe(const Flags& flags) {
   return 0;
 }
 
+int RunInspect(const Flags& flags) {
+  flags.RequireKnown({"model-file", "tensors"});
+  const std::string path = flags.GetString("model-file", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "granite_cli inspect: --model-file=PATH is required\n");
+    return 2;
+  }
+  granite::model::BundleInfo info;
+  try {
+    info = granite::model::InspectBundle(path);
+  } catch (const granite::model::CheckpointError& error) {
+    std::fprintf(stderr, "granite_cli: %s\n", error.what());
+    return 1;
+  }
+  std::printf("checkpoint bundle: %s\n", path.c_str());
+  std::printf("  format version:  %u\n", info.version);
+  std::printf("  model kind:      %s\n", info.kind.c_str());
+  std::printf("  vocabulary size: %llu tokens\n",
+              static_cast<unsigned long long>(info.vocabulary_size));
+  std::printf("  tensors:         %zu (%llu weights)\n",
+              info.tensors.size(),
+              static_cast<unsigned long long>(info.total_weights));
+  std::printf("  file size:       %llu bytes\n",
+              static_cast<unsigned long long>(info.file_bytes));
+  std::printf("  config:          %s\n", info.config_text.c_str());
+  if (flags.GetInt("tensors", 0) != 0) {
+    std::printf("  tensor shapes:\n");
+    for (const granite::model::BundleTensorInfo& tensor : info.tensors) {
+      std::printf("    %-40s %6d x %-6d\n", tensor.name.c_str(),
+                  tensor.rows, tensor.cols);
+    }
+  }
+  return 0;
+}
+
+int RunDatasetSynthesize(const Flags& flags) {
+  flags.RequireKnown({"out", "blocks", "seed", "tool", "max-instructions",
+                      "shard-size", "verbose"});
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "granite_cli dataset synthesize: --out=PATH is "
+                 "required\n");
+    return 2;
+  }
+  const long num_blocks =
+      flags.GetCount("blocks", 100000, 1, 100000000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const long shard_size = flags.GetCount(
+      "shard-size",
+      static_cast<long>(granite::dataset::kDefaultRecordsPerShard), 1,
+      1 << 24);
+  const std::string tool_name = flags.GetString("tool", "ithemal");
+  granite::uarch::MeasurementTool tool;
+  if (tool_name == "ithemal") {
+    tool = granite::uarch::MeasurementTool::kIthemalTool;
+  } else if (tool_name == "bhive") {
+    tool = granite::uarch::MeasurementTool::kBHiveTool;
+  } else {
+    std::fprintf(stderr,
+                 "granite_cli dataset synthesize: unknown --tool '%s' "
+                 "(ithemal, bhive)\n",
+                 tool_name.c_str());
+    return 2;
+  }
+  const bool verbose = flags.GetInt("verbose", 0) != 0;
+
+  granite::dataset::SynthesisConfig synthesis;
+  synthesis.num_blocks = static_cast<std::size_t>(num_blocks);
+  synthesis.seed = seed;
+  synthesis.tool = tool;
+  // Default matches the corpus `train`/`eval` synthesize (see
+  // SynthesizeCorpus), so file-based and in-memory runs line up.
+  synthesis.generator.max_instructions =
+      static_cast<int>(flags.GetCount("max-instructions", 8, 1, 256));
+
+  // Lazy synthesis + streaming writer: memory stays bounded by the
+  // shard window regardless of corpus size. A small cache suffices —
+  // the write pass touches each shard exactly once, in order.
+  granite::dataset::StreamingSynthesisOptions options;
+  options.records_per_shard = static_cast<std::size_t>(shard_size);
+  options.cache_shards = 2;
+  std::printf("planning %ld blocks (seed %llu, tool %s)...\n", num_blocks,
+              static_cast<unsigned long long>(seed), tool_name.c_str());
+  const granite::dataset::StreamingSynthesisSource source(synthesis,
+                                                          options);
+
+  granite::dataset::CorpusWriter writer(
+      out, tool, seed, static_cast<std::uint64_t>(shard_size));
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const granite::dataset::SampleView view = source.Get(i);
+    granite::dataset::Sample sample;
+    sample.block = *view.block;
+    sample.throughput = *view.throughput;
+    writer.Append(sample);
+    if (verbose && (i + 1) % static_cast<std::size_t>(shard_size) == 0) {
+      std::printf("  %zu / %ld blocks written\n", i + 1, num_blocks);
+    }
+  }
+  writer.Finish();
+
+  const granite::dataset::CorpusHeader header =
+      granite::dataset::ReadCorpusHeader(out);
+  std::printf("wrote corpus %s: %llu blocks in %llu shards of %llu\n",
+              out.c_str(),
+              static_cast<unsigned long long>(header.num_blocks),
+              static_cast<unsigned long long>(header.num_shards),
+              static_cast<unsigned long long>(header.records_per_shard));
+  const double rss = granite::base::PeakRssMb();
+  if (rss > 0.0) {
+    std::printf("peak RSS: %.1f MB (bounded by the shard window + dedup "
+                "fingerprints, not the corpus)\n",
+                rss);
+  }
+  return 0;
+}
+
+int RunDatasetInspect(const Flags& flags) {
+  flags.RequireKnown({"file", "verify"});
+  const std::string path = flags.GetString("file", "");
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "granite_cli dataset inspect: --file=PATH is required\n");
+    return 2;
+  }
+  granite::dataset::CorpusHeader header;
+  try {
+    header = granite::dataset::ReadCorpusHeader(path);
+    if (flags.GetInt("verify", 0) != 0) {
+      // Opening a streaming source with verification on walks the whole
+      // file against the checksum trailer (constant memory).
+      granite::dataset::StreamingCorpusSource verified(path);
+      std::printf("checksum verified: OK\n");
+    }
+  } catch (const granite::dataset::CorpusError& error) {
+    std::fprintf(stderr, "granite_cli: %s\n", error.what());
+    return 1;
+  }
+  std::printf("corpus file: %s\n", path.c_str());
+  std::printf("  format version:    %u\n", header.version);
+  std::printf("  measurement tool:  %s\n",
+              std::string(granite::uarch::MeasurementToolName(header.tool))
+                  .c_str());
+  std::printf("  labels per record: %u\n", header.num_labels);
+  std::printf("  generator seed:    %llu\n",
+              static_cast<unsigned long long>(header.generator_seed));
+  std::printf("  blocks:            %llu\n",
+              static_cast<unsigned long long>(header.num_blocks));
+  std::printf("  records per shard: %llu\n",
+              static_cast<unsigned long long>(header.records_per_shard));
+  std::printf("  shards:            %llu\n",
+              static_cast<unsigned long long>(header.num_shards));
+  return 0;
+}
+
+int RunDataset(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+    std::fprintf(stderr,
+                 "granite_cli dataset: expected a subcommand "
+                 "(synthesize, inspect)\n");
+    return 2;
+  }
+  const std::string subcommand = argv[2];
+  const Flags flags = ParseFlags(argc, argv, 3);
+  if (flags.help) {
+    PrintUsage();
+    return 0;
+  }
+  if (subcommand == "synthesize") return RunDatasetSynthesize(flags);
+  if (subcommand == "inspect") return RunDatasetInspect(flags);
+  std::fprintf(stderr,
+               "granite_cli dataset: unknown subcommand '%s' "
+               "(synthesize, inspect)\n",
+               subcommand.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -544,6 +838,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "dataset") {
+    try {
+      return RunDataset(argc, argv);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "granite_cli: %s\n", error.what());
+      return 1;
+    }
+  }
   const Flags flags = ParseFlags(argc, argv, 2);
   if (command == "help" || flags.help) {
     PrintUsage();
@@ -554,6 +856,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return RunEval(flags);
     if (command == "predict") return RunPredict(flags);
     if (command == "serve") return RunServe(flags);
+    if (command == "inspect") return RunInspect(flags);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "granite_cli: %s\n", error.what());
     return 1;
