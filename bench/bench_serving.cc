@@ -16,7 +16,10 @@
  * cache disabled), coalesced batches amortize per-forward overhead so
  * batched serving sustains >= 2x the QPS of batch-size-1 serving at the
  * same offered load. A second table shows the cache-warm regime (hot
- * block set, LRU cache on), where hit rate, not batching, dominates.
+ * block set, LRU cache on), where hit rate, not batching, dominates. A
+ * third table sweeps the shard count (per-worker request queues) with
+ * the offered load re-calibrated per point, reporting the 1->4 shard
+ * scaling ratio.
  */
 #include <algorithm>
 #include <chrono>
@@ -251,6 +254,61 @@ int main(int argc, char** argv) {
   }
   granite::bench::RecordMetric("serving.warm.best_sustained_qps",
                                best_warm_sustained);
+
+  // Shard-scaling phase: per-worker request queues and cache stripes
+  // mean the submit path of an N-worker server shares no locks across
+  // shards. Measured in the warm regime (hot blocks, cache on), where
+  // queue and cache contention — what sharding removes — dominates the
+  // per-request cost.
+  std::printf("\n-- shard scaling (64 hot blocks, 512-entry cache), "
+              "offered load re-calibrated per point --\n");
+  PrintHeader();
+  double shard1_sustained = 0.0;
+  double shard4_sustained = 0.0;
+  for (const int shards : {1, 2, 4}) {
+    InferenceServerConfig config = BaseServerConfig();
+    config.num_workers = shards;
+    config.max_batch_size = 32;
+    config.batch_window = std::chrono::microseconds{500};
+    config.prediction_cache_capacity = 512;
+    // Calibrate THIS point: saturate it to find its own capacity, then
+    // measure at a fixed multiple of that capacity. Reusing one global
+    // offered load would leave high-shard configs idling between
+    // arrivals (scaling capped by the load, not the server) or drown
+    // the 1-shard point in pure shedding — either way the ratio would
+    // measure the load choice, not the sharding.
+    double capacity;
+    {
+      granite::core::GraniteModel model(&vocabulary, model_config);
+      InferenceServer server(&model, config);
+      capacity = OfferLoad(server, hot_blocks, /*rate_qps=*/500000.0,
+                           cold_requests)
+                     .sustained_qps;
+    }
+    granite::core::GraniteModel model(&vocabulary, model_config);
+    InferenceServer server(&model, config);
+    const LoadResult result =
+        OfferLoad(server, hot_blocks, 1.5 * capacity, cold_requests);
+    PrintRow("shards=" + std::to_string(shards), result);
+    const std::string prefix =
+        "serving.shards." + std::to_string(shards);
+    granite::bench::RecordMetric(
+        prefix + ".num_shards",
+        static_cast<double>(result.stats.num_shards));
+    granite::bench::RecordMetric(prefix + ".offered_qps",
+                                 result.offered_qps);
+    granite::bench::RecordMetric(prefix + ".sustained_qps",
+                                 result.sustained_qps);
+    if (shards == 1) shard1_sustained = result.sustained_qps;
+    if (shards == 4) shard4_sustained = result.sustained_qps;
+  }
+  const double shard_scaling = shard4_sustained / shard1_sustained;
+  granite::bench::RecordMetric("serving.shard_scaling.4v1", shard_scaling);
+  std::printf("\nshard scaling 1->4 at per-point calibrated load: %.2fx "
+              "(advisory target >= 1.7x on multi-core; 1-core CI "
+              "runners may land lower)\n",
+              shard_scaling);
+
   granite::bench::WriteMetricsJson();
   return 0;
 }

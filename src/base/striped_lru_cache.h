@@ -1,0 +1,173 @@
+/**
+ * @file
+ * A lock-striped, version-aware LRU cache.
+ *
+ * The serving hot path (ThroughputPredictor::PredictBatchAllTasks under
+ * serve::InferenceServer) used to funnel every lookup through one mutex
+ * around one base::LruCache; at high worker counts that mutex serializes
+ * otherwise independent requests. This cache shards the key space over N
+ * independent stripes — each its own mutex + LruCache — selected by key
+ * hash, so concurrent lookups of different keys contend only 1/N of the
+ * time. Eviction is per-stripe LRU: the total capacity is split evenly
+ * across stripes, so the instantaneous working set can differ from a
+ * single global LRU, but cached *values* are identical (striping never
+ * changes what a hit returns, only which entry an insert evicts).
+ *
+ * Entries are versioned: Get() and Put() carry a monotonically
+ * increasing version (the caller's notion of "which parameters computed
+ * this value", e.g. ml::ParameterStore::generation()). A stripe holding
+ * entries of an older version self-invalidates the moment it is touched
+ * with a newer one, and a Put() whose version is older than the stripe's
+ * is dropped — a value computed under stale parameters can never be
+ * served after an update, the exact invariant the single-mutex
+ * implementation enforced globally.
+ *
+ * Thread-safety: all methods are safe to call concurrently; each locks
+ * only the stripe(s) of the keys involved (the counters lock one stripe
+ * at a time).
+ */
+#ifndef GRANITE_BASE_STRIPED_LRU_CACHE_H_
+#define GRANITE_BASE_STRIPED_LRU_CACHE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "base/lru_cache.h"
+
+namespace granite::base {
+
+/** A fixed-capacity concurrent map with per-stripe LRU eviction and
+ * version-based self-invalidation. Key must be an unsigned integer hash
+ * (the stripe index is derived by mixing it). */
+template <typename Key, typename Value>
+class StripedLruCache {
+ public:
+  /**
+   * @param capacity Total entry budget, split evenly across stripes.
+   * @param num_stripes Requested stripe count; clamped to [1, capacity]
+   *   so tiny caches keep exact global-LRU semantics (a capacity-1 cache
+   *   must still evict on every conflicting insert).
+   */
+  StripedLruCache(std::size_t capacity, std::size_t num_stripes)
+      : capacity_(capacity) {
+    const std::size_t stripes =
+        std::max<std::size_t>(1, std::min(num_stripes, capacity));
+    const std::size_t per_stripe = (capacity + stripes - 1) / stripes;
+    stripes_ = std::vector<Stripe>(stripes);
+    for (Stripe& stripe : stripes_) {
+      stripe.cache = LruCache<Key, Value>(per_stripe);
+    }
+  }
+
+  /**
+   * Returns the cached value for `key` if it was stored at `version`,
+   * and marks it most-recently-used. A stripe last touched at an older
+   * version is cleared first (its entries are stale), so a hit is always
+   * a value computed at exactly `version`. Returns nullopt on a miss.
+   */
+  std::optional<Value> Get(const Key& key, std::uint64_t version) {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    RollForwardLocked(stripe, version);
+    const Value* cached = stripe.cache.Get(key);
+    if (cached == nullptr) return std::nullopt;
+    return *cached;
+  }
+
+  /**
+   * Inserts `value` computed at `version`. Dropped when `version` is
+   * older than the stripe's (the value is stale); a newer `version`
+   * first clears the stripe's stale entries.
+   */
+  void Put(const Key& key, Value value, std::uint64_t version) {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (version < stripe.version) return;
+    RollForwardLocked(stripe, version);
+    stripe.cache.Put(key, std::move(value));
+  }
+
+  /** Drops every entry in every stripe (hit/miss counters are kept). */
+  void Clear() {
+    for (Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      stripe.cache.Clear();
+    }
+  }
+
+  /** Lifetime Get() hit/miss counters, summed over stripes. A Get()
+   * that found only a stale-version entry counts as a miss. */
+  std::size_t hits() const { return SumCounter(&LruCache<Key, Value>::hits); }
+  std::size_t misses() const {
+    return SumCounter(&LruCache<Key, Value>::misses);
+  }
+
+  /** Currently resident entries, summed over stripes. */
+  std::size_t size() const { return SumCounter(&LruCache<Key, Value>::size); }
+
+  /** The total capacity requested at construction. */
+  std::size_t capacity() const { return capacity_; }
+
+  /** The actual stripe count after clamping. */
+  std::size_t num_stripes() const { return stripes_.size(); }
+
+ private:
+  struct Stripe {
+    std::mutex mutex;
+    /** Replaced in the constructor with the right capacity. */
+    LruCache<Key, Value> cache{0};
+    /** Version the resident entries were computed at. */
+    std::uint64_t version = 0;
+
+    Stripe() = default;
+    /** Vector growth only happens in the constructor, before any
+     * concurrent use; the mutex is freshly default-constructed. */
+    Stripe(Stripe&& other) noexcept
+        : cache(std::move(other.cache)), version(other.version) {}
+  };
+
+  /** Finalizer-mix of the key so consecutive hashes spread over
+   * stripes (block fingerprints are FNV values — well mixed already,
+   * but cheap insurance for other key schemes). */
+  Stripe& StripeFor(const Key& key) {
+    std::uint64_t mixed = static_cast<std::uint64_t>(key);
+    mixed ^= mixed >> 33;
+    mixed *= 0xFF51AFD7ED558CCDull;
+    mixed ^= mixed >> 33;
+    return stripes_[mixed % stripes_.size()];
+  }
+  const Stripe& StripeFor(const Key& key) const {
+    return const_cast<StripedLruCache*>(this)->StripeFor(key);
+  }
+
+  /** Clears the stripe when `version` moved past its entries. Requires
+   * the stripe mutex to be held. */
+  static void RollForwardLocked(Stripe& stripe, std::uint64_t version) {
+    if (version > stripe.version) {
+      stripe.cache.Clear();
+      stripe.version = version;
+    }
+  }
+
+  template <typename Getter>
+  std::size_t SumCounter(Getter getter) const {
+    std::size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(
+          const_cast<std::mutex&>(stripe.mutex));
+      total += (stripe.cache.*getter)();
+    }
+    return total;
+  }
+
+  std::size_t capacity_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace granite::base
+
+#endif  // GRANITE_BASE_STRIPED_LRU_CACHE_H_

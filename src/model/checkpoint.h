@@ -25,6 +25,12 @@
  *
  * Corrupt, truncated, version-mismatched or wrong-kind files raise
  * CheckpointError — never UB, never a partial model.
+ *
+ * Threading contract: SaveModel/LoadModel/InspectBundle are pure
+ * functions of their arguments and are safe to call concurrently on
+ * distinct paths; concurrent writers to the SAME path race at the
+ * filesystem level (last writer wins), and SaveModel must not run
+ * concurrently with parameter updates to the model being saved.
  */
 #ifndef GRANITE_MODEL_CHECKPOINT_H_
 #define GRANITE_MODEL_CHECKPOINT_H_

@@ -15,6 +15,11 @@
  * Floats are written with enough digits (FLT_DECIMAL_DIG) to round-trip
  * bit-exactly, so a reloaded config reproduces the original model
  * architecture and initialization exactly.
+ *
+ * Threading contract: ConfigMap is a plain value type with no internal
+ * synchronization — confine an instance to one thread or share it
+ * read-only; the free (de)serialization helpers are pure functions and
+ * safe to call concurrently.
  */
 #ifndef GRANITE_MODEL_CONFIG_IO_H_
 #define GRANITE_MODEL_CONFIG_IO_H_

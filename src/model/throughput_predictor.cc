@@ -31,34 +31,32 @@ graph::BatchedGraph ThroughputPredictor::EncodeBlocks(
                 << ModelKindName(kind()) << ")");
 }
 
-void ThroughputPredictor::EnablePredictionCache(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (capacity == 0) {
-    prediction_cache_.reset();
-    return;
+void ThroughputPredictor::EnablePredictionCache(std::size_t capacity,
+                                                std::size_t num_stripes) {
+  std::shared_ptr<PredictionCache> cache;
+  if (capacity > 0) {
+    cache = std::make_shared<PredictionCache>(capacity, num_stripes);
   }
-  prediction_cache_ =
-      std::make_unique<base::LruCache<uint64_t, std::vector<double>>>(
-          capacity);
-  cache_generation_ = parameters().generation();
+  std::lock_guard<std::mutex> lock(cache_swap_mutex_);
+  // In-flight PredictBatchAllTasks calls keep their shared_ptr to the
+  // old instance and finish harmlessly against it.
+  prediction_cache_ = std::move(cache);
 }
 
-void ThroughputPredictor::InvalidateStaleCacheLocked() const {
-  if (prediction_cache_ == nullptr) return;
-  const uint64_t generation = parameters().generation();
-  if (generation == cache_generation_) return;
-  prediction_cache_->Clear();
-  cache_generation_ = generation;
+std::shared_ptr<ThroughputPredictor::PredictionCache>
+ThroughputPredictor::CurrentCache() const {
+  std::lock_guard<std::mutex> lock(cache_swap_mutex_);
+  return prediction_cache_;
 }
 
 std::size_t ThroughputPredictor::prediction_cache_hits() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return prediction_cache_ ? prediction_cache_->hits() : 0;
+  const std::shared_ptr<PredictionCache> cache = CurrentCache();
+  return cache ? cache->hits() : 0;
 }
 
 std::size_t ThroughputPredictor::prediction_cache_misses() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return prediction_cache_ ? prediction_cache_->misses() : 0;
+  const std::shared_ptr<PredictionCache> cache = CurrentCache();
+  return cache ? cache->misses() : 0;
 }
 
 std::vector<double> ThroughputPredictor::PredictBatch(
@@ -77,49 +75,44 @@ std::vector<std::vector<double>> ThroughputPredictor::PredictBatchAllTasks(
     const std::vector<const assembly::BasicBlock*>& blocks) const {
   if (blocks.empty()) return {};
   std::vector<std::vector<double>> result(blocks.size());
-  bool cache_enabled;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    cache_enabled = prediction_cache_ != nullptr;
-  }
-  // Forward passes run outside the cache lock, here and below, so
-  // concurrent PredictBatch callers are never serialized on the model.
-  if (!cache_enabled) return ComputeBatchAllTasks(blocks);
+  // Pin the cache instance for the whole call: a concurrent
+  // EnablePredictionCache swap retires the old instance only once every
+  // in-flight call drops its reference.
+  const std::shared_ptr<PredictionCache> cache = CurrentCache();
+  // Forward passes never run under any cache lock, so concurrent
+  // PredictBatch callers are never serialized on the model.
+  if (cache == nullptr) return ComputeBatchAllTasks(blocks);
+
+  // The parameter generation the forward pass below computes under.
+  // Lookups and inserts carry it as the cache version: stripes holding
+  // entries of an older generation self-invalidate on first touch, and
+  // Put() drops results that a concurrent optimizer step made stale —
+  // a prediction from old parameters is never served after an update.
+  const uint64_t forward_generation = parameters().generation();
 
   // Distinct fingerprint → block indices that need a forward pass.
   std::unordered_map<uint64_t, std::vector<std::size_t>> misses;
   std::vector<uint64_t> miss_order;
   std::vector<uint64_t> keys(blocks.size());
-  // The parameter generation the forward pass below will compute under;
-  // results are only cached if it is still current afterwards.
-  uint64_t forward_generation = 0;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    // Drop entries computed under an older parameter generation (the
-    // cache self-versions on training/checkpoint updates).
-    InvalidateStaleCacheLocked();
-    forward_generation = parameters().generation();
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      GRANITE_CHECK(blocks[i] != nullptr);
-      keys[i] = uarch::BlockFingerprint(*blocks[i]);
-      // The cache may have been reset since the enabled check above.
-      const std::vector<double>* cached =
-          prediction_cache_ ? prediction_cache_->Get(keys[i]) : nullptr;
-      if (cached != nullptr) {
-        result[i] = *cached;
-        continue;
-      }
-      auto [it, inserted] = misses.try_emplace(keys[i]);
-      if (inserted) miss_order.push_back(keys[i]);
-      it->second.push_back(i);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    GRANITE_CHECK(blocks[i] != nullptr);
+    keys[i] = uarch::BlockFingerprint(*blocks[i]);
+    std::optional<std::vector<double>> cached =
+        cache->Get(keys[i], forward_generation);
+    if (cached.has_value()) {
+      result[i] = *std::move(cached);
+      continue;
     }
+    auto [it, inserted] = misses.try_emplace(keys[i]);
+    if (inserted) miss_order.push_back(keys[i]);
+    it->second.push_back(i);
   }
   if (miss_order.empty()) return result;
 
   // One deduplicated forward pass over the missing blocks, evaluating
   // every task head: the decoder heads are a sliver of the trunk cost,
   // so caching all tasks at once makes later PredictBatch(…, other_task)
-  // calls hits too. The cache lock is not held during the forward pass.
+  // calls hits too.
   std::vector<const assembly::BasicBlock*> miss_blocks;
   miss_blocks.reserve(miss_order.size());
   for (const uint64_t key : miss_order) {
@@ -127,22 +120,11 @@ std::vector<std::vector<double>> ThroughputPredictor::PredictBatchAllTasks(
   }
   std::vector<std::vector<double>> computed =
       ComputeBatchAllTasks(miss_blocks);
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  // A concurrent EnablePredictionCache(0) may have disabled caching and a
-  // concurrent optimizer step may have advanced the parameter generation
-  // while the forward pass ran. The results are still valid to return,
-  // but only cache them when they were computed at the generation the
-  // cache currently holds.
-  InvalidateStaleCacheLocked();
-  const bool cache_results =
-      prediction_cache_ != nullptr && cache_generation_ == forward_generation;
   for (std::size_t j = 0; j < miss_order.size(); ++j) {
     for (const std::size_t i : misses.at(miss_order[j])) {
       result[i] = computed[j];
     }
-    if (cache_results) {
-      prediction_cache_->Put(miss_order[j], std::move(computed[j]));
-    }
+    cache->Put(miss_order[j], std::move(computed[j]), forward_generation);
   }
   return result;
 }

@@ -10,11 +10,12 @@
  *
  * The base class also owns the serving-path machinery that used to live in
  * GraniteModel: PredictBatchAllTasks with canonical-fingerprint
- * deduplication and a self-versioning LRU prediction cache (keyed on the
- * ParameterStore generation counter, so training steps and checkpoint
- * loads invalidate it automatically). Concrete models only implement the
- * uncached batched forward (ComputeBatchAllTasks), which gives Ithemal the
- * same batched/cached all-task serving path as GRANITE for free.
+ * deduplication and a self-versioning, lock-striped LRU prediction cache
+ * (versioned on the ParameterStore generation counter, so training steps
+ * and checkpoint loads invalidate it automatically). Concrete models only
+ * implement the uncached batched forward (ComputeBatchAllTasks), which
+ * gives Ithemal the same batched/cached all-task serving path as GRANITE
+ * for free.
  */
 #ifndef GRANITE_MODEL_THROUGHPUT_PREDICTOR_H_
 #define GRANITE_MODEL_THROUGHPUT_PREDICTOR_H_
@@ -28,7 +29,7 @@
 #include <vector>
 
 #include "asm/instruction.h"
-#include "base/lru_cache.h"
+#include "base/striped_lru_cache.h"
 #include "graph/batch.h"
 #include "graph/vocabulary.h"
 #include "ml/parameter.h"
@@ -89,7 +90,11 @@ class ThroughputPredictor {
    * ComputeBatchAllTasks call (all task heads at once) and populate the
    * cache. Entry i of the result holds num_tasks() predictions for
    * blocks[i]. Without EnablePredictionCache() this degrades to a plain
-   * batched forward pass. Thread-safe.
+   * batched forward pass.
+   *
+   * Thread-safety: safe to call concurrently; the cache is lock-striped
+   * by block fingerprint, so parallel callers with disjoint working sets
+   * contend on nothing but their own stripes.
    */
   std::vector<std::vector<double>> PredictBatchAllTasks(
       const std::vector<const assembly::BasicBlock*>& blocks) const;
@@ -105,9 +110,19 @@ class ThroughputPredictor {
    * Sizes the PredictBatch LRU cache to `capacity` unique blocks and
    * clears it; 0 disables caching. The cache versions itself on the
    * parameter store's generation counter, so training steps, checkpoint
-   * loads and snapshot restores invalidate it automatically.
+   * loads and snapshot restores invalidate it automatically. The cache
+   * is split over `num_stripes` independently locked shards (clamped to
+   * the capacity, so a capacity-1 cache keeps exact global-LRU
+   * eviction). Thread-safe; in-flight PredictBatch calls finish against
+   * the cache instance they started with.
    */
-  void EnablePredictionCache(std::size_t capacity);
+  void EnablePredictionCache(std::size_t capacity,
+                             std::size_t num_stripes = kDefaultCacheStripes);
+
+  /** Default shard count of the prediction cache; matches the serving
+   * layer's typical worker counts so per-worker traffic rarely collides
+   * on a stripe lock. */
+  static constexpr std::size_t kDefaultCacheStripes = 8;
 
   /** Lifetime PredictBatch() cache hit / miss counters. */
   std::size_t prediction_cache_hits() const;
@@ -153,18 +168,18 @@ class ThroughputPredictor {
       const std::vector<const assembly::BasicBlock*>& blocks) const = 0;
 
  private:
-  /** Clears the cache when the parameter generation moved since it was
-   * filled. Requires cache_mutex_ to be held. */
-  void InvalidateStaleCacheLocked() const;
+  using PredictionCache = base::StripedLruCache<uint64_t, std::vector<double>>;
 
-  /** PredictBatch cache: canonical block fingerprint → one prediction
-   * per task. Guarded by cache_mutex_; mutable because inference is
-   * const. */
-  mutable std::mutex cache_mutex_;
-  mutable std::unique_ptr<base::LruCache<uint64_t, std::vector<double>>>
-      prediction_cache_;
-  /** Parameter generation the cache contents were computed at. */
-  mutable uint64_t cache_generation_ = 0;
+  /** Returns the current cache instance (or nullptr when disabled).
+   * shared_ptr so EnablePredictionCache can swap the instance while
+   * in-flight PredictBatch calls keep using the one they started with. */
+  std::shared_ptr<PredictionCache> CurrentCache() const;
+
+  /** Guards only the prediction_cache_ pointer swap; per-key traffic
+   * goes through the striped cache's own per-stripe locks. Mutable
+   * because inference is const. */
+  mutable std::mutex cache_swap_mutex_;
+  mutable std::shared_ptr<PredictionCache> prediction_cache_;
 };
 
 }  // namespace granite::model

@@ -5,8 +5,21 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "uarch/measurement.h"
 
 namespace granite::serve {
+
+std::string_view AdmissionClassName(AdmissionClass admission) {
+  switch (admission) {
+    case AdmissionClass::kInteractive:
+      return "interactive";
+    case AdmissionClass::kBatch:
+      return "batch";
+    case AdmissionClass::kBestEffort:
+      return "best-effort";
+  }
+  GRANITE_PANIC("unhandled AdmissionClass " << static_cast<int>(admission));
+}
 
 InferenceServer::InferenceServer(model::ThroughputPredictor* model,
                                  const InferenceServerConfig& config)
@@ -17,45 +30,106 @@ InferenceServer::InferenceServer(model::ThroughputPredictor* model,
   GRANITE_CHECK_GE(config.queue_capacity, 1u);
   GRANITE_CHECK_GE(config.batch_window.count(), 0);
   if (config.prediction_cache_capacity > 0) {
-    model_->EnablePredictionCache(config.prediction_cache_capacity);
+    // At least one cache stripe per worker, so per-shard traffic (which
+    // is already partitioned by fingerprint) rarely collides on a
+    // stripe lock.
+    model_->EnablePredictionCache(
+        config.prediction_cache_capacity,
+        std::max<std::size_t>(model::ThroughputPredictor::kDefaultCacheStripes,
+                              config.num_workers));
   }
-  task_latency_us_.reserve(model_->num_tasks());
-  for (int task = 0; task < model_->num_tasks(); ++task) {
-    task_latency_us_.emplace_back(1.0, 1e8);
+  shards_.reserve(config.num_workers);
+  for (int i = 0; i < config.num_workers; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->task_latency_us.reserve(model_->num_tasks());
+    for (int task = 0; task < model_->num_tasks(); ++task) {
+      shard->task_latency_us.emplace_back(1.0, 1e8);
+    }
+    shards_.push_back(std::move(shard));
   }
   workers_.reserve(config.num_workers);
   for (int i = 0; i < config.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    Shard* shard = shards_[i].get();
+    workers_.emplace_back([this, shard] { WorkerLoop(*shard); });
   }
 }
 
 InferenceServer::~InferenceServer() { Shutdown(); }
 
+InferenceServer::Shard& InferenceServer::ShardFor(
+    const assembly::BasicBlock& block) {
+  // Fingerprint routing keeps every occurrence of a block on one shard:
+  // its cached prediction lives in that shard's working set and repeats
+  // within a window deduplicate inside one batch.
+  return *shards_[uarch::BlockFingerprint(block) % shards_.size()];
+}
+
 std::optional<std::future<double>> InferenceServer::Submit(
-    const assembly::BasicBlock* block, int task) {
+    const assembly::BasicBlock* block, int task, AdmissionClass admission) {
   GRANITE_CHECK(block != nullptr);
   GRANITE_CHECK(task >= 0 && task < model_->num_tasks());
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (config_.overflow_policy == OverflowPolicy::kBlock) {
-    space_event_.wait(lock, [this] {
-      return stopping_ || queue_.size() < config_.queue_capacity;
+  Shard& shard = ShardFor(*block);
+  // A shed victim's promise is failed only after the shard lock is
+  // released (promise consumers may run arbitrary code via wait chains).
+  std::promise<double> victim_promise;
+  AdmissionClass victim_class = admission;
+  bool have_victim = false;
+
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  for (;;) {
+    if (shard.stopping) {
+      ++shard.rejected;
+      return std::nullopt;
+    }
+    if (shard.queue.size() < config_.queue_capacity) break;
+    if (config_.admission_policy == AdmissionPolicy::kPriority) {
+      // Shed the youngest queued request of the lowest-priority class,
+      // but only if that class is strictly lower-priority than the
+      // incoming request (equal-priority traffic is never displaced).
+      std::size_t victim = shard.queue.size();
+      int lowest = static_cast<int>(admission);
+      for (std::size_t i = shard.queue.size(); i-- > 0;) {
+        const int cls = static_cast<int>(shard.queue[i].admission);
+        if (cls > lowest) {
+          lowest = cls;
+          victim = i;
+        }
+      }
+      if (victim < shard.queue.size()) {
+        victim_promise = std::move(shard.queue[victim].promise);
+        victim_class = shard.queue[victim].admission;
+        have_victim = true;
+        shard.queue.erase(shard.queue.begin() +
+                          static_cast<std::ptrdiff_t>(victim));
+        ++shard.shed_by_class[static_cast<std::size_t>(victim_class)];
+        break;  // The eviction freed one slot for this request.
+      }
+    }
+    if (config_.overflow_policy == OverflowPolicy::kReject) {
+      ++shard.rejected;
+      return std::nullopt;
+    }
+    shard.space_event.wait(lock, [&] {
+      return shard.stopping ||
+             shard.queue.size() < config_.queue_capacity;
     });
-  }
-  if (stopping_ || queue_.size() >= config_.queue_capacity) {
-    ++rejected_;
-    return std::nullopt;
   }
   Request request;
   request.block = block;
   request.task = task;
+  request.admission = admission;
   request.enqueue_time = Clock::now();
   std::future<double> future = request.promise.get_future();
-  queue_.push_back(std::move(request));
-  ++submitted_;
-  const std::size_t queue_size = queue_.size();
+  shard.queue.push_back(std::move(request));
+  ++shard.submitted;
+  const std::size_t queue_size = shard.queue.size();
   lock.unlock();
-  // Wake a worker only when this request changes a flush condition: the
-  // queue just became non-empty (a sleeping worker must pick up this
+  if (have_victim) {
+    victim_promise.set_exception(
+        std::make_exception_ptr(RequestShedError(victim_class)));
+  }
+  // Wake the worker only when this request changes a flush condition:
+  // the queue just became non-empty (a sleeping worker must pick up this
   // request's deadline) or the batch just filled (size flush). Requests
   // landing in the middle of a window would only interrupt the worker's
   // timed wait to re-arm the identical deadline — at high request rates
@@ -63,7 +137,7 @@ std::optional<std::future<double>> InferenceServer::Submit(
   // cost of batched serving.
   if (queue_size == 1 ||
       queue_size >= static_cast<std::size_t>(config_.max_batch_size)) {
-    queue_event_.notify_one();
+    shard.queue_event.notify_one();
   }
   return future;
 }
@@ -75,50 +149,52 @@ double InferenceServer::Predict(const assembly::BasicBlock& block, int task) {
   return future->get();
 }
 
-void InferenceServer::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+void InferenceServer::WorkerLoop(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mutex);
   for (;;) {
     // Wait for a flush condition: a full batch, an expired batching
     // window, or shutdown (which drains whatever is queued).
     for (;;) {
-      if (queue_.empty()) {
-        if (stopping_) return;
-        queue_event_.wait(lock);
+      if (shard.queue.empty()) {
+        if (shard.stopping) return;
+        shard.queue_event.wait(lock);
         continue;
       }
-      if (stopping_) break;
-      if (queue_.size() >= static_cast<std::size_t>(config_.max_batch_size)) {
+      if (shard.stopping) break;
+      if (shard.queue.size() >=
+          static_cast<std::size_t>(config_.max_batch_size)) {
         break;
       }
       const Clock::time_point deadline =
-          queue_.front().enqueue_time + config_.batch_window;
+          shard.queue.front().enqueue_time + config_.batch_window;
       if (Clock::now() >= deadline) break;
-      queue_event_.wait_until(lock, deadline);
+      shard.queue_event.wait_until(lock, deadline);
     }
 
     const FlushReason reason =
-        queue_.size() >= static_cast<std::size_t>(config_.max_batch_size)
+        shard.queue.size() >= static_cast<std::size_t>(config_.max_batch_size)
             ? FlushReason::kSize
-            : (stopping_ ? FlushReason::kShutdown : FlushReason::kDeadline);
+            : (shard.stopping ? FlushReason::kShutdown
+                              : FlushReason::kDeadline);
     const std::size_t take = std::min(
-        queue_.size(), static_cast<std::size_t>(config_.max_batch_size));
+        shard.queue.size(), static_cast<std::size_t>(config_.max_batch_size));
     std::vector<Request> batch;
     batch.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+      batch.push_back(std::move(shard.queue.front()));
+      shard.queue.pop_front();
     }
     lock.unlock();
-    // Freed queue space: unblock producers; other workers may also have
-    // work left (shutdown drains, bursts larger than one batch).
-    space_event_.notify_all();
-    queue_event_.notify_one();
-    ExecuteBatch(batch, reason);
+    // Freed queue space: unblock producers. The worker notifies itself
+    // via the loop (it re-checks the queue after the batch), so only
+    // producers need waking.
+    shard.space_event.notify_all();
+    ExecuteBatch(shard, batch, reason);
     lock.lock();
   }
 }
 
-void InferenceServer::ExecuteBatch(std::vector<Request>& batch,
+void InferenceServer::ExecuteBatch(Shard& shard, std::vector<Request>& batch,
                                    FlushReason reason) {
   std::vector<const assembly::BasicBlock*> blocks;
   blocks.reserve(batch.size());
@@ -144,14 +220,14 @@ void InferenceServer::ExecuteBatch(std::vector<Request>& batch,
   // Stats are recorded before the promises are fulfilled so that a
   // client observing its future ready also observes its request counted.
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-    completed_ += batch.size();
-    if (failure != nullptr) failed_ += batch.size();
-    ++batches_;
+    std::lock_guard<std::mutex> stats_lock(shard.stats_mutex);
+    shard.completed += batch.size();
+    if (failure != nullptr) shard.failed += batch.size();
+    ++shard.batches;
     switch (reason) {
-      case FlushReason::kSize: ++size_flushes_; break;
-      case FlushReason::kDeadline: ++deadline_flushes_; break;
-      case FlushReason::kShutdown: ++shutdown_flushes_; break;
+      case FlushReason::kSize: ++shard.size_flushes; break;
+      case FlushReason::kDeadline: ++shard.deadline_flushes; break;
+      case FlushReason::kShutdown: ++shard.shutdown_flushes; break;
     }
     for (const Request& request : batch) {
       const double latency_us =
@@ -159,8 +235,8 @@ void InferenceServer::ExecuteBatch(std::vector<Request>& batch,
               std::chrono::duration<double, std::micro>>(
               completion_time - request.enqueue_time)
               .count();
-      latency_us_.Add(latency_us);
-      task_latency_us_[request.task].Add(latency_us);
+      shard.latency_us.Add(latency_us);
+      shard.task_latency_us[request.task].Add(latency_us);
     }
   }
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -186,19 +262,23 @@ void InferenceServer::Shutdown() {
   // the destructor): the loser blocks until the winner has joined the
   // workers, so returning from Shutdown always means the server is down.
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) return;  // Already shut down by a previous call.
-    stopping_ = true;
+  if (stopped_) return;  // Already shut down by a previous call.
+  stopped_ = true;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stopping = true;
+    }
+    shard->queue_event.notify_all();
+    shard->space_event.notify_all();
   }
-  queue_event_.notify_all();
-  space_event_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
 }
 
 ServerStats InferenceServer::Stats() const {
   ServerStats stats;
+  stats.num_shards = shards_.size();
   {
     std::shared_lock<std::shared_mutex> model_lock(model_mutex_);
     stats.model_updates = model_updates_;
@@ -207,34 +287,59 @@ ServerStats InferenceServer::Stats() const {
       std::chrono::duration_cast<std::chrono::duration<double>>(
           Clock::now() - start_time_)
           .count();
-  // Queue-side and completion-side counters are snapshotted under both
-  // locks at once so the result is mutually consistent (e.g.
-  // submitted - completed - rejected is the true in-flight count).
-  std::scoped_lock locks(mutex_, stats_mutex_);
-  stats.submitted = submitted_;
-  stats.rejected = rejected_;
-  stats.completed = completed_;
-  stats.failed = failed_;
-  stats.batches = batches_;
-  stats.size_flushes = size_flushes_;
-  stats.deadline_flushes = deadline_flushes_;
-  stats.shutdown_flushes = shutdown_flushes_;
+  // Every shard's queue-side and completion-side counters are
+  // snapshotted while all locks are held at once, so the result is
+  // mutually consistent (e.g. submitted - completed - shed - rejected
+  // is the true in-flight count). Stats() is the only multi-shard
+  // locker and always locks in shard-index order, so no deadlock.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size() * 2);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    locks.emplace_back(shard->mutex);
+  }
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    locks.emplace_back(shard->stats_mutex);
+  }
+  Histogram latency_us{1.0, 1e8};
+  std::vector<Histogram> task_latency_us;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    stats.submitted += shard->submitted;
+    stats.rejected += shard->rejected;
+    for (std::size_t cls = 0; cls < kNumAdmissionClasses; ++cls) {
+      stats.shed_by_class[cls] += shard->shed_by_class[cls];
+      stats.shed += shard->shed_by_class[cls];
+    }
+    stats.completed += shard->completed;
+    stats.failed += shard->failed;
+    stats.batches += shard->batches;
+    stats.size_flushes += shard->size_flushes;
+    stats.deadline_flushes += shard->deadline_flushes;
+    stats.shutdown_flushes += shard->shutdown_flushes;
+    latency_us.Merge(shard->latency_us);
+    if (task_latency_us.empty()) {
+      task_latency_us.resize(shard->task_latency_us.size(),
+                             Histogram{1.0, 1e8});
+    }
+    for (std::size_t task = 0; task < shard->task_latency_us.size(); ++task) {
+      task_latency_us[task].Merge(shard->task_latency_us[task]);
+    }
+  }
   // Every completed request went through exactly one batch, so the mean
   // occupancy is completed / batches.
   stats.mean_batch_occupancy =
-      batches_ == 0 ? 0.0
-                    : static_cast<double>(completed_) /
-                          static_cast<double>(batches_);
+      stats.batches == 0 ? 0.0
+                         : static_cast<double>(stats.completed) /
+                               static_cast<double>(stats.batches);
   stats.qps = uptime_seconds <= 0.0
                   ? 0.0
-                  : static_cast<double>(completed_) / uptime_seconds;
-  stats.latency_mean_us = latency_us_.mean();
-  stats.latency_p50_us = latency_us_.Percentile(50.0);
-  stats.latency_p95_us = latency_us_.Percentile(95.0);
-  stats.latency_p99_us = latency_us_.Percentile(99.0);
-  stats.per_task.resize(task_latency_us_.size());
-  for (std::size_t task = 0; task < task_latency_us_.size(); ++task) {
-    const Histogram& histogram = task_latency_us_[task];
+                  : static_cast<double>(stats.completed) / uptime_seconds;
+  stats.latency_mean_us = latency_us.mean();
+  stats.latency_p50_us = latency_us.Percentile(50.0);
+  stats.latency_p95_us = latency_us.Percentile(95.0);
+  stats.latency_p99_us = latency_us.Percentile(99.0);
+  stats.per_task.resize(task_latency_us.size());
+  for (std::size_t task = 0; task < task_latency_us.size(); ++task) {
+    const Histogram& histogram = task_latency_us[task];
     TaskStats& task_stats = stats.per_task[task];
     task_stats.completed = histogram.count();
     task_stats.latency_mean_us = histogram.mean();
@@ -259,13 +364,27 @@ std::string FormatServerStats(const ServerStats& stats) {
   char line[256];
   std::string text;
   std::snprintf(line, sizeof(line),
+                "shards: %llu\n",
+                static_cast<unsigned long long>(stats.num_shards));
+  text += line;
+  std::snprintf(line, sizeof(line),
                 "requests: %llu submitted, %llu completed (%llu failed), "
-                "%llu rejected\n",
+                "%llu rejected, %llu shed\n",
                 static_cast<unsigned long long>(stats.submitted),
                 static_cast<unsigned long long>(stats.completed),
                 static_cast<unsigned long long>(stats.failed),
-                static_cast<unsigned long long>(stats.rejected));
+                static_cast<unsigned long long>(stats.rejected),
+                static_cast<unsigned long long>(stats.shed));
   text += line;
+  if (stats.shed > 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "shed by class: %llu interactive, %llu batch, %llu best-effort\n",
+        static_cast<unsigned long long>(stats.shed_by_class[0]),
+        static_cast<unsigned long long>(stats.shed_by_class[1]),
+        static_cast<unsigned long long>(stats.shed_by_class[2]));
+    text += line;
+  }
   std::snprintf(line, sizeof(line),
                 "batches: %llu (%llu size-flush, %llu deadline-flush, "
                 "%llu shutdown-flush), mean occupancy %.2f\n",

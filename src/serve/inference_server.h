@@ -1,6 +1,6 @@
 /**
  * @file
- * Long-lived batched inference server.
+ * Long-lived batched inference server, sharded per worker.
  *
  * The serving layer of the ROADMAP north star: clients submit single
  * basic-block throughput queries from any number of threads and get a
@@ -13,13 +13,27 @@
  * bundle (model::LoadModel). Mixed tasks (microarchitectures) coalesce
  * into the same batch because every task head is evaluated by the one
  * forward pass, and identical blocks are deduplicated by canonical
- * fingerprint inside the model (and served from its LRU prediction cache
- * when enabled).
+ * fingerprint inside the model (and served from its striped LRU
+ * prediction cache when enabled).
  *
- * Backpressure: the request queue is bounded; when it is full, Submit()
+ * Sharding: the hot path is sharded per worker. Each worker owns one
+ * request queue (its own mutex and condition variables) plus its own
+ * submit- and completion-side statistics, and Submit() routes a request
+ * to the shard chosen by the block's canonical fingerprint — so N
+ * workers contend on 1/N of the queue state, and repeated blocks always
+ * land on the same shard (keeping the per-stripe prediction cache and
+ * batch-level deduplication effective). There is no global lock anywhere
+ * on the submit path; Stats() assembles a consistent snapshot by locking
+ * the shards in a fixed order only when asked.
+ *
+ * Backpressure: each shard's queue is bounded; when it is full, Submit()
  * either blocks until space frees up or rejects the request, per the
- * configured overflow policy. Rejection (and shutdown) is reported as an
- * empty optional rather than an exception.
+ * configured overflow policy. Under AdmissionPolicy::kPriority a full
+ * shard first tries to shed its youngest lowest-priority queued request
+ * (strictly lower-priority than the incoming class) — the shed request's
+ * future fails with RequestShedError — before falling back to the
+ * overflow policy. Rejection (and shutdown) is reported as an empty
+ * optional rather than an exception.
  *
  * Hot model swap: UpdateModel() atomically publishes a new set of
  * parameter values *between* batches — it excludes in-flight forward
@@ -30,15 +44,19 @@
 #ifndef GRANITE_SERVE_INFERENCE_SERVER_H_
 #define GRANITE_SERVE_INFERENCE_SERVER_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -49,33 +67,93 @@
 
 namespace granite::serve {
 
-/** What Submit() does when the request queue is full. */
+/** What Submit() does when the target shard's queue is full. */
 enum class OverflowPolicy {
-  /** Block the caller until a worker drains the queue (or shutdown). */
+  /** Block the caller until the shard's worker drains the queue (or
+   * shutdown). */
   kBlock,
   /** Reject immediately: Submit() returns an empty optional. */
   kReject,
 };
 
+/**
+ * The admission class of a request: what the server sheds first under
+ * overload. Lower numeric value = higher priority. The default Submit()
+ * class is kInteractive, so FIFO-era callers keep top priority.
+ */
+enum class AdmissionClass {
+  /** Latency-sensitive foreground traffic (e.g. a compiler's inner
+   * search loop); never shed in favor of the classes below. */
+  kInteractive = 0,
+  /** Throughput-oriented bulk traffic (e.g. corpus re-scoring). */
+  kBatch = 1,
+  /** Shed-first background traffic (e.g. speculative prefetch). */
+  kBestEffort = 2,
+};
+
+/** Number of AdmissionClass values (array sizing). */
+inline constexpr std::size_t kNumAdmissionClasses = 3;
+
+/** Stable lowercase name of an admission class, e.g. "interactive". */
+std::string_view AdmissionClassName(AdmissionClass admission);
+
+/** How Submit() reacts to a full shard queue. */
+enum class AdmissionPolicy {
+  /** Pure FIFO: every class queues equally; a full queue always falls
+   * through to the OverflowPolicy. The legacy (and default) behavior. */
+  kFifo,
+  /** Priority shedding: a full shard evicts its youngest queued request
+   * of the lowest priority class — only when that class is strictly
+   * lower-priority than the incoming request — failing its future with
+   * RequestShedError; if no such victim exists, the OverflowPolicy
+   * applies. Dequeue order within the queue stays FIFO. */
+  kPriority,
+};
+
+/**
+ * The exception a shed request's future throws from get(): the request
+ * was admitted but later evicted by a higher-priority arrival under
+ * AdmissionPolicy::kPriority.
+ */
+class RequestShedError : public std::runtime_error {
+ public:
+  explicit RequestShedError(AdmissionClass admission)
+      : std::runtime_error("request shed by admission policy (class " +
+                           std::string(AdmissionClassName(admission)) + ")"),
+        admission_(admission) {}
+
+  /** The admission class of the shed request. */
+  AdmissionClass admission() const { return admission_; }
+
+ private:
+  AdmissionClass admission_;
+};
+
 /** Configuration of an InferenceServer. */
 struct InferenceServerConfig {
-  /** Dedicated batch-draining threads. */
+  /** Dedicated batch-draining threads; the server creates one request
+   * queue + statistics shard per worker. */
   int num_workers = 1;
-  /** A batch flushes as soon as this many requests are pending. */
+  /** A shard flushes a batch as soon as this many requests are pending
+   * in its queue. */
   int max_batch_size = 32;
   /**
-   * A batch also flushes once the oldest pending request has waited this
-   * long (the batching window). Zero serves every request immediately,
-   * degenerating to unbatched (batch-size-1-ish) serving under light
-   * load.
+   * A batch also flushes once the oldest pending request of its shard
+   * has waited this long (the batching window). Zero serves every
+   * request immediately, degenerating to unbatched (batch-size-1-ish)
+   * serving under light load.
    */
   std::chrono::microseconds batch_window{2000};
-  /** Bound on the number of queued (not yet draining) requests. */
+  /** Bound on the number of queued (not yet draining) requests, per
+   * shard — total queued capacity is num_workers * queue_capacity. */
   std::size_t queue_capacity = 1024;
   OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  /** What a full shard does before the overflow policy applies. */
+  AdmissionPolicy admission_policy = AdmissionPolicy::kFifo;
   /**
    * When positive, EnablePredictionCache(capacity) is called on the
-   * served model at construction; 0 leaves the model's cache setting
+   * served model at construction (with one cache stripe per worker, at
+   * least the model's default); 0 leaves the model's cache setting
    * untouched.
    */
   std::size_t prediction_cache_capacity = 0;
@@ -92,18 +170,29 @@ struct TaskStats {
   double latency_p99_us = 0.0;
 };
 
-/** A point-in-time snapshot of the server's live statistics. */
+/** A point-in-time snapshot of the server's live statistics, aggregated
+ * over all shards. submitted == completed + shed + in-flight (rejected
+ * requests were never admitted). */
 struct ServerStats {
-  /** Requests accepted into the queue. */
+  /** Worker shards serving (and counting) independently. */
+  std::uint64_t num_shards = 0;
+  /** Requests accepted into a shard queue. */
   std::uint64_t submitted = 0;
-  /** Requests answered (their future is ready — with a value or, for
-   * the `failed` subset, with an exception). */
+  /** Requests answered by a batch (their future is ready — with a value
+   * or, for the `failed` subset, with an exception). */
   std::uint64_t completed = 0;
   /** Answered requests whose batch's forward pass threw; their futures
    * rethrow that exception from get(). Subset of `completed`. */
   std::uint64_t failed = 0;
   /** Requests turned away by backpressure or shutdown. */
   std::uint64_t rejected = 0;
+  /** Admitted requests later evicted by the admission policy; their
+   * futures throw RequestShedError. Counted separately from
+   * completed/failed (they never reached a batch). */
+  std::uint64_t shed = 0;
+  /** `shed` split by the victim's admission class, indexed by
+   * AdmissionClass value. */
+  std::array<std::uint64_t, kNumAdmissionClasses> shed_by_class{};
   /** Batches drained, split by what triggered the flush. */
   std::uint64_t batches = 0;
   std::uint64_t size_flushes = 0;
@@ -113,7 +202,8 @@ struct ServerStats {
   double mean_batch_occupancy = 0.0;
   /** Completed requests per second of server uptime. */
   double qps = 0.0;
-  /** Request latency (enqueue to answer) in microseconds. */
+  /** Request latency (enqueue to answer) in microseconds, merged over
+   * all shards' histograms. */
   double latency_mean_us = 0.0;
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
@@ -129,17 +219,25 @@ struct ServerStats {
 };
 
 /** Human-readable multi-line rendering of a stats snapshot (requests,
- * batches, latency percentiles, per-task breakdown, cache hit rate). */
+ * shards, shed classes, batches, latency percentiles, per-task
+ * breakdown, cache hit rate). */
 std::string FormatServerStats(const ServerStats& stats);
 
 /**
  * A long-lived server answering block-throughput queries with coalesced
- * batched GNN inference. All public methods are thread-safe.
+ * batched GNN inference over per-worker shards.
+ *
+ * Thread-safety: all public methods are safe to call from any number of
+ * threads concurrently. Submit()/Predict() touch exactly one shard's
+ * lock; Stats()/StatsString() lock shards in a fixed order; UpdateModel
+ * excludes in-flight batches via a reader/writer lock; Shutdown() is
+ * idempotent and serializes concurrent callers.
  */
 class InferenceServer {
  public:
   /**
-   * Starts the worker threads.
+   * Starts one worker thread (and its queue/stats shard) per
+   * config.num_workers.
    * @param model The served model; must outlive the server. The server
    *   mutates it only through UpdateModel() and (optionally)
    *   EnablePredictionCache().
@@ -154,20 +252,25 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /**
-   * Enqueues one prediction request for `block` on task head `task`.
+   * Enqueues one prediction request for `block` on task head `task`,
+   * routed to the shard owning the block's canonical fingerprint.
    * `block` must stay alive until the returned future is ready. Returns
-   * an empty optional when the request is rejected: queue full under
-   * OverflowPolicy::kReject, or the server is (or goes) shut down. If
-   * the batch's forward pass throws (e.g. bad_alloc), the future
-   * rethrows that exception from get() instead of yielding a value.
+   * an empty optional when the request is rejected: shard queue full
+   * under OverflowPolicy::kReject, or the server is (or goes) shut
+   * down. The future throws RequestShedError from get() when the
+   * admission policy later evicted the request, and rethrows the
+   * batch's exception if its forward pass threw (e.g. bad_alloc).
+   * Thread-safe; locks only the target shard.
    */
-  std::optional<std::future<double>> Submit(const assembly::BasicBlock* block,
-                                            int task);
+  std::optional<std::future<double>> Submit(
+      const assembly::BasicBlock* block, int task,
+      AdmissionClass admission = AdmissionClass::kInteractive);
 
   /**
    * Synchronous convenience wrapper: Submit() + wait. Fails (via
    * GRANITE_CHECK) if the request is rejected, so use it only with
    * OverflowPolicy::kBlock or under loads the queue can absorb.
+   * Thread-safe.
    */
   double Predict(const assembly::BasicBlock& block, int task);
 
@@ -176,21 +279,25 @@ class InferenceServer {
    * the served model's) between batches: waits for in-flight batches to
    * finish, copies the values in, and lets the generation bump flush the
    * prediction cache. Requests already queued and requests submitted
-   * during the swap are answered with the new parameters.
+   * during the swap are answered with the new parameters. Thread-safe.
    */
   void UpdateModel(const ml::ParameterStore& new_parameters);
 
   /**
    * Stops accepting new requests, wakes blocked producers (their
    * submissions are rejected), drains every queued request, and joins
-   * the workers. Idempotent; also run by the destructor.
+   * the workers. Idempotent; also run by the destructor. Thread-safe —
+   * concurrent callers block until the server is fully down.
    */
   void Shutdown();
 
-  /** Snapshot of the live serving statistics. */
+  /** Snapshot of the live serving statistics, merged across shards.
+   * Thread-safe; the snapshot is mutually consistent (all shard locks
+   * are held at once, in a fixed order). */
   ServerStats Stats() const;
 
-  /** FormatServerStats(Stats()): the live stats as printable text. */
+  /** FormatServerStats(Stats()): the live stats as printable text.
+   * Thread-safe. */
   std::string StatsString() const;
 
   const InferenceServerConfig& config() const { return config_; }
@@ -205,6 +312,7 @@ class InferenceServer {
   struct Request {
     const assembly::BasicBlock* block;
     int task;
+    AdmissionClass admission;
     std::promise<double> promise;
     Clock::time_point enqueue_time;
   };
@@ -212,11 +320,53 @@ class InferenceServer {
   /** Why a worker decided to drain a batch. */
   enum class FlushReason { kSize, kDeadline, kShutdown };
 
-  /** Worker thread: waits for a flush condition, drains one batch. */
-  void WorkerLoop();
+  /**
+   * One worker's share of the server: its request queue and both
+   * counter sets. `mutex` guards the queue-side state (queue, stopping,
+   * submitted, rejected, shed); `stats_mutex` guards the
+   * completion-side counters and histograms, recorded by this shard's
+   * worker only. No thread ever holds two mutexes of the same shard, or
+   * any mutex of another shard, except Stats() which locks all shards
+   * in index order.
+   */
+  struct Shard {
+    std::mutex mutex;
+    /** Signals the worker: request arrived / shutdown. */
+    std::condition_variable queue_event;
+    /** Signals blocked producers: queue space freed / shutdown. */
+    std::condition_variable space_event;
+    std::deque<Request> queue;
+    bool stopping = false;
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;
+    std::array<std::uint64_t, kNumAdmissionClasses> shed_by_class{};
 
-  /** Runs one coalesced batch and fulfills its promises. */
-  void ExecuteBatch(std::vector<Request>& batch, FlushReason reason);
+    /** Completion-side counters, written by this shard's worker. */
+    std::mutex stats_mutex;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t size_flushes = 0;
+    std::uint64_t deadline_flushes = 0;
+    std::uint64_t shutdown_flushes = 0;
+    /** Request latency in microseconds, 1us..100s. */
+    Histogram latency_us{1.0, 1e8};
+    /** Per-task-head request latency (same bucketization), indexed by
+     * task; sized to the model's task count at construction. */
+    std::vector<Histogram> task_latency_us;
+  };
+
+  /** The shard owning `block` (by canonical fingerprint). */
+  Shard& ShardFor(const assembly::BasicBlock& block);
+
+  /** Worker thread: waits for a flush condition on its own shard,
+   * drains one batch at a time. */
+  void WorkerLoop(Shard& shard);
+
+  /** Runs one coalesced batch and fulfills its promises, recording
+   * completion stats into `shard`. */
+  void ExecuteBatch(Shard& shard, std::vector<Request>& batch,
+                    FlushReason reason);
 
   model::ThroughputPredictor* model_;
   InferenceServerConfig config_;
@@ -224,34 +374,15 @@ class InferenceServer {
 
   /** Serializes Shutdown() callers until the workers are joined. */
   std::mutex shutdown_mutex_;
-  /** Guards queue_, stopping_, submitted_, rejected_. */
-  mutable std::mutex mutex_;
-  /** Signals workers: request arrived / shutdown. */
-  std::condition_variable queue_event_;
-  /** Signals blocked producers: queue space freed / shutdown. */
-  std::condition_variable space_event_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t rejected_ = 0;
+  bool stopped_ = false;  // Guarded by shutdown_mutex_.
+
+  /** One shard per worker; sized at construction, never resized
+   * (unique_ptr keeps Shard addresses stable and Shard non-movable). */
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   /** Batches hold this shared; UpdateModel takes it exclusive. */
   mutable std::shared_mutex model_mutex_;
   std::uint64_t model_updates_ = 0;  // Guarded by model_mutex_.
-
-  /** Guards the completion-side counters and the latency histogram. */
-  mutable std::mutex stats_mutex_;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t size_flushes_ = 0;
-  std::uint64_t deadline_flushes_ = 0;
-  std::uint64_t shutdown_flushes_ = 0;
-  /** Request latency in microseconds, 1us..100s. */
-  Histogram latency_us_{1.0, 1e8};
-  /** Per-task-head request latency (same bucketization), indexed by
-   * task; sized to the model's task count at construction. */
-  std::vector<Histogram> task_latency_us_;
 
   std::vector<std::thread> workers_;
 };

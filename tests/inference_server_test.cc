@@ -411,6 +411,130 @@ TEST_F(InferenceServerTest, ServesAnIthemalModelThroughTheInterface) {
   }
 }
 
+TEST_F(InferenceServerTest, ShardedServingMatchesUnshardedBitExactly) {
+  // The acceptance property of shard routing: the same request stream
+  // served by a 1-shard and a 4-shard server yields bitwise identical
+  // answers (sharding moves requests between queues, never between
+  // models, and per-block predictions are batch-composition-invariant).
+  core::GraniteModel model(&vocabulary_, TinyConfig(/*num_tasks=*/2));
+  const std::vector<std::vector<double>> expected = {
+      ExpectedAlone(model, 0), ExpectedAlone(model, 1)};
+
+  for (const int workers : {1, 4}) {
+    InferenceServerConfig config;
+    config.num_workers = workers;
+    config.max_batch_size = 4;
+    config.batch_window = microseconds{100};
+    config.prediction_cache_capacity = 64;
+    InferenceServer server(&model, config);
+
+    std::vector<std::future<double>> futures;
+    std::vector<std::pair<std::size_t, int>> sent;
+    for (int r = 0; r < 60; ++r) {
+      const std::size_t i = r % blocks_.size();
+      const int task = r % 2;
+      auto future = server.Submit(&blocks_[i], task);
+      ASSERT_TRUE(future.has_value());
+      futures.push_back(std::move(*future));
+      sent.emplace_back(i, task);
+    }
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      EXPECT_EQ(futures[k].get(), expected[sent[k].second][sent[k].first])
+          << "workers=" << workers << ", request " << k;
+    }
+    server.Shutdown();
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.num_shards, static_cast<std::uint64_t>(workers));
+    EXPECT_EQ(stats.completed, 60u);
+  }
+}
+
+TEST_F(InferenceServerTest, PrioritySheddingShedsLowestClassFirst) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.max_batch_size = 1000;
+  config.batch_window = kNeverWindow;  // The worker cannot drain yet.
+  config.queue_capacity = 2;
+  config.overflow_policy = OverflowPolicy::kReject;
+  config.admission_policy = AdmissionPolicy::kPriority;
+  InferenceServer server(&model, config);
+
+  // Fill the one shard's queue with a best-effort and a batch request.
+  auto best_effort =
+      server.Submit(&blocks_[0], 0, AdmissionClass::kBestEffort);
+  auto batch = server.Submit(&blocks_[1], 0, AdmissionClass::kBatch);
+  ASSERT_TRUE(best_effort.has_value() && batch.has_value());
+
+  // An interactive arrival sheds the lowest class first: best-effort.
+  auto interactive_1 =
+      server.Submit(&blocks_[2], 0, AdmissionClass::kInteractive);
+  ASSERT_TRUE(interactive_1.has_value());
+  EXPECT_THROW(best_effort->get(), RequestShedError);
+
+  // The next interactive arrival sheds the remaining batch request.
+  auto interactive_2 =
+      server.Submit(&blocks_[3], 0, AdmissionClass::kInteractive);
+  ASSERT_TRUE(interactive_2.has_value());
+  EXPECT_THROW(batch->get(), RequestShedError);
+
+  // Only interactive traffic remains: nothing left to shed, so the
+  // overflow policy applies — deterministic reject.
+  EXPECT_FALSE(
+      server.Submit(&blocks_[4], 0, AdmissionClass::kInteractive)
+          .has_value());
+
+  {
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.shed, 2u);
+    EXPECT_EQ(stats.shed_by_class[static_cast<std::size_t>(
+                  AdmissionClass::kBestEffort)],
+              1u);
+    EXPECT_EQ(stats.shed_by_class[static_cast<std::size_t>(
+                  AdmissionClass::kBatch)],
+              1u);
+    EXPECT_EQ(stats.shed_by_class[static_cast<std::size_t>(
+                  AdmissionClass::kInteractive)],
+              0u);
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.submitted, 4u);
+  }
+
+  // Shutdown drains the surviving interactive requests with exact
+  // answers: shedding never corrupts the queue around the victim.
+  server.Shutdown();
+  EXPECT_EQ(interactive_1->get(), expected[2]);
+  EXPECT_EQ(interactive_2->get(), expected[3]);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 2u);
+  // submitted == completed + shed (+ zero in-flight after shutdown).
+  EXPECT_EQ(stats.submitted, stats.completed + stats.shed);
+  EXPECT_NE(server.StatsString().find("shed by class"), std::string::npos);
+}
+
+TEST_F(InferenceServerTest, EqualPriorityTrafficIsNeverDisplaced) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  InferenceServerConfig config;
+  config.max_batch_size = 1000;
+  config.batch_window = kNeverWindow;
+  config.queue_capacity = 1;
+  config.overflow_policy = OverflowPolicy::kReject;
+  config.admission_policy = AdmissionPolicy::kPriority;
+  InferenceServer server(&model, config);
+
+  // A queued best-effort request is safe from arrivals of its own
+  // class: shedding requires a strictly lower-priority victim.
+  auto queued = server.Submit(&blocks_[0], 0, AdmissionClass::kBestEffort);
+  ASSERT_TRUE(queued.has_value());
+  EXPECT_FALSE(
+      server.Submit(&blocks_[1], 0, AdmissionClass::kBestEffort)
+          .has_value());
+  EXPECT_EQ(server.Stats().shed, 0u);
+  EXPECT_EQ(server.Stats().rejected, 1u);
+  server.Shutdown();
+  EXPECT_NO_THROW(queued->get());
+}
+
 TEST_F(InferenceServerTest, StatsReportCoherentLatencyPercentiles) {
   core::GraniteModel model(&vocabulary_, TinyConfig());
   InferenceServerConfig config;

@@ -42,6 +42,7 @@
  * (--target-scale, default 100) and predictions are reported on the
  * paper's cycles-per-100-iterations scale.
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -212,8 +213,15 @@ void PrintUsage() {
       "           (or block text on stdin), --target-scale=S\n"
       "  serve    serve bundles behind a multi-model router\n"
       "           --model-file=[NAME=]PATH (repeatable, required),\n"
-      "           --requests=N, --workers=N, --batch-size=N,\n"
-      "           --window-us=N, --cache=N, --blocks=N, --seed=N\n"
+      "           --requests=N, --shards=N (alias --workers=N),\n"
+      "           --batch-size=N, --window-us=N, --cache=N,\n"
+      "           --blocks=N, --seed=N,\n"
+      "           --admission=fifo|priority (overload shedding order),\n"
+      "           --split=NAME=A:B:WEIGHT (weighted A/B split route),\n"
+      "           --shadow=ROUTE=PATH (mirror ROUTE to a candidate\n"
+      "           bundle), --shadow-samples=N (comparisons before the\n"
+      "           parity verdict), --promote=0|1 (auto-promote on\n"
+      "           parity, default 1)\n"
       "  inspect  dump checkpoint bundle metadata without loading the\n"
       "           model: --model-file=PATH (required), --tensors=1 to\n"
       "           list every tensor shape\n"
@@ -551,7 +559,9 @@ int RunPredict(const Flags& flags) {
 
 int RunServe(const Flags& flags) {
   flags.RequireKnown({"model-file", "requests", "blocks", "seed",
-                      "workers", "batch-size", "window-us", "cache"});
+                      "workers", "shards", "batch-size", "window-us",
+                      "cache", "admission", "shadow", "shadow-samples",
+                      "promote", "split"});
   if (flags.model_files.empty()) {
     std::fprintf(stderr,
                  "granite_cli serve: at least one --model-file=[NAME=]PATH "
@@ -565,8 +575,10 @@ int RunServe(const Flags& flags) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
 
   granite::serve::InferenceServerConfig server_config;
-  server_config.num_workers =
-      static_cast<int>(flags.GetCount("workers", 2, 1, 256));
+  // Workers and request-queue shards are 1:1; --shards is the operator
+  // name for the knob, --workers the legacy alias.
+  server_config.num_workers = static_cast<int>(flags.GetCount(
+      "shards", flags.GetCount("workers", 2, 1, 256), 1, 256));
   server_config.max_batch_size =
       static_cast<int>(flags.GetCount("batch-size", 16, 1, 100000));
   server_config.batch_window =
@@ -574,6 +586,17 @@ int RunServe(const Flags& flags) {
                                                60000000)};
   server_config.prediction_cache_capacity =
       static_cast<std::size_t>(flags.GetCount("cache", 512, 0, 100000000));
+  const std::string admission = flags.GetString("admission", "fifo");
+  if (admission == "priority") {
+    server_config.admission_policy =
+        granite::serve::AdmissionPolicy::kPriority;
+  } else if (admission != "fifo") {
+    std::fprintf(stderr,
+                 "granite_cli serve: --admission must be fifo or "
+                 "priority, got '%s'\n",
+                 admission.c_str());
+    return 2;
+  }
 
   granite::serve::ModelRouter router(server_config);
   std::vector<std::pair<std::string, int>> models;  // name → num_tasks
@@ -611,6 +634,95 @@ int RunServe(const Flags& flags) {
     models.emplace_back(name, num_tasks);
   }
 
+  // --split=NAME=A:B:WEIGHT registers a weighted A/B split over two
+  // loaded routes and includes it in the replayed traffic.
+  if (flags.Has("split")) {
+    const std::string spec = flags.GetString("split", "");
+    const std::size_t equals = spec.find('=');
+    const std::size_t colon = spec.find(':', equals + 1);
+    const std::size_t second_colon =
+        colon == std::string::npos ? std::string::npos
+                                   : spec.find(':', colon + 1);
+    if (equals == std::string::npos || colon == std::string::npos ||
+        second_colon == std::string::npos) {
+      std::fprintf(stderr,
+                   "granite_cli serve: --split wants NAME=A:B:WEIGHT, "
+                   "got '%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+    const std::string split_name = spec.substr(0, equals);
+    const std::string route_a = spec.substr(equals + 1, colon - equals - 1);
+    const std::string route_b =
+        spec.substr(colon + 1, second_colon - colon - 1);
+    char* end = nullptr;
+    const std::string weight_text = spec.substr(second_colon + 1);
+    const double weight_a = std::strtod(weight_text.c_str(), &end);
+    if (end == weight_text.c_str() || *end != '\0' || weight_a < 0.0 ||
+        weight_a > 1.0) {
+      std::fprintf(stderr,
+                   "granite_cli serve: split weight must be in [0, 1], "
+                   "got '%s'\n",
+                   weight_text.c_str());
+      return 2;
+    }
+    if (!router.HasModel(route_a) || !router.HasModel(route_b)) {
+      std::fprintf(stderr,
+                   "granite_cli serve: split arms must name loaded "
+                   "routes ('%s', '%s')\n",
+                   route_a.c_str(), route_b.c_str());
+      return 2;
+    }
+    router.AddSplit(split_name, route_a, route_b, weight_a);
+    std::printf("split '%s': %s:%s weight_a=%.3f\n", split_name.c_str(),
+                route_a.c_str(), route_b.c_str(), weight_a);
+    // Split traffic exercises both arms; cap tasks at the smaller head.
+    int split_tasks = 0;
+    for (const auto& [name, num_tasks] : models) {
+      if (name == route_a || name == route_b) {
+        split_tasks = split_tasks == 0 ? num_tasks
+                                       : std::min(split_tasks, num_tasks);
+      }
+    }
+    models.emplace_back(split_name, std::max(split_tasks, 1));
+  }
+
+  // --shadow=ROUTE=PATH starts a canary session: traffic on ROUTE is
+  // mirrored to the bundle at PATH, compared (never returned), and the
+  // candidate is promoted on parity unless --promote=0.
+  if (flags.Has("shadow")) {
+    const std::string spec = flags.GetString("shadow", "");
+    const std::size_t separator = spec.find('=');
+    if (separator == std::string::npos) {
+      std::fprintf(stderr,
+                   "granite_cli serve: --shadow wants ROUTE=PATH, got "
+                   "'%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+    const std::string route = spec.substr(0, separator);
+    const std::string path = spec.substr(separator + 1);
+    if (!router.HasModel(route)) {
+      std::fprintf(stderr,
+                   "granite_cli serve: --shadow route '%s' is not a "
+                   "loaded model\n",
+                   route.c_str());
+      return 2;
+    }
+    granite::serve::ShadowConfig shadow_config;
+    shadow_config.min_comparisons = static_cast<uint64_t>(
+        flags.GetCount("shadow-samples", 50, 1, 100000000));
+    shadow_config.auto_promote = flags.GetInt("promote", 1) != 0;
+    shadow_config.server_config = server_config;
+    router.StartShadow(route, LoadBundleOrDie(path), shadow_config);
+    std::printf("shadowing '%s' with %s (%llu samples, %s)\n",
+                route.c_str(), path.c_str(),
+                static_cast<unsigned long long>(
+                    shadow_config.min_comparisons),
+                shadow_config.auto_promote ? "auto-promote"
+                                           : "manual promote");
+  }
+
   const granite::dataset::Dataset corpus =
       SynthesizeCorpus(static_cast<std::size_t>(num_blocks), seed);
   const std::vector<const granite::assembly::BasicBlock*> blocks =
@@ -626,8 +738,17 @@ int RunServe(const Flags& flags) {
       std::vector<std::future<double>> futures;
       for (int r = c; r < requests; r += kClients) {
         const auto& [name, num_tasks] = models[r % models.size()];
-        auto future = router.Submit(
-            name, blocks[(c * 13 + r) % blocks.size()], r % num_tasks);
+        // Under the priority policy, spread traffic over admission
+        // classes so overload exercises the shedding order.
+        const auto admission_class =
+            server_config.admission_policy ==
+                    granite::serve::AdmissionPolicy::kPriority
+                ? static_cast<granite::serve::AdmissionClass>(
+                      r % granite::serve::kNumAdmissionClasses)
+                : granite::serve::AdmissionClass::kInteractive;
+        auto future =
+            router.Submit(name, blocks[(c * 13 + r) % blocks.size()],
+                          r % num_tasks, admission_class);
         if (future.has_value()) futures.push_back(std::move(*future));
       }
       for (std::future<double>& future : futures) {
