@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 #include <sstream>
+#include <thread>
 
 namespace granite::bench {
 namespace {
@@ -31,6 +32,14 @@ void RecordMetric(const std::string& name, double value) {
 
 bool WriteMetricsJson() {
   if (MetricsJsonPath().empty()) return false;
+  // Stamp the recording host's core count into every metrics file:
+  // compare_bench.py uses it to skip parallel-scaling advisories when
+  // the run machine cannot actually run anything in parallel. host.*
+  // metrics describe the machine, not the build, and are excluded from
+  // band comparison.
+  RecordMetric("host.hardware_concurrency",
+               static_cast<double>(
+                   std::max(1u, std::thread::hardware_concurrency())));
   std::FILE* file = std::fopen(MetricsJsonPath().c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "cannot write metrics JSON: %s\n",

@@ -2,7 +2,9 @@
  * @file
  * Kernel backend throughput: reference vs optimized GFLOP/s for the
  * MatMul family (plain, transpose-A, transpose-B, fused linear+bias)
- * across aligned, odd, and rectangular shapes, plus the end-to-end
+ * across aligned, odd, and rectangular shapes, the graph structure ops
+ * (GatherRowsAcc / ScatterAddRows) and LayerNorm at message-passing
+ * node counts with and without pool sharding, plus the end-to-end
  * training-step and inference speedup of a GRANITE model when its math
  * runs on the optimized backend.
  *
@@ -11,6 +13,7 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -170,6 +173,109 @@ void RunMatMulTable(bool quick) {
               seq, par, par / seq);
 }
 
+/** Runs `fn` repeatedly for `min_seconds` and returns calls/sec. */
+double MeasureCallsPerSec(const std::function<void()>& fn,
+                          double min_seconds) {
+  fn();  // Warm-up.
+  std::size_t iterations = 0;
+  double elapsed = 0.0;
+  const Clock::time_point start = Clock::now();
+  while ((elapsed = SecondsSince(start)) < min_seconds) {
+    fn();
+    ++iterations;
+  }
+  return static_cast<double>(iterations) / elapsed;
+}
+
+/**
+ * Graph structure ops and LayerNorm at message-passing node counts,
+ * serial vs pool-sharded. These are memory-bound (one add per element),
+ * so the parallel speedups collapse to ~1x on a single-core machine —
+ * compare_bench.py skips the *_parallel_speedup advisories there.
+ */
+void RunGraphOpsTable(bool quick) {
+  const double min_seconds = quick ? 0.05 : 0.2;
+  // A large message-passing batch: tens of thousands of edge-endpoint
+  // rows gathered from / scattered to a few thousand node rows.
+  const int rows = quick ? 8192 : 32768;
+  const int cols = 64;
+  const int table_rows = 4096;
+
+  Rng rng(23);
+  const ml::Tensor table = RandomTensor(table_rows, cols, rng);
+  const ml::Tensor rows_in = RandomTensor(rows, cols, rng);
+  const ml::Tensor gain = RandomTensor(1, cols, rng);
+  const ml::Tensor bias = RandomTensor(1, cols, rng);
+  std::vector<int> indices(rows);
+  for (int i = 0; i < rows; ++i) {
+    indices[static_cast<std::size_t>(i)] = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(table_rows)));
+  }
+  ml::Tensor out(rows, cols);
+  ml::Tensor scatter_table(table_rows, cols);
+  ml::Tensor normalized(rows, cols);
+  ml::Tensor x_grad(rows, cols);
+  ml::Tensor gain_grad(1, cols);
+  ml::Tensor bias_grad(1, cols);
+  std::vector<float> inv_stddev(rows, 0.0f);
+
+  const ml::OptimizedBackend serial;
+  base::ThreadPool pool(4);
+  const ml::OptimizedBackend pooled(&pool);
+
+  struct Op {
+    const char* label;
+    const char* metric;
+    std::function<void(const ml::KernelBackend&)> fn;
+  };
+  const std::vector<Op> ops = {
+      {"GatherRowsAcc", "gather",
+       [&](const ml::KernelBackend& backend) {
+         backend.GatherRowsAcc(table, indices, out);
+       }},
+      {"ScatterAddRows", "scatter",
+       [&](const ml::KernelBackend& backend) {
+         backend.ScatterAddRows(rows_in, indices, scatter_table);
+       }},
+      {"LayerNormForward", "layernorm_fwd",
+       [&](const ml::KernelBackend& backend) {
+         backend.LayerNormForward(rows_in, gain, bias, 1e-5f, out,
+                                  normalized, inv_stddev);
+       }},
+      {"LayerNormBackward", "layernorm_bwd",
+       [&](const ml::KernelBackend& backend) {
+         backend.LayerNormBackward(out, gain, normalized, inv_stddev,
+                                   &x_grad, &gain_grad, &bias_grad);
+       }},
+  };
+
+  std::printf("Graph ops at %dx%d (Mrows/s)\n", rows, cols);
+  const std::vector<int> widths = {18, 10, 10, 9};
+  PrintSeparator(widths);
+  PrintRow({"op", "serial", "pooled(4)", "speedup"}, widths);
+  PrintSeparator(widths);
+  for (const Op& op : ops) {
+    // LayerNormBackward reads `normalized`/`inv_stddev`: ensure they
+    // hold a real forward result before timing it.
+    serial.LayerNormForward(rows_in, gain, bias, 1e-5f, out, normalized,
+                            inv_stddev);
+    const double serial_rate = MeasureCallsPerSec(
+        [&] { op.fn(serial); }, min_seconds);
+    const double pooled_rate = MeasureCallsPerSec(
+        [&] { op.fn(pooled); }, min_seconds);
+    const double mrows = static_cast<double>(rows) / 1e6;
+    const std::string prefix = std::string("kernels.graph_ops.") + op.metric;
+    RecordMetric(prefix + "_mrows_per_sec", serial_rate * mrows);
+    RecordMetric(prefix + "_parallel_speedup", pooled_rate / serial_rate);
+    PrintRow({op.label, Fixed(serial_rate * mrows, 2),
+              Fixed(pooled_rate * mrows, 2),
+              Fixed(pooled_rate / serial_rate, 2) + "x"},
+             widths);
+  }
+  PrintSeparator(widths);
+  std::printf("\n");
+}
+
 /** Steps/sec of a short training run with the given backend kind. */
 double MeasureTraining(const Scale& scale, const SplitDataset& data,
                        int steps, ml::KernelBackendKind backend) {
@@ -222,6 +328,7 @@ void Run(int argc, char** argv) {
   scale.message_passing_iterations = 4;
   PrintBanner("Kernel backends: blocked/SIMD vs reference loops", scale);
   RunMatMulTable(scale.quick);
+  RunGraphOpsTable(scale.quick);
   RunEndToEnd(scale);
   WriteMetricsJson();
 }

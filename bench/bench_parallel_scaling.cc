@@ -11,6 +11,7 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -66,6 +67,11 @@ void Run(int argc, char** argv) {
       const double rate =
           MeasureTraining(scale, data, steps, workers, prefetch);
       if (workers == 1 && !prefetch) baseline = rate;
+      if (!prefetch) {
+        RecordMetric("parallel.train.workers" + std::to_string(workers) +
+                         "_steps_per_sec",
+                     rate);
+      }
       PrintRow({std::to_string(workers), prefetch ? "on" : "off",
                 Fixed(rate, 2), Fixed(rate / baseline, 2) + "x"},
                widths);
@@ -112,6 +118,10 @@ void Run(int argc, char** argv) {
   std::printf("  hit rate: %s (%0.f/%0.f lookups)\n",
               Percent(lookups > 0 ? hits / lookups : 0.0).c_str(), hits,
               lookups);
+  RecordMetric("parallel.cache.speedup", uncached_seconds / cached_seconds);
+  RecordMetric("parallel.cache.hit_rate",
+               lookups > 0 ? hits / lookups : 0.0);
+  WriteMetricsJson();
 }
 
 }  // namespace

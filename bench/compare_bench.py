@@ -25,6 +25,21 @@ import math
 import sys
 
 
+def is_host_metric(name):
+    """host.* metrics describe the run machine, not the build under test."""
+    return name.startswith("host.")
+
+
+def is_parallel_scaling_metric(name):
+    """True for metrics that measure parallel speedup or scaling: they are
+    meaningless on a single-core runner (everything collapses to ~1x), so
+    the advisory comparison is skipped there."""
+    return (name.startswith("parallel.")
+            or "parallel_speedup" in name
+            or "workers_per_shard" in name
+            or name.startswith("serving.shard"))
+
+
 def load_metrics(path):
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
@@ -68,15 +83,27 @@ def main():
     warnings = 0
     if args.baseline:
         baseline = load_metrics(args.baseline)
+        # Benches record the run host's core count; on a single-core
+        # runner, parallel-scaling metrics are ~1x by construction and
+        # comparing them against a multi-core baseline is pure noise.
+        single_core = merged.get("host.hardware_concurrency", 0) == 1
+        if single_core:
+            print("single-core runner: parallel-scaling advisories skipped")
         width = max((len(name) for name in baseline), default=0)
         for name in sorted(baseline):
             base = baseline[name]
             if name not in merged:
+                if is_host_metric(name):
+                    continue
                 warnings += 1
                 print(f"WARNING: {name}: in baseline but not measured")
                 continue
             value = merged[name]
-            if base == 0:
+            if is_host_metric(name):
+                status = "ok (host property, not compared)"
+            elif single_core and is_parallel_scaling_metric(name):
+                status = "skipped (single-core runner)"
+            elif base == 0:
                 status = "ok (zero baseline)"
             else:
                 ratio = value / base

@@ -6,100 +6,181 @@
 #include "base/logging.h"
 
 namespace granite::base {
+namespace {
+
+/** The deque slot this thread owns, valid while `pool` matches. Lets a
+ * worker push nested work to its own deque and lets JoinGroup prefer
+ * the caller's local work when helping. */
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  int slot = -1;
+};
+thread_local WorkerIdentity t_worker_identity;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   GRANITE_CHECK_GE(num_threads, 1);
+  deques_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
   workers_.reserve(num_threads - 1);
-  for (int i = 0; i < num_threads - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  for (int slot = 1; slot < num_threads; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
-  // A width-1 pool has no workers to complete the queued tasks, so the
-  // destructing thread drains them itself; a pending exception is
-  // discarded (destructors cannot rethrow).
-  if (workers_.empty()) {
-    try {
-      Wait();
-    } catch (...) {
-    }
+  // Help drain pending tasks on the destructing thread — the only
+  // drainer a width-1 pool has. Tasks submitted *by* draining tasks are
+  // picked up by whichever thread (a worker or this loop) is still
+  // running; exceptions land in their group's slot and are discarded
+  // unobserved (destructors cannot rethrow).
+  while (TryRunOneTask(/*home_slot=*/-1)) {
   }
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::CapturePendingException() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (pending_exception_ == nullptr) {
-    pending_exception_ = std::current_exception();
+int ThreadPool::CurrentSlot() const {
+  return t_worker_identity.pool == this ? t_worker_identity.slot : -1;
+}
+
+void ThreadPool::CaptureGroupException(TaskGroup& group) {
+  std::lock_guard<std::mutex> lock(group.mutex);
+  if (group.exception == nullptr) {
+    group.exception = std::current_exception();
   }
 }
 
-void ThreadPool::RunTask(std::function<void()>& task) {
+void ThreadPool::RunTask(Task& task) {
   try {
-    task();
+    task.fn();
   } catch (...) {
-    CapturePendingException();
+    CaptureGroupException(*task.group);
   }
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (--in_flight_ == 0) all_done_.notify_all();
-  }
+  // Retire after the task body (and any nested submissions it made)
+  // finished, so a join can never observe zero while a parent that is
+  // about to spawn children is still running.
+  std::lock_guard<std::mutex> lock(task.group->mutex);
+  if (--task.group->remaining == 0) task.group->done.notify_all();
 }
 
-void ThreadPool::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // Shutting down with an empty queue.
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
-    RunTask(task);
-  }
-}
-
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::SubmitToGroup(TaskGroup* group, std::function<void()> fn) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(group->mutex);
+    ++group->remaining;
+  }
+  // A worker pushes to the back of its own deque (nested work runs
+  // LIFO, depth-first, on a warm cache); external threads spray
+  // round-robin across all deques so every worker's steal sweep starts
+  // non-empty under load.
+  const int own_slot = CurrentSlot();
+  const int slot =
+      own_slot >= 0
+          ? own_slot
+          : static_cast<int>(next_slot_.fetch_add(
+                                 1, std::memory_order_relaxed) %
+                             static_cast<unsigned>(num_threads_));
+  {
+    std::lock_guard<std::mutex> lock(deques_[slot]->mutex);
+    deques_[slot]->tasks.push_back(Task{std::move(fn), group});
+  }
+  {
     // No shutting_down_ check: tasks may submit nested tasks even while
-    // the destructor drains the queue — the drain (worker loops and the
-    // width-1 destructor Wait()) only finishes once the queue is empty
-    // and nothing is in flight, so late submissions still run.
-    ++in_flight_;
-    tasks_.push(std::move(task));
+    // the destructor drains — the drain loops only finish once every
+    // deque is empty, so late submissions still run.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++queued_;
   }
   task_available_.notify_one();
 }
 
-void ThreadPool::Wait() {
-  // The calling thread drains queued tasks instead of sleeping, so Wait()
-  // makes progress even on a pool with zero workers (num_threads == 1).
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (tasks_.empty()) {
-        all_done_.wait(lock, [this] { return in_flight_ == 0; });
-        if (pending_exception_ == nullptr) return;
-        std::exception_ptr exception = nullptr;
-        std::swap(exception, pending_exception_);
-        std::rethrow_exception(exception);
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+void ThreadPool::Submit(std::function<void()> task) {
+  SubmitToGroup(&ambient_group_, std::move(task));
+}
+
+bool ThreadPool::PopTask(int home_slot, Task& task) {
+  bool popped = false;
+  if (home_slot >= 0) {
+    Deque& own = *deques_[home_slot];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      popped = true;
     }
-    RunTask(task);
+  }
+  if (!popped) {
+    // Steal sweep: oldest task first from each victim, starting after
+    // the caller's own slot so thieves spread across the deques.
+    const int start = home_slot >= 0 ? home_slot + 1 : 0;
+    for (int i = 0; i < num_threads_ && !popped; ++i) {
+      Deque& victim = *deques_[(start + i) % num_threads_];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        popped = true;
+      }
+    }
+  }
+  if (popped) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    --queued_;
+  }
+  return popped;
+}
+
+bool ThreadPool::TryRunOneTask(int home_slot) {
+  Task task;
+  if (!PopTask(home_slot, task)) return false;
+  RunTask(task);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  t_worker_identity = {this, slot};
+  for (;;) {
+    if (TryRunOneTask(slot)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    task_available_.wait(
+        lock, [this] { return queued_ > 0 || shutting_down_; });
+    if (queued_ == 0) return;  // Shutting down with every deque empty.
   }
 }
+
+void ThreadPool::JoinGroup(TaskGroup& group) {
+  const int slot = CurrentSlot();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(group.mutex);
+      if (group.remaining == 0) break;
+    }
+    if (TryRunOneTask(slot)) continue;
+    // Every deque was momentarily empty, so this window's outstanding
+    // tasks are executing on other threads (which keep helping if they
+    // block on nested joins themselves); sleep until the count drains.
+    // Tasks queued after the emptiness check wake a pool worker (or are
+    // run by their submitter's own join), never only this sleeper.
+    std::unique_lock<std::mutex> lock(group.mutex);
+    group.done.wait(lock, [&group] { return group.remaining == 0; });
+    break;
+  }
+  std::exception_ptr exception;
+  {
+    std::lock_guard<std::mutex> lock(group.mutex);
+    std::swap(exception, group.exception);
+  }
+  if (exception != nullptr) std::rethrow_exception(exception);
+}
+
+void ThreadPool::Wait() { JoinGroup(ambient_group_); }
 
 std::vector<std::pair<std::size_t, std::size_t>> ThreadPool::PartitionRange(
     std::size_t total, int num_shards) {
@@ -130,20 +211,21 @@ int ThreadPool::RunShards(
     return total > 0 ? 1 : 0;
   }
   const auto shards = PartitionRange(total, num_shards);
+  TaskGroup group;
   for (int shard = 1; shard < num_shards; ++shard) {
-    Submit([&fn, &shards, shard, begin] {
+    SubmitToGroup(&group, [&fn, &shards, shard, begin] {
       fn(shard, begin + shards[shard].first, begin + shards[shard].second);
     });
   }
-  // The caller's shard routes exceptions through the same pending slot as
-  // the workers, so the join below always happens before anything
+  // The caller's shard routes exceptions through the same group slot as
+  // the workers', so the join below always happens before anything
   // propagates (the submitted shards reference stack state).
   try {
     fn(0, begin + shards[0].first, begin + shards[0].second);
   } catch (...) {
-    CapturePendingException();
+    CaptureGroupException(group);
   }
-  Wait();
+  JoinGroup(group);
   return num_shards;
 }
 

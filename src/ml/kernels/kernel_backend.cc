@@ -3,8 +3,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "base/logging.h"
+#include "ml/kernels/blas_backend.h"
 #include "ml/kernels/optimized_backend.h"
 #include "ml/kernels/reference_backend.h"
 
@@ -245,19 +247,47 @@ const OptimizedBackend& SharedOptimizedBackend() {
   return backend;
 }
 
-/** The backend named by GRANITE_KERNEL_BACKEND, read once at startup. */
+#ifdef GRANITE_WITH_BLAS
+const BlasBackend& SharedBlasBackend() {
+  // Pool-free like the other shared instances.
+  static const BlasBackend backend;
+  return backend;
+}
+#endif
+
+/** "reference, optimized, blas" — or a note that blas is compiled out;
+ * for error messages. */
+std::string AvailableBackendNames() {
+  std::string names;
+  for (const KernelBackendInfo& info : ListKernelBackends()) {
+    if (!info.available) continue;
+    if (!names.empty()) names += ", ";
+    names += info.name;
+  }
+  return names;
+}
+
+/** The backend named by GRANITE_KERNEL_BACKEND, read once at startup.
+ * Unknown or compiled-out names are fatal: a silently substituted
+ * backend would invalidate any measurement the variable was set for. */
 const KernelBackend& EnvironmentSelectedBackend() {
   static const KernelBackend* const selected = [] {
     const char* const env = std::getenv("GRANITE_KERNEL_BACKEND");
-    if (env != nullptr && std::strcmp(env, "reference") == 0) {
-      return static_cast<const KernelBackend*>(&SharedReferenceBackend());
+    if (env == nullptr || env[0] == '\0') {
+      return static_cast<const KernelBackend*>(&SharedOptimizedBackend());
     }
-    if (env != nullptr && std::strcmp(env, "optimized") != 0 &&
-        env[0] != '\0') {
-      GRANITE_WARN("unknown GRANITE_KERNEL_BACKEND '"
-                   << env << "', using the optimized backend");
-    }
-    return static_cast<const KernelBackend*>(&SharedOptimizedBackend());
+    const KernelBackendInfo* const info = FindKernelBackendByName(env);
+    GRANITE_CHECK_MSG(info != nullptr,
+                      "unknown GRANITE_KERNEL_BACKEND '"
+                          << env << "'; valid values: "
+                          << AvailableBackendNames());
+    GRANITE_CHECK_MSG(info->available,
+                      "GRANITE_KERNEL_BACKEND '"
+                          << env
+                          << "' is not compiled into this build (configure "
+                             "with -DGRANITE_WITH_BLAS=ON); valid values: "
+                          << AvailableBackendNames());
+    return &GetKernelBackend(info->kind);
   }();
   return *selected;
 }
@@ -265,6 +295,27 @@ const KernelBackend& EnvironmentSelectedBackend() {
 std::atomic<const KernelBackend*> g_default_backend{nullptr};
 
 }  // namespace
+
+const std::vector<KernelBackendInfo>& ListKernelBackends() {
+  static const std::vector<KernelBackendInfo> registry = {
+      {KernelBackendKind::kReference, "reference", true},
+      {KernelBackendKind::kOptimized, "optimized", true},
+#ifdef GRANITE_WITH_BLAS
+      {KernelBackendKind::kBlas, "blas", true},
+#else
+      {KernelBackendKind::kBlas, "blas", false},
+#endif
+  };
+  return registry;
+}
+
+const KernelBackendInfo* FindKernelBackendByName(const char* name) {
+  if (name == nullptr) return nullptr;
+  for (const KernelBackendInfo& info : ListKernelBackends()) {
+    if (std::strcmp(info.name, name) == 0) return &info;
+  }
+  return nullptr;
+}
 
 const KernelBackend& GetKernelBackend(KernelBackendKind kind) {
   switch (kind) {
@@ -274,6 +325,16 @@ const KernelBackend& GetKernelBackend(KernelBackendKind kind) {
       return SharedReferenceBackend();
     case KernelBackendKind::kOptimized:
       return SharedOptimizedBackend();
+    case KernelBackendKind::kBlas:
+#ifdef GRANITE_WITH_BLAS
+      return SharedBlasBackend();
+#else
+      GRANITE_CHECK_MSG(false,
+                        "the BLAS kernel backend is not compiled into this "
+                        "build; configure with -DGRANITE_WITH_BLAS=ON "
+                        "(valid backends: "
+                            << AvailableBackendNames() << ")");
+#endif
   }
   GRANITE_CHECK_MSG(false, "unknown kernel backend kind");
   return SharedReferenceBackend();

@@ -6,19 +6,27 @@
  * Every heavy loop of the ML stack — the autodiff tape's forward ops and
  * backward accumulations, the tensor_ops free functions, the MLP/LSTM
  * layers and the graph-network aggregations — routes through a
- * KernelBackend. Two implementations ship:
+ * KernelBackend. Three implementations ship:
  *
  *  - ReferenceBackend: the original straightforward loops, kept as the
  *    correctness oracle for the equivalence test suite.
  *  - OptimizedBackend: cache-blocked, transpose-aware MatMul micro-kernels
  *    with vectorizable inner loops, fused AXPY/scale/bias kernels, and
- *    optional large-op parallelization across a base::ThreadPool.
+ *    optional large-op parallelization (MatMul row shards, gather/
+ *    scatter/LayerNorm) across a base::ThreadPool.
+ *  - BlasBackend (only when built with -DGRANITE_WITH_BLAS=ON): the
+ *    MatMul family routed through cblas sgemm, every other op falling
+ *    back to the optimized kernels. ListKernelBackends() reports
+ *    whether it was compiled in.
  *
  * Backend selection is plumbed through TrainerConfig::kernel_backend and
  * GraniteConfig::kernel_backend; the process-wide default is the
  * optimized backend and can be overridden programmatically
  * (SetDefaultKernelBackend) or via the GRANITE_KERNEL_BACKEND environment
- * variable ("reference" / "optimized").
+ * variable ("reference" / "optimized" / "blas"). Naming a backend that
+ * is unknown or not compiled in is a fatal configuration error (the
+ * process aborts with the list of valid names) rather than a silent
+ * fallback.
  *
  * Interface convention: `*Into` methods overwrite their output, `*Acc` /
  * `Accumulate*` methods add into it. Outputs must be preallocated with
@@ -42,7 +50,32 @@ enum class KernelBackendKind {
   kReference,
   /** Blocked/SIMD kernels; the fast path. */
   kOptimized,
+  /** cblas sgemm for the MatMul family, optimized kernels for the rest.
+   * Requesting it in a build without GRANITE_WITH_BLAS is a fatal
+   * configuration error; see ListKernelBackends(). */
+  kBlas,
 };
+
+/** One row of the backend registry: a selectable backend and whether
+ * this build can actually construct it. */
+struct KernelBackendInfo {
+  KernelBackendKind kind;
+  /** The stable name used by GRANITE_KERNEL_BACKEND and --backend=. */
+  const char* name;
+  /** False when the backend was not compiled in (BLAS without
+   * -DGRANITE_WITH_BLAS=ON); selecting it then is a fatal error. */
+  bool available;
+};
+
+/** Every selectable backend (kDefault excluded), in registry order,
+ * including compiled-out ones with `available == false`. */
+const std::vector<KernelBackendInfo>& ListKernelBackends();
+
+/**
+ * The registry row whose name matches, or nullptr for unknown names.
+ * Matches compiled-out backends too (check `available`).
+ */
+const KernelBackendInfo* FindKernelBackendByName(const char* name);
 
 /** Element-wise unary transforms executed by a backend. */
 enum class UnaryOp { kRelu, kSigmoid, kTanh, kAbs, kSquare, kHuber };
@@ -257,7 +290,9 @@ class KernelBackend {
 
 /**
  * Returns the shared (pool-free, thread-safe) backend of `kind`;
- * kDefault resolves through DefaultKernelBackend().
+ * kDefault resolves through DefaultKernelBackend(). Requesting a
+ * backend that is not compiled in (kBlas without GRANITE_WITH_BLAS)
+ * aborts with a clear error.
  */
 const KernelBackend& GetKernelBackend(KernelBackendKind kind);
 
@@ -265,8 +300,9 @@ const KernelBackend& GetKernelBackend(KernelBackendKind kind);
  * The process-wide default backend used by default-constructed tapes and
  * the tensor_ops free functions. Resolution order: a backend installed
  * via SetDefaultKernelBackend, else the GRANITE_KERNEL_BACKEND
- * environment variable ("reference" or "optimized", read once), else the
- * optimized backend.
+ * environment variable ("reference" / "optimized" / "blas", read once;
+ * unknown or compiled-out names abort with the list of valid values),
+ * else the optimized backend.
  */
 const KernelBackend& DefaultKernelBackend();
 

@@ -1,11 +1,13 @@
 /**
  * @file
- * End-to-end backend invariance: the GRANITE model must produce the same
- * forward values, the same parameter gradients, and (to floating-point
- * reassociation tolerance) the same training trajectory whether its math
- * runs on the reference or the optimized kernel backend.
+ * End-to-end backend invariance, parameterized over every kernel backend
+ * this build registered (optimized always; blas when compiled in): the
+ * GRANITE model must produce the same forward values, the same parameter
+ * gradients, and (to floating-point reassociation tolerance) the same
+ * training trajectory on each backend as on the reference backend.
  */
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "core/granite_model.h"
@@ -92,12 +94,34 @@ std::pair<std::vector<float>, std::vector<float>> ForwardBackwardTrace(
   return trace;
 }
 
-TEST(BackendInvarianceTest, ForwardAndGradientsMatchAcrossBackends) {
+/** Every registered backend this build can construct, minus the
+ * reference oracle the parameterized tests compare against. */
+std::vector<ml::KernelBackendKind> KindsUnderTest() {
+  std::vector<ml::KernelBackendKind> kinds;
+  for (const ml::KernelBackendInfo& info : ml::ListKernelBackends()) {
+    if (info.available && info.kind != ml::KernelBackendKind::kReference) {
+      kinds.push_back(info.kind);
+    }
+  }
+  return kinds;
+}
+
+std::string KindName(
+    const ::testing::TestParamInfo<ml::KernelBackendKind>& info) {
+  for (const ml::KernelBackendInfo& row : ml::ListKernelBackends()) {
+    if (row.kind == info.param) return row.name;
+  }
+  return "unknown";
+}
+
+class BackendInvarianceTest
+    : public ::testing::TestWithParam<ml::KernelBackendKind> {};
+
+TEST_P(BackendInvarianceTest, ForwardAndGradientsMatchReference) {
   const dataset::Dataset data = TinyDataset(12);
   const auto [ref_forward, ref_grads] =
       ForwardBackwardTrace(ml::KernelBackendKind::kReference, data);
-  const auto [opt_forward, opt_grads] =
-      ForwardBackwardTrace(ml::KernelBackendKind::kOptimized, data);
+  const auto [opt_forward, opt_grads] = ForwardBackwardTrace(GetParam(), data);
 
   ASSERT_EQ(ref_forward.size(), opt_forward.size());
   for (std::size_t i = 0; i < ref_forward.size(); ++i) {
@@ -128,14 +152,14 @@ std::pair<double, std::vector<double>> TrainOnBackend(
   return {result.final_train_loss, trainer.Predict(test, 0)};
 }
 
-TEST(BackendInvarianceTest, TrainingIsBackendInvariant) {
+TEST_P(BackendInvarianceTest, TrainingIsBackendInvariant) {
   const dataset::Dataset train = TinyDataset(24, 11);
   const dataset::Dataset test = TinyDataset(8, 13);
   const int steps = 30;
   const auto [ref_loss, ref_predictions] =
       TrainOnBackend(ml::KernelBackendKind::kReference, train, test, steps);
   const auto [opt_loss, opt_predictions] =
-      TrainOnBackend(ml::KernelBackendKind::kOptimized, train, test, steps);
+      TrainOnBackend(GetParam(), train, test, steps);
 
   // Identical seeds + identical batch sequence: the two runs may diverge
   // only through floating-point reassociation inside the kernels. Over a
@@ -151,18 +175,19 @@ TEST(BackendInvarianceTest, TrainingIsBackendInvariant) {
   }
 }
 
-TEST(BackendInvarianceTest, TrainerResolvesConfiguredBackend) {
+TEST_P(BackendInvarianceTest, TrainerResolvesConfiguredBackend) {
   const dataset::Dataset train = TinyDataset(8);
   graph::Vocabulary vocabulary = graph::Vocabulary::CreateDefault();
-  core::GraniteModel model(
-      &vocabulary, TinyGraniteConfig(ml::KernelBackendKind::kReference));
-  train::Trainer trainer(
-      GraniteForward(model), &model.parameters(),
-      FastConfig(2, ml::KernelBackendKind::kReference));
-  // Smoke: a reference-backend trainer trains and predicts.
+  core::GraniteModel model(&vocabulary, TinyGraniteConfig(GetParam()));
+  train::Trainer trainer(GraniteForward(model), &model.parameters(),
+                         FastConfig(2, GetParam()));
+  // Smoke: a trainer configured for this backend trains and predicts.
   trainer.Train(train, dataset::Dataset());
   EXPECT_EQ(trainer.Predict(train, 0).size(), train.size());
 }
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendInvarianceTest,
+                         ::testing::ValuesIn(KindsUnderTest()), KindName);
 
 }  // namespace
 }  // namespace granite

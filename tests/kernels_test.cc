@@ -1,16 +1,20 @@
 /**
  * @file
- * Kernel-backend equivalence suite: every KernelBackend operation is run
- * through the reference and the optimized backend on the same inputs —
- * including odd, prime, and micro-kernel-aligned shapes that exercise
- * every remainder path of the blocked kernels — and the results must
- * agree to tight tolerance. Also gradient-checks the new fused tape ops
- * (Linear, ConcatGathered) against central finite differences under both
- * backends, and verifies backend selection plumbing (default, env-free
- * explicit kinds, tape routing).
+ * Kernel-backend equivalence suite, parameterized over EVERY backend the
+ * build registered (optimized always; blas when compiled in): each
+ * KernelBackend operation is run through the reference oracle and the
+ * backend under test on the same inputs — including odd, prime, and
+ * micro-kernel-aligned shapes that exercise every remainder path of the
+ * blocked kernels — and the results must agree to tight tolerance. Pool
+ * sharding of the matmul and graph kernels is checked for bit-identity
+ * against the serial paths. Also gradient-checks the fused tape ops
+ * (Linear, ConcatGathered) against central finite differences under
+ * every backend, and verifies backend selection plumbing (default,
+ * env-free explicit kinds, registry enumeration, tape routing).
  */
 #include <cmath>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "base/rng.h"
@@ -69,19 +73,45 @@ const MatMulShape kMatMulShapes[] = {
     {67, 263, 33}, {3, 1, 47},
 };
 
-class KernelEquivalenceTest : public ::testing::Test {
+/** Every registered backend this build can construct. */
+std::vector<KernelBackendKind> AvailableKinds() {
+  std::vector<KernelBackendKind> kinds;
+  for (const KernelBackendInfo& info : ListKernelBackends()) {
+    if (info.available) kinds.push_back(info.kind);
+  }
+  return kinds;
+}
+
+/** AvailableKinds() minus the oracle itself. */
+std::vector<KernelBackendKind> KindsUnderTest() {
+  std::vector<KernelBackendKind> kinds;
+  for (const KernelBackendKind kind : AvailableKinds()) {
+    if (kind != KernelBackendKind::kReference) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+std::string KindName(
+    const ::testing::TestParamInfo<KernelBackendKind>& info) {
+  for (const KernelBackendInfo& row : ListKernelBackends()) {
+    if (row.kind == info.param) return row.name;
+  }
+  return "unknown";
+}
+
+class KernelEquivalenceTest
+    : public ::testing::TestWithParam<KernelBackendKind> {
  protected:
   const KernelBackend& reference() {
     return GetKernelBackend(KernelBackendKind::kReference);
   }
-  const KernelBackend& optimized() {
-    return GetKernelBackend(KernelBackendKind::kOptimized);
-  }
+  /** The backend under test, compared against the reference oracle. */
+  const KernelBackend& backend() { return GetKernelBackend(GetParam()); }
 
   Rng rng_{20260731};
 };
 
-TEST_F(KernelEquivalenceTest, MatMulAcc) {
+TEST_P(KernelEquivalenceTest, MatMulAcc) {
   for (const MatMulShape& shape : kMatMulShapes) {
     const Tensor a = RandomTensor(shape.m, shape.k, rng_);
     const Tensor b = RandomTensor(shape.k, shape.n, rng_);
@@ -91,12 +121,12 @@ TEST_F(KernelEquivalenceTest, MatMulAcc) {
     Tensor ref = seed;
     Tensor opt = seed;
     reference().MatMulAcc(a, b, ref);
-    optimized().MatMulAcc(a, b, opt);
+    backend().MatMulAcc(a, b, opt);
     ExpectAllClose(ref, opt, 1e-4f, "MatMulAcc");
   }
 }
 
-TEST_F(KernelEquivalenceTest, MatMulTransposeAAcc) {
+TEST_P(KernelEquivalenceTest, MatMulTransposeAAcc) {
   for (const MatMulShape& shape : kMatMulShapes) {
     const Tensor a = RandomTensor(shape.k, shape.m, rng_);
     const Tensor b = RandomTensor(shape.k, shape.n, rng_);
@@ -104,12 +134,12 @@ TEST_F(KernelEquivalenceTest, MatMulTransposeAAcc) {
     Tensor ref = seed;
     Tensor opt = seed;
     reference().MatMulTransposeAAcc(a, b, ref);
-    optimized().MatMulTransposeAAcc(a, b, opt);
+    backend().MatMulTransposeAAcc(a, b, opt);
     ExpectAllClose(ref, opt, 1e-4f, "MatMulTransposeAAcc");
   }
 }
 
-TEST_F(KernelEquivalenceTest, MatMulTransposeBAcc) {
+TEST_P(KernelEquivalenceTest, MatMulTransposeBAcc) {
   for (const MatMulShape& shape : kMatMulShapes) {
     const Tensor a = RandomTensor(shape.m, shape.k, rng_);
     const Tensor b = RandomTensor(shape.n, shape.k, rng_);
@@ -117,12 +147,12 @@ TEST_F(KernelEquivalenceTest, MatMulTransposeBAcc) {
     Tensor ref = seed;
     Tensor opt = seed;
     reference().MatMulTransposeBAcc(a, b, ref);
-    optimized().MatMulTransposeBAcc(a, b, opt);
+    backend().MatMulTransposeBAcc(a, b, opt);
     ExpectAllClose(ref, opt, 1e-4f, "MatMulTransposeBAcc");
   }
 }
 
-TEST_F(KernelEquivalenceTest, LinearBias) {
+TEST_P(KernelEquivalenceTest, LinearBias) {
   for (const MatMulShape& shape : kMatMulShapes) {
     const Tensor a = RandomTensor(shape.m, shape.k, rng_);
     const Tensor w = RandomTensor(shape.k, shape.n, rng_);
@@ -130,12 +160,12 @@ TEST_F(KernelEquivalenceTest, LinearBias) {
     Tensor ref(shape.m, shape.n);
     Tensor opt(shape.m, shape.n);
     reference().LinearBias(a, w, bias, ref);
-    optimized().LinearBias(a, w, bias, opt);
+    backend().LinearBias(a, w, bias, opt);
     ExpectAllClose(ref, opt, 1e-4f, "LinearBias");
   }
 }
 
-TEST_F(KernelEquivalenceTest, PooledMatMulMatchesSequential) {
+TEST_P(KernelEquivalenceTest, PooledMatMulMatchesSequential) {
   // The pool-attached optimized backend shards big products over rows;
   // the result must match the shared sequential instance.
   base::ThreadPool pool(4);
@@ -158,7 +188,7 @@ TEST_F(KernelEquivalenceTest, PooledMatMulMatchesSequential) {
   }
 }
 
-TEST_F(KernelEquivalenceTest, ElementwiseOps) {
+TEST_P(KernelEquivalenceTest, ElementwiseOps) {
   const int rows = 13;
   const int cols = 37;
   const Tensor a = RandomTensor(rows, cols, rng_);
@@ -169,43 +199,43 @@ TEST_F(KernelEquivalenceTest, ElementwiseOps) {
     Tensor ref(rows, cols);
     Tensor opt(rows, cols);
     reference().BinaryPointwise(op, a, b, ref);
-    optimized().BinaryPointwise(op, a, b, opt);
+    backend().BinaryPointwise(op, a, b, opt);
     ExpectAllClose(ref, opt, 1e-6f, "BinaryPointwise");
   }
 
   Tensor ref(rows, cols);
   Tensor opt(rows, cols);
   reference().ScaleInto(a, 2.5f, ref);
-  optimized().ScaleInto(a, 2.5f, opt);
+  backend().ScaleInto(a, 2.5f, opt);
   ExpectAllClose(ref, opt, 1e-6f, "ScaleInto");
 
   reference().AddScalarInto(a, -1.25f, ref);
-  optimized().AddScalarInto(a, -1.25f, opt);
+  backend().AddScalarInto(a, -1.25f, opt);
   ExpectAllClose(ref, opt, 1e-6f, "AddScalarInto");
 
   const Tensor acc_seed = RandomTensor(rows, cols, rng_);
   Tensor ref_acc = acc_seed;
   Tensor opt_acc = acc_seed;
   reference().AccumulateAdd(a, ref_acc);
-  optimized().AccumulateAdd(a, opt_acc);
+  backend().AccumulateAdd(a, opt_acc);
   ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateAdd");
 
   reference().AccumulateScaled(a, -0.75f, ref_acc);
-  optimized().AccumulateScaled(a, -0.75f, opt_acc);
+  backend().AccumulateScaled(a, -0.75f, opt_acc);
   ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateScaled");
 
   reference().AccumulateMul(a, b, ref_acc);
-  optimized().AccumulateMul(a, b, opt_acc);
+  backend().AccumulateMul(a, b, opt_acc);
   ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateMul");
 
   reference().AccumulateConstant(0.125f, ref_acc);
-  optimized().AccumulateConstant(0.125f, opt_acc);
+  backend().AccumulateConstant(0.125f, opt_acc);
   ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateConstant");
 
-  EXPECT_NEAR(reference().SumAll(a), optimized().SumAll(a), 1e-4);
+  EXPECT_NEAR(reference().SumAll(a), backend().SumAll(a), 1e-4);
 }
 
-TEST_F(KernelEquivalenceTest, UnaryOpsForwardAndGrad) {
+TEST_P(KernelEquivalenceTest, UnaryOpsForwardAndGrad) {
   const int rows = 7;
   const int cols = 53;
   const Tensor input = RandomTensor(rows, cols, rng_, -2.0f, 2.0f);
@@ -217,7 +247,7 @@ TEST_F(KernelEquivalenceTest, UnaryOpsForwardAndGrad) {
     Tensor ref(rows, cols);
     Tensor opt(rows, cols);
     reference().UnaryForward(op, input, ref, param);
-    optimized().UnaryForward(op, input, opt, param);
+    backend().UnaryForward(op, input, opt, param);
     ExpectAllClose(ref, opt, 1e-6f, "UnaryForward");
 
     const Tensor grad_seed = RandomTensor(rows, cols, rng_);
@@ -225,13 +255,13 @@ TEST_F(KernelEquivalenceTest, UnaryOpsForwardAndGrad) {
     Tensor opt_grad = grad_seed;
     reference().AccumulateUnaryGrad(op, input, ref, out_grad, ref_grad,
                                     param);
-    optimized().AccumulateUnaryGrad(op, input, opt, out_grad, opt_grad,
+    backend().AccumulateUnaryGrad(op, input, opt, out_grad, opt_grad,
                                     param);
     ExpectAllClose(ref_grad, opt_grad, 1e-6f, "AccumulateUnaryGrad");
   }
 }
 
-TEST_F(KernelEquivalenceTest, BroadcastAndReductionOps) {
+TEST_P(KernelEquivalenceTest, BroadcastAndReductionOps) {
   const int rows = 29;
   const int cols = 31;
   const Tensor a = RandomTensor(rows, cols, rng_);
@@ -241,25 +271,25 @@ TEST_F(KernelEquivalenceTest, BroadcastAndReductionOps) {
   Tensor ref(rows, cols);
   Tensor opt(rows, cols);
   reference().AddRowBroadcastInto(a, bias, ref);
-  optimized().AddRowBroadcastInto(a, bias, opt);
+  backend().AddRowBroadcastInto(a, bias, opt);
   ExpectAllClose(ref, opt, 1e-6f, "AddRowBroadcastInto");
 
   const Tensor sums_seed = RandomTensor(1, cols, rng_);
   Tensor ref_sums = sums_seed;
   Tensor opt_sums = sums_seed;
   reference().AccumulateColumnSums(a, ref_sums);
-  optimized().AccumulateColumnSums(a, opt_sums);
+  backend().AccumulateColumnSums(a, opt_sums);
   ExpectAllClose(ref_sums, opt_sums, 1e-5f, "AccumulateColumnSums");
 
   reference().MulColumnBroadcastInto(a, column, ref);
-  optimized().MulColumnBroadcastInto(a, column, opt);
+  backend().MulColumnBroadcastInto(a, column, opt);
   ExpectAllClose(ref, opt, 1e-6f, "MulColumnBroadcastInto");
 
   const Tensor acc_seed = RandomTensor(rows, cols, rng_);
   Tensor ref_acc = acc_seed;
   Tensor opt_acc = acc_seed;
   reference().AccumulateMulColumnBroadcast(a, column, ref_acc);
-  optimized().AccumulateMulColumnBroadcast(a, column, opt_acc);
+  backend().AccumulateMulColumnBroadcast(a, column, opt_acc);
   ExpectAllClose(ref_acc, opt_acc, 1e-6f, "AccumulateMulColumnBroadcast");
 
   const Tensor dots_seed = RandomTensor(rows, 1, rng_);
@@ -267,11 +297,11 @@ TEST_F(KernelEquivalenceTest, BroadcastAndReductionOps) {
   Tensor opt_dots = dots_seed;
   const Tensor b = RandomTensor(rows, cols, rng_);
   reference().AccumulateRowDots(a, b, ref_dots);
-  optimized().AccumulateRowDots(a, b, opt_dots);
+  backend().AccumulateRowDots(a, b, opt_dots);
   ExpectAllClose(ref_dots, opt_dots, 1e-5f, "AccumulateRowDots");
 }
 
-TEST_F(KernelEquivalenceTest, GatherScatterConcatOps) {
+TEST_P(KernelEquivalenceTest, GatherScatterConcatOps) {
   const int table_rows = 23;
   const int cols = 19;
   const int gathered = 41;
@@ -284,7 +314,7 @@ TEST_F(KernelEquivalenceTest, GatherScatterConcatOps) {
   Tensor ref_out = out_seed;
   Tensor opt_out = out_seed;
   reference().GatherRowsAcc(table, indices, ref_out, offset);
-  optimized().GatherRowsAcc(table, indices, opt_out, offset);
+  backend().GatherRowsAcc(table, indices, opt_out, offset);
   ExpectAllClose(ref_out, opt_out, 1e-6f, "GatherRowsAcc");
 
   // Scatter-add from a column block back into the table shape.
@@ -293,7 +323,7 @@ TEST_F(KernelEquivalenceTest, GatherScatterConcatOps) {
   Tensor ref_table = table_seed;
   Tensor opt_table = table_seed;
   reference().ScatterAddRows(rows, indices, ref_table, offset);
-  optimized().ScatterAddRows(rows, indices, opt_table, offset);
+  backend().ScatterAddRows(rows, indices, opt_table, offset);
   ExpectAllClose(ref_table, opt_table, 1e-5f, "ScatterAddRows");
 
   // Column-block accumulate.
@@ -301,11 +331,11 @@ TEST_F(KernelEquivalenceTest, GatherScatterConcatOps) {
   Tensor ref_dest = out_seed;
   Tensor opt_dest = out_seed;
   reference().AccumulateColumnBlock(src, 3, ref_dest, 5, cols);
-  optimized().AccumulateColumnBlock(src, 3, opt_dest, 5, cols);
+  backend().AccumulateColumnBlock(src, 3, opt_dest, 5, cols);
   ExpectAllClose(ref_dest, opt_dest, 1e-6f, "AccumulateColumnBlock");
 }
 
-TEST_F(KernelEquivalenceTest, LayerNorm) {
+TEST_P(KernelEquivalenceTest, LayerNorm) {
   const int rows = 17;
   const int cols = 43;
   const Tensor x = RandomTensor(rows, cols, rng_, -3.0f, 3.0f);
@@ -318,7 +348,7 @@ TEST_F(KernelEquivalenceTest, LayerNorm) {
   std::vector<float> ref_inv(rows), opt_inv(rows);
   reference().LayerNormForward(x, gain, bias, epsilon, ref_out, ref_norm,
                                ref_inv);
-  optimized().LayerNormForward(x, gain, bias, epsilon, opt_out, opt_norm,
+  backend().LayerNormForward(x, gain, bias, epsilon, opt_out, opt_norm,
                                opt_inv);
   ExpectAllClose(ref_out, opt_out, 1e-5f, "LayerNormForward");
 
@@ -328,11 +358,140 @@ TEST_F(KernelEquivalenceTest, LayerNorm) {
   Tensor ref_dbias(1, cols), opt_dbias(1, cols);
   reference().LayerNormBackward(out_grad, gain, ref_norm, ref_inv, &ref_dx,
                                 &ref_dgain, &ref_dbias);
-  optimized().LayerNormBackward(out_grad, gain, opt_norm, opt_inv, &opt_dx,
+  backend().LayerNormBackward(out_grad, gain, opt_norm, opt_inv, &opt_dx,
                                 &opt_dgain, &opt_dbias);
   ExpectAllClose(ref_dx, opt_dx, 1e-5f, "LayerNormBackward dx");
   ExpectAllClose(ref_dgain, opt_dgain, 1e-5f, "LayerNormBackward dgain");
   ExpectAllClose(ref_dbias, opt_dbias, 1e-5f, "LayerNormBackward dbias");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, KernelEquivalenceTest,
+                         ::testing::ValuesIn(KindsUnderTest()), KindName);
+
+// ---- Pool-sharded graph kernels ------------------------------------------
+
+class PooledGraphKernelTest : public ::testing::Test {
+ protected:
+  PooledGraphKernelTest()
+      // parallel_element_threshold=1 forces the sharded paths even on the
+      // small tensors used here.
+      : pooled_(&pool_, OptimizedBackend::kDefaultParallelFlopThreshold,
+                /*parallel_element_threshold=*/1) {}
+
+  /** Exact equality: the sharded paths promise bit-identical results. */
+  void ExpectBitIdentical(const Tensor& a, const Tensor& b,
+                          const std::string& label) {
+    ASSERT_EQ(a.rows(), b.rows()) << label;
+    ASSERT_EQ(a.cols(), b.cols()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a.data()[i], b.data()[i])
+          << label << " element " << i << " of " << a.size();
+    }
+  }
+
+  base::ThreadPool pool_{4};
+  const OptimizedBackend serial_;
+  const OptimizedBackend pooled_;
+  Rng rng_{20260808};
+};
+
+TEST_F(PooledGraphKernelTest, GatherRowsAccBitIdentical) {
+  const Tensor table = RandomTensor(37, 13, rng_);
+  const std::vector<int> indices = RandomIndices(101, 37, rng_);
+  const Tensor seed = RandomTensor(101, 13 + 5, rng_);
+  Tensor serial_out = seed;
+  Tensor pooled_out = seed;
+  serial_.GatherRowsAcc(table, indices, serial_out, /*out_col_offset=*/5);
+  pooled_.GatherRowsAcc(table, indices, pooled_out, /*out_col_offset=*/5);
+  ExpectBitIdentical(serial_out, pooled_out, "pooled GatherRowsAcc");
+}
+
+TEST_F(PooledGraphKernelTest, ScatterAddRowsBitIdentical) {
+  // Repeated indices make the accumulation order observable: the colored
+  // partition must still apply updates per destination row in ascending
+  // source order.
+  const Tensor rows = RandomTensor(97, 11 + 3, rng_);
+  const std::vector<int> indices = RandomIndices(97, 17, rng_);
+  const Tensor seed = RandomTensor(17, 11, rng_);
+  Tensor serial_table = seed;
+  Tensor pooled_table = seed;
+  serial_.ScatterAddRows(rows, indices, serial_table, /*rows_col_offset=*/3);
+  pooled_.ScatterAddRows(rows, indices, pooled_table, /*rows_col_offset=*/3);
+  ExpectBitIdentical(serial_table, pooled_table, "pooled ScatterAddRows");
+}
+
+TEST_F(PooledGraphKernelTest, LayerNormForwardBitIdentical) {
+  const int rows = 53;
+  const int cols = 29;
+  const Tensor x = RandomTensor(rows, cols, rng_, -3.0f, 3.0f);
+  const Tensor gain = RandomTensor(1, cols, rng_, 0.5f, 1.5f);
+  const Tensor bias = RandomTensor(1, cols, rng_);
+  Tensor serial_out(rows, cols), serial_norm(rows, cols);
+  Tensor pooled_out(rows, cols), pooled_norm(rows, cols);
+  std::vector<float> serial_inv(rows), pooled_inv(rows);
+  serial_.LayerNormForward(x, gain, bias, 1e-5f, serial_out, serial_norm,
+                           serial_inv);
+  pooled_.LayerNormForward(x, gain, bias, 1e-5f, pooled_out, pooled_norm,
+                           pooled_inv);
+  ExpectBitIdentical(serial_out, pooled_out, "pooled LayerNormForward out");
+  ExpectBitIdentical(serial_norm, pooled_norm,
+                     "pooled LayerNormForward normalized");
+  for (int r = 0; r < rows; ++r) {
+    ASSERT_EQ(serial_inv[r], pooled_inv[r]) << "inv_stddev row " << r;
+  }
+}
+
+TEST_F(PooledGraphKernelTest, LayerNormBackwardMatchesSerial) {
+  // dx is bit-identical (rows-parallel); the gain/bias reductions use
+  // per-shard partials, so they only promise closeness to the serial sum.
+  const int rows = 47;
+  const int cols = 31;
+  const Tensor x = RandomTensor(rows, cols, rng_, -3.0f, 3.0f);
+  const Tensor gain = RandomTensor(1, cols, rng_, 0.5f, 1.5f);
+  const Tensor bias = RandomTensor(1, cols, rng_);
+  Tensor out(rows, cols), norm(rows, cols);
+  std::vector<float> inv(rows);
+  serial_.LayerNormForward(x, gain, bias, 1e-5f, out, norm, inv);
+
+  const Tensor out_grad = RandomTensor(rows, cols, rng_);
+  Tensor serial_dx(rows, cols), pooled_dx(rows, cols);
+  Tensor serial_dgain(1, cols), pooled_dgain(1, cols);
+  Tensor serial_dbias(1, cols), pooled_dbias(1, cols);
+  serial_.LayerNormBackward(out_grad, gain, norm, inv, &serial_dx,
+                            &serial_dgain, &serial_dbias);
+  pooled_.LayerNormBackward(out_grad, gain, norm, inv, &pooled_dx,
+                            &pooled_dgain, &pooled_dbias);
+  ExpectBitIdentical(serial_dx, pooled_dx, "pooled LayerNormBackward dx");
+  ExpectAllClose(serial_dgain, pooled_dgain, 1e-5f,
+                 "pooled LayerNormBackward dgain");
+  ExpectAllClose(serial_dbias, pooled_dbias, 1e-5f,
+                 "pooled LayerNormBackward dbias");
+}
+
+TEST_F(PooledGraphKernelTest, RepeatedRunsAreDeterministic) {
+  // The sharded reductions fix their combination order, so re-running the
+  // same backward pass must reproduce every bit, including dgain/dbias.
+  const int rows = 41;
+  const int cols = 23;
+  const Tensor x = RandomTensor(rows, cols, rng_, -3.0f, 3.0f);
+  const Tensor gain = RandomTensor(1, cols, rng_, 0.5f, 1.5f);
+  const Tensor bias = RandomTensor(1, cols, rng_);
+  Tensor out(rows, cols), norm(rows, cols);
+  std::vector<float> inv(rows);
+  pooled_.LayerNormForward(x, gain, bias, 1e-5f, out, norm, inv);
+  const Tensor out_grad = RandomTensor(rows, cols, rng_);
+
+  Tensor first_dx(rows, cols), first_dgain(1, cols), first_dbias(1, cols);
+  pooled_.LayerNormBackward(out_grad, gain, norm, inv, &first_dx,
+                            &first_dgain, &first_dbias);
+  for (int run = 0; run < 3; ++run) {
+    Tensor dx(rows, cols), dgain(1, cols), dbias(1, cols);
+    pooled_.LayerNormBackward(out_grad, gain, norm, inv, &dx, &dgain,
+                              &dbias);
+    ExpectBitIdentical(first_dx, dx, "rerun dx");
+    ExpectBitIdentical(first_dgain, dgain, "rerun dgain");
+    ExpectBitIdentical(first_dbias, dbias, "rerun dbias");
+  }
 }
 
 // ---- Gradient checks for the new fused tape ops --------------------------
@@ -450,8 +609,7 @@ TEST_P(FusedOpGradTest, ConcatGatheredMatchesGatherPlusConcat) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, FusedOpGradTest,
-                         ::testing::Values(KernelBackendKind::kReference,
-                                           KernelBackendKind::kOptimized));
+                         ::testing::ValuesIn(AvailableKinds()), KindName);
 
 // ---- Selection plumbing --------------------------------------------------
 
@@ -485,6 +643,42 @@ TEST(KernelBackendSelectionTest, ExplicitTapeBackendWins) {
       GetKernelBackend(KernelBackendKind::kReference);
   Tape tape(&reference);
   EXPECT_EQ(&tape.backend(), &reference);
+}
+
+TEST(KernelBackendRegistryTest, ListsEverySelectableBackend) {
+  const std::vector<KernelBackendInfo>& registry = ListKernelBackends();
+  ASSERT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry[0].kind, KernelBackendKind::kReference);
+  EXPECT_STREQ(registry[0].name, "reference");
+  EXPECT_TRUE(registry[0].available);
+  EXPECT_EQ(registry[1].kind, KernelBackendKind::kOptimized);
+  EXPECT_STREQ(registry[1].name, "optimized");
+  EXPECT_TRUE(registry[1].available);
+  // The BLAS row is always listed so tools can say "not compiled in";
+  // availability tracks the build option.
+  EXPECT_EQ(registry[2].kind, KernelBackendKind::kBlas);
+  EXPECT_STREQ(registry[2].name, "blas");
+#ifdef GRANITE_WITH_BLAS
+  EXPECT_TRUE(registry[2].available);
+#else
+  EXPECT_FALSE(registry[2].available);
+#endif
+}
+
+TEST(KernelBackendRegistryTest, FindByNameMatchesRegistryRows) {
+  for (const KernelBackendInfo& info : ListKernelBackends()) {
+    const KernelBackendInfo* found = FindKernelBackendByName(info.name);
+    ASSERT_NE(found, nullptr) << info.name;
+    EXPECT_EQ(found->kind, info.kind);
+  }
+  EXPECT_EQ(FindKernelBackendByName("turbo"), nullptr);
+}
+
+TEST(KernelBackendRegistryTest, AvailableKindsConstructAndReportTheirName) {
+  for (const KernelBackendInfo& info : ListKernelBackends()) {
+    if (!info.available) continue;
+    EXPECT_STREQ(GetKernelBackend(info.kind).name(), info.name);
+  }
 }
 
 }  // namespace

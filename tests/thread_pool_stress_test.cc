@@ -44,9 +44,109 @@ TEST(ThreadPoolStressTest, ReentrantSubmitDuringParallelFor) {
     ++visited;
     pool.Submit([&extra] { ++extra; });
   });
-  // ParallelFor joins through Wait(), which drains the reentrant tasks.
+  // ParallelFor joins only its own shards; the Submit()ed tasks belong
+  // to the ambient window and are drained by Wait().
   EXPECT_EQ(visited.load(), 32);
+  pool.Wait();
   EXPECT_EQ(extra.load(), 32);
+}
+
+TEST(ThreadPoolStressTest, NestedRunShardsInsideTaskDoesNotDeadlock) {
+  // The composition the work-stealing rewrite exists for: a task already
+  // running on the pool (a trainer shard, a serving batch) forks its own
+  // inner RunShards — kernel-level row sharding — on the same pool.
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(0, 8, [&](std::size_t outer) {
+    pool.RunShards(0, 64, [&](int, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        sum += static_cast<long>(outer * 64 + i);
+      }
+    });
+  });
+  EXPECT_EQ(sum.load(), 8L * 64 * (8 * 64 - 1) / 2);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentMultiCallerForkJoins) {
+  // Many external threads fork-join on ONE pool at once; every call must
+  // see exactly its own indices, every time.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &failures, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<long> sum{0};
+        const std::size_t n = 16 + static_cast<std::size_t>(c);
+        pool.ParallelFor(0, n, [&sum](std::size_t i) {
+          sum += static_cast<long>(i);
+        });
+        const long expected = static_cast<long>(n * (n - 1) / 2);
+        if (sum.load() != expected) ++failures;
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentRunShardsKeepExceptionsSeparate) {
+  // Two concurrent join windows: the throwing caller's RunShards must
+  // rethrow, and the clean caller's concurrent windows must never
+  // observe the foreign exception.
+  ThreadPool pool(4);
+  constexpr int kRounds = 100;
+  std::atomic<int> clean_throws{0};
+  std::atomic<int> dirty_throws{0};
+  std::thread dirty([&pool, &dirty_throws] {
+    for (int round = 0; round < kRounds; ++round) {
+      try {
+        pool.RunShards(0, 8, [](int shard, std::size_t, std::size_t) {
+          if (shard == 1) throw std::runtime_error("dirty shard");
+        });
+      } catch (const std::runtime_error&) {
+        ++dirty_throws;
+      }
+    }
+  });
+  std::thread clean([&pool, &clean_throws] {
+    for (int round = 0; round < kRounds; ++round) {
+      try {
+        std::atomic<int> count{0};
+        pool.ParallelFor(0, 8, [&count](std::size_t) { ++count; });
+      } catch (...) {
+        ++clean_throws;
+      }
+    }
+  });
+  dirty.join();
+  clean.join();
+  EXPECT_EQ(dirty_throws.load(), kRounds);
+  EXPECT_EQ(clean_throws.load(), 0);
+}
+
+TEST(ThreadPoolStressTest, StolenShardExceptionPropagatesToItsCaller) {
+  // Force the throwing shard onto a *stolen* execution path: the caller
+  // shard blocks until another thread has run the thrower, so the
+  // exception provably crossed a steal before the join rethrows it.
+  ThreadPool pool(4);
+  std::atomic<bool> thrown{false};
+  EXPECT_THROW(
+      pool.RunShards(0, 4,
+                     [&](int shard, std::size_t, std::size_t) {
+                       if (shard == 0) {
+                         while (!thrown.load()) std::this_thread::yield();
+                         return;
+                       }
+                       if (shard == 3) {
+                         thrown.store(true);
+                         throw std::runtime_error("stolen");
+                       }
+                     }),
+      std::runtime_error);
 }
 
 TEST(ThreadPoolStressTest, WorkerExceptionPropagatesToWait) {

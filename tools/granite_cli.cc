@@ -64,6 +64,7 @@
 #include "dataset/dataset.h"
 #include "ithemal/ithemal_model.h"
 #include "ithemal/tokenizer.h"
+#include "ml/kernels/kernel_backend.h"
 #include "model/checkpoint.h"
 #include "serve/model_router.h"
 #include "train/runners.h"
@@ -203,7 +204,10 @@ void PrintUsage() {
       "           ithemal_plus, --dataset-file=PATH (else a corpus is\n"
       "           synthesized from --blocks=N), --steps=N, --tasks=1..3,\n"
       "           --embedding=N, --mp-iterations=N, --batch-size=N,\n"
-      "           --seed=N, --target-scale=S, --verbose=1\n"
+      "           --seed=N, --target-scale=S, --verbose=1,\n"
+      "           --backend=reference|optimized|blas|list (kernel\n"
+      "           backend; also on eval/predict/serve; 'list' prints\n"
+      "           the registry incl. compiled-in status and exits)\n"
       "  eval     evaluate a bundle per task on a held-out corpus\n"
       "           --model-file=PATH (required), --dataset-file=PATH\n"
       "           (else synthesized from --blocks=N), --seed=N,\n"
@@ -214,7 +218,8 @@ void PrintUsage() {
       "  serve    serve bundles behind a multi-model router\n"
       "           --model-file=[NAME=]PATH (repeatable, required),\n"
       "           --requests=N, --shards=N (alias --workers=N),\n"
-      "           --batch-size=N, --window-us=N, --cache=N,\n"
+      "           --workers-per-shard=N (draining threads per shard,\n"
+      "           default 1), --batch-size=N, --window-us=N, --cache=N,\n"
       "           --blocks=N, --seed=N,\n"
       "           --admission=fifo|priority (overload shedding order),\n"
       "           --split=NAME=A:B:WEIGHT (weighted A/B split route),\n"
@@ -235,6 +240,49 @@ void PrintUsage() {
       "           records: --file=PATH (required), --verify=1 for a\n"
       "           full checksum pass\n"
       "  help     this text\n");
+}
+
+/**
+ * Applies --backend=NAME by installing the named kernel backend as the
+ * process-wide default before any model is constructed. --backend=list
+ * prints the registry (including backends this build left out) and
+ * exits 0. Unknown or compiled-out names exit 2 with the valid set.
+ */
+void ApplyBackendFlag(const Flags& flags) {
+  if (!flags.Has("backend")) return;
+  const std::string name = flags.GetString("backend", "");
+  if (name == "list") {
+    for (const granite::ml::KernelBackendInfo& info :
+         granite::ml::ListKernelBackends()) {
+      std::printf("%-12s %s\n", info.name,
+                  info.available
+                      ? "available"
+                      : "not compiled in (build with -DGRANITE_WITH_BLAS=ON)");
+    }
+    std::exit(0);
+  }
+  const granite::ml::KernelBackendInfo* info =
+      granite::ml::FindKernelBackendByName(name.c_str());
+  if (info == nullptr || !info->available) {
+    std::string valid;
+    for (const granite::ml::KernelBackendInfo& candidate :
+         granite::ml::ListKernelBackends()) {
+      if (!candidate.available) continue;
+      if (!valid.empty()) valid += ", ";
+      valid += candidate.name;
+    }
+    std::fprintf(stderr,
+                 "granite_cli: --backend='%s' is %s (valid: %s; "
+                 "--backend=list shows every backend)\n",
+                 name.c_str(),
+                 info == nullptr ? "unknown" : "not compiled into this build",
+                 valid.c_str());
+    std::exit(2);
+  }
+  granite::ml::SetDefaultKernelBackend(
+      &granite::ml::GetKernelBackend(info->kind));
+  std::printf("kernel backend: %s\n",
+              granite::ml::DefaultKernelBackend().name());
 }
 
 /** Task head i is supervised by Microarchitecture(i). */
@@ -347,7 +395,8 @@ granite::train::TrainerConfig EvalConfig(const ThroughputPredictor& model,
 int RunTrain(const Flags& flags) {
   flags.RequireKnown({"out", "model", "blocks", "dataset-file", "steps",
                       "tasks", "embedding", "mp-iterations", "batch-size",
-                      "seed", "target-scale", "verbose"});
+                      "seed", "target-scale", "verbose", "backend"});
+  ApplyBackendFlag(flags);
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "granite_cli train: --out=PATH is required\n");
@@ -476,8 +525,9 @@ int RunTrain(const Flags& flags) {
 }
 
 int RunEval(const Flags& flags) {
-  flags.RequireKnown(
-      {"model-file", "blocks", "dataset-file", "seed", "target-scale"});
+  flags.RequireKnown({"model-file", "blocks", "dataset-file", "seed",
+                      "target-scale", "backend"});
+  ApplyBackendFlag(flags);
   const std::string path = flags.GetString("model-file", "");
   if (path.empty()) {
     std::fprintf(stderr,
@@ -516,7 +566,8 @@ int RunEval(const Flags& flags) {
 }
 
 int RunPredict(const Flags& flags) {
-  flags.RequireKnown({"model-file", "asm", "target-scale"});
+  flags.RequireKnown({"model-file", "asm", "target-scale", "backend"});
+  ApplyBackendFlag(flags);
   const std::string path = flags.GetString("model-file", "");
   if (path.empty()) {
     std::fprintf(stderr,
@@ -559,9 +610,10 @@ int RunPredict(const Flags& flags) {
 
 int RunServe(const Flags& flags) {
   flags.RequireKnown({"model-file", "requests", "blocks", "seed",
-                      "workers", "shards", "batch-size", "window-us",
-                      "cache", "admission", "shadow", "shadow-samples",
-                      "promote", "split"});
+                      "workers", "shards", "workers-per-shard", "batch-size",
+                      "window-us", "cache", "admission", "shadow",
+                      "shadow-samples", "promote", "split", "backend"});
+  ApplyBackendFlag(flags);
   if (flags.model_files.empty()) {
     std::fprintf(stderr,
                  "granite_cli serve: at least one --model-file=[NAME=]PATH "
@@ -579,6 +631,8 @@ int RunServe(const Flags& flags) {
   // name for the knob, --workers the legacy alias.
   server_config.num_workers = static_cast<int>(flags.GetCount(
       "shards", flags.GetCount("workers", 2, 1, 256), 1, 256));
+  server_config.workers_per_shard =
+      static_cast<int>(flags.GetCount("workers-per-shard", 1, 1, 64));
   server_config.max_batch_size =
       static_cast<int>(flags.GetCount("batch-size", 16, 1, 100000));
   server_config.batch_window =
