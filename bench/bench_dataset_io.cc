@@ -10,6 +10,11 @@
  *   3. random access — StreamingCorpusSource under a shard-hopping
  *      access pattern with a small LRU window: blocks/sec and the
  *      shard reload count (the cost of sampling-style access).
+ *   4. CSV import — the `granite_cli dataset import` path: blocks/sec
+ *      over a synthesized CSV, plus the reject rate of the checked-in
+ *      BHive sample CSV (--import-csv=PATH, default
+ *      ../tests/data/bhive_sample.csv) as an ISA-coverage canary —
+ *      a parser regression shows up as a rising reject_ppm.
  *
  * Peak RSS (VmHWM) is reported on Linux as a bounded-memory sanity
  * check: it must track the shard window, not the corpus size.
@@ -25,10 +30,14 @@
 #include <string>
 #include <vector>
 
+#include <cstring>
+#include <fstream>
+
 #include "base/resource_usage.h"
 #include "bench_common.h"
 #include "dataset/block_source.h"
 #include "dataset/corpus_io.h"
+#include "dataset/importer.h"
 
 namespace granite::bench {
 namespace {
@@ -132,6 +141,72 @@ void Run(int argc, char** argv) {
                  static_cast<double>(source.shard_loads()));
   }
 
+  // Phase 4a: CSV import throughput over a synthesized CSV (every row
+  // goes through the parser + semantics classification + CorpusWriter).
+  const std::string csv_path = path + ".csv";
+  const std::string imported_path = path + ".imported.gbc";
+  {
+    {
+      const dataset::StreamingCorpusSource source(path);
+      std::ofstream csv(csv_path, std::ios::trunc);
+      for (std::size_t i = 0; i < source.size(); ++i) {
+        const dataset::SampleView view = source.Get(i);
+        std::string block = view.block->ToString();
+        for (char& c : block) {
+          if (c == '\n') c = ';';
+        }
+        while (!block.empty() && block.back() == ';') block.pop_back();
+        csv << '"' << block << "\"," << (*view.throughput)[0] << "\n";
+      }
+    }
+    const Clock::time_point start = Clock::now();
+    dataset::ImportOptions options;
+    options.tool = dataset::SynthesisConfig{}.tool;
+    options.records_per_shard = records_per_shard;
+    const dataset::ImportStats stats =
+        dataset::ImportBhiveCsv(csv_path, imported_path, options);
+    const double seconds = SecondsSince(start);
+    const double blocks_per_sec =
+        static_cast<double>(stats.imported) / seconds;
+    std::printf("csv import:       %8.0f blocks/s  (%llu rows, "
+                "%llu rejected, %.2f s)\n",
+                blocks_per_sec,
+                static_cast<unsigned long long>(stats.rows),
+                static_cast<unsigned long long>(stats.rejected()),
+                seconds);
+    RecordMetric("dataset_io.import.blocks_per_sec", blocks_per_sec);
+    RecordMetric("dataset_io.import.reject_ppm",
+                 static_cast<double>(stats.rejected_ppm()));
+  }
+
+  // Phase 4b: reject rate of the checked-in sample CSV — the
+  // ISA-coverage canary compare_bench.py tracks across commits.
+  {
+    std::string sample_csv = "../tests/data/bhive_sample.csv";
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--import-csv=", 13) == 0) {
+        sample_csv = argv[i] + 13;
+      }
+    }
+    std::error_code probe;
+    if (std::filesystem::exists(sample_csv, probe)) {
+      const dataset::ImportStats stats =
+          dataset::ImportBhiveCsv(sample_csv, imported_path);
+      std::printf("sample import:    %6.2f%% unparseable  (%llu / %llu "
+                  "rows rejected, %s)\n",
+                  100.0 * stats.reject_rate(),
+                  static_cast<unsigned long long>(stats.rejected()),
+                  static_cast<unsigned long long>(stats.rows),
+                  sample_csv.c_str());
+      RecordMetric("dataset_io.import.sample_reject_ppm",
+                   static_cast<double>(stats.rejected_ppm()));
+    } else {
+      std::printf("sample import:    skipped (%s not found; pass "
+                  "--import-csv=PATH)\n",
+                  sample_csv.c_str());
+    }
+  }
+
   const double rss = base::PeakRssMb();
   if (rss > 0.0) {
     std::printf("peak RSS:         %8.1f MB (bounded by the shard "
@@ -142,6 +217,8 @@ void Run(int argc, char** argv) {
 
   std::error_code ignored;
   std::filesystem::remove(path, ignored);
+  std::filesystem::remove(csv_path, ignored);
+  std::filesystem::remove(imported_path, ignored);
   WriteMetricsJson();
 }
 

@@ -28,8 +28,14 @@ int WidthFromKeyword(std::string_view keyword) {
   return 0;
 }
 
-/** Splits a string on commas that are not inside brackets. */
-std::vector<std::string_view> SplitOperands(std::string_view text) {
+/**
+ * Splits a string on commas that are not inside brackets. Unbalanced
+ * brackets are an error: letting the depth counter go negative (e.g. on
+ * "0], [0") would silently merge text across the stray bracket and
+ * produce a bogus operand instead of a diagnostic.
+ */
+ParseResult<std::vector<std::string_view>> SplitOperands(
+    std::string_view text) {
   std::vector<std::string_view> operands;
   int depth = 0;
   std::size_t start = 0;
@@ -42,10 +48,17 @@ std::vector<std::string_view> SplitOperands(std::string_view text) {
     } else if (text[i] == '[') {
       ++depth;
     } else if (text[i] == ']') {
+      if (depth == 0) {
+        return {std::nullopt,
+                "unbalanced brackets in: " + std::string(text)};
+      }
       --depth;
     }
   }
-  return operands;
+  if (depth != 0) {
+    return {std::nullopt, "unbalanced brackets in: " + std::string(text)};
+  }
+  return {std::move(operands), ""};
 }
 
 /** Parses the bracketed address expression (without the brackets). */
@@ -173,12 +186,18 @@ ParseResult<Operand> ParseOperand(std::string_view text) {
     const int width = WidthFromKeyword(first_word);
     if (width != 0) {
       std::string_view rest = StripWhitespace(text.substr(first_space));
-      const std::size_t ptr_space = rest.find_first_of(" \t");
-      if (ptr_space == std::string_view::npos ||
-          !EqualsIgnoreCase(rest.substr(0, ptr_space), "PTR")) {
+      // llvm-mc and objdump Intel syntax emit both "QWORD PTR [RAX]" and
+      // "QWORD PTR[RAX]"; accept PTR followed by whitespace, '[', or a
+      // segment override, but keep rejecting other trailing characters
+      // ("PTRX") as typos.
+      const bool has_ptr =
+          rest.size() >= 3 && EqualsIgnoreCase(rest.substr(0, 3), "PTR") &&
+          (rest.size() == 3 || rest[3] == '[' ||
+           std::isspace(static_cast<unsigned char>(rest[3])));
+      if (!has_ptr) {
         return {std::nullopt, "expected PTR after width keyword"};
       }
-      rest = StripWhitespace(rest.substr(ptr_space));
+      rest = StripWhitespace(rest.substr(3));
       return ParseMemoryOperand(rest, width);
     }
   }
@@ -207,17 +226,24 @@ ParseResult<Instruction> ParseInstruction(std::string_view line) {
   std::string_view text = StripWhitespace(line);
   if (text.empty()) return {std::nullopt, "empty instruction"};
 
-  // Tolerate "3:"-style line labels from pretty-printed listings.
+  // Tolerate "3:"-style line labels and "40100a:"-style hex address
+  // labels from objdump listings (optionally 0x-prefixed). Segment
+  // overrides are unaffected: every segment register name contains 'S',
+  // which is not a hex digit.
   const std::size_t colon = text.find(':');
   if (colon != std::string_view::npos) {
-    bool all_digits = colon > 0;
-    for (std::size_t i = 0; i < colon; ++i) {
-      if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
-        all_digits = false;
+    std::string_view label = text.substr(0, colon);
+    if (StartsWith(label, "0x") || StartsWith(label, "0X")) {
+      label = label.substr(2);
+    }
+    bool is_address_label = !label.empty();
+    for (char c : label) {
+      if (!std::isxdigit(static_cast<unsigned char>(c))) {
+        is_address_label = false;
         break;
       }
     }
-    if (all_digits) text = StripWhitespace(text.substr(colon + 1));
+    if (is_address_label) text = StripWhitespace(text.substr(colon + 1));
   }
 
   Instruction instruction;
@@ -242,7 +268,10 @@ ParseResult<Instruction> ParseInstruction(std::string_view line) {
     break;
   }
 
-  for (std::string_view operand_text : SplitOperands(text)) {
+  const ParseResult<std::vector<std::string_view>> operands =
+      SplitOperands(text);
+  if (!operands.ok()) return {std::nullopt, operands.error};
+  for (std::string_view operand_text : *operands.value) {
     ParseResult<Operand> operand = ParseOperand(operand_text);
     if (!operand.ok()) return {std::nullopt, operand.error};
     instruction.operands.push_back(*operand.value);

@@ -77,8 +77,13 @@ class CatalogBuilder {
   void AddConditionFamily(const std::string& stem, Category category,
                           std::vector<std::vector<Usage>> usage,
                           bool reads_flags, bool writes_flags) {
-    static const char* kConditions[] = {"E",  "NE", "L",  "LE", "G",  "GE",
-                                        "A",  "AE", "B",  "BE", "S",  "NS"};
+    // Includes the alias spellings real disassemblers emit for the same
+    // condition codes (SETNZ == SETNE, CMOVC == CMOVB, SETPE == SETP, ...)
+    // so objdump/llvm-mc output is not dropped as unknown mnemonics.
+    static const char* kConditions[] = {
+        "E",  "NE",  "L",  "LE",  "G",  "GE",  "A",  "AE", "B",  "BE",
+        "S",  "NS",  "Z",  "NZ",  "C",  "NC",  "O",  "NO", "P",  "NP",
+        "PE", "PO",  "NA", "NAE", "NB", "NBE", "NG", "NGE", "NL", "NLE"};
     for (const char* condition : kConditions) {
       InstructionSemantics& entry =
           Add(stem + condition, category, usage);

@@ -49,7 +49,7 @@ std::string EncodeHeader(const CorpusHeader& header) {
   AppendScalar<std::uint32_t>(bytes,
                               static_cast<std::uint32_t>(header.tool));
   AppendScalar<std::uint32_t>(bytes, header.num_labels);
-  AppendScalar<std::uint32_t>(bytes, 0);  // reserved
+  AppendScalar<std::uint32_t>(bytes, header.import_rejected_ppm);
   AppendScalar<std::uint64_t>(bytes, header.generator_seed);
   AppendScalar<std::uint64_t>(bytes, header.num_blocks);
   AppendScalar<std::uint64_t>(bytes, header.records_per_shard);
@@ -90,8 +90,11 @@ CorpusHeader DecodeHeader(const std::string& bytes,
         std::to_string(uarch::kNumMicroarchitectures) +
         " microarchitectures): " + path);
   }
-  if (ScalarAt<std::uint32_t>(bytes, 20) != 0) {
-    throw CorpusError("corrupt corpus (nonzero reserved field): " + path);
+  header.import_rejected_ppm = ScalarAt<std::uint32_t>(bytes, 20);
+  if (header.import_rejected_ppm > 1000000) {
+    throw CorpusError("corrupt corpus (import rejected rate " +
+                      std::to_string(header.import_rejected_ppm) +
+                      " ppm exceeds one million): " + path);
   }
   header.generator_seed = ScalarAt<std::uint64_t>(bytes, 24);
   header.num_blocks = ScalarAt<std::uint64_t>(bytes, 32);
@@ -321,6 +324,14 @@ CorpusWriter::CorpusWriter(const std::string& path,
 
 CorpusWriter::~CorpusWriter() = default;
 
+void CorpusWriter::set_import_rejected_ppm(std::uint32_t ppm) {
+  if (ppm > 1000000) {
+    throw CorpusError("import rejected rate " + std::to_string(ppm) +
+                      " ppm exceeds one million: " + path_);
+  }
+  import_rejected_ppm_ = ppm;
+}
+
 void CorpusWriter::Append(const Sample& sample) {
   if (finished_) {
     throw CorpusError("append after Finish: " + path_);
@@ -370,6 +381,7 @@ void CorpusWriter::Finish() {
   CorpusHeader header;
   header.tool = tool_;
   header.generator_seed = generator_seed_;
+  header.import_rejected_ppm = import_rejected_ppm_;
   header.num_blocks = blocks_written_;
   header.records_per_shard = records_per_shard_;
   header.num_shards = shards_written_;

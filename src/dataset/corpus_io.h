@@ -15,7 +15,9 @@
  *   u32 format version (kCorpusFormatVersion)
  *   u32 measurement tool (uarch::MeasurementTool value)
  *   u32 label count per record (uarch::kNumMicroarchitectures at write)
- *   u32 reserved (zero)
+ *   u32 import rejected rate, parts per million (provenance; 0 for
+ *       synthesized corpora — this field was reserved-zero before the
+ *       importer existed, so old files read back as "no rejects")
  *   u64 generator seed (provenance metadata; 0 when unknown)
  *   u64 block count
  *   u64 records per shard
@@ -74,6 +76,10 @@ struct CorpusHeader {
   std::uint32_t num_labels = uarch::kNumMicroarchitectures;
   /** Provenance: the synthesis seed, 0 when unknown/not synthesized. */
   std::uint64_t generator_seed = 0;
+  /** Provenance: unparseable-block rate of the import that produced this
+   * corpus, in rejected rows per million CSV data rows (0..1000000).
+   * Always 0 for synthesized corpora. */
+  std::uint32_t import_rejected_ppm = 0;
   std::uint64_t num_blocks = 0;
   std::uint64_t records_per_shard = kDefaultRecordsPerShard;
   std::uint64_t num_shards = 0;
@@ -110,6 +116,12 @@ class CorpusWriter {
    * CorpusError on IO failure. Must be called exactly once. */
   void Finish();
 
+  /** Records the importer's unparseable-block rate (rejected rows per
+   * million CSV data rows) as provenance; back-patched into the header by
+   * Finish(), so call before it. Throws CorpusError when `ppm` exceeds
+   * one million. */
+  void set_import_rejected_ppm(std::uint32_t ppm);
+
   std::uint64_t blocks_written() const { return blocks_written_; }
 
  private:
@@ -120,6 +132,7 @@ class CorpusWriter {
   std::uint64_t records_per_shard_;
   uarch::MeasurementTool tool_;
   std::uint64_t generator_seed_;
+  std::uint32_t import_rejected_ppm_ = 0;
   std::uint64_t blocks_written_ = 0;
   std::uint64_t shards_written_ = 0;
   std::uint64_t shard_records_ = 0;

@@ -5,17 +5,30 @@
  * a crash — and accepted instructions must round-trip through the graph
  * builder when the catalog supports them.
  */
+#include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "gtest/gtest.h"
 #include "asm/parser.h"
 #include "asm/semantics.h"
 #include "base/rng.h"
+#include "base/string_util.h"
 #include "dataset/generator.h"
 #include "graph/graph_builder.h"
 
 namespace granite::assembly {
 namespace {
+
+std::string ReplaceAll(std::string text, const std::string& from,
+                       const std::string& to) {
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
 
 class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
@@ -76,6 +89,33 @@ TEST_P(ParserFuzzTest, MutatedValidInstructionsNeverCrash) {
         EXPECT_GE(graph.num_nodes(), 0);
       }
     }
+  }
+}
+
+TEST_P(ParserFuzzTest, RealWorldSyntaxVariantsRoundTrip) {
+  // Re-spell generated blocks the way objdump/llvm-mc print them — hex
+  // instruction-address labels on every line, no space between PTR and
+  // '[' — and require the variant to parse back to the canonical block.
+  dataset::GeneratorConfig config;
+  dataset::BlockGenerator generator(config, GetParam() + 777);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const std::string canonical = generator.Generate().ToString();
+    std::string variant;
+    std::uint64_t address = 0x40100a;
+    for (const std::string_view line : Split(canonical, '\n')) {
+      if (StripWhitespace(line).empty()) continue;
+      char label[32];
+      std::snprintf(label, sizeof(label), "%llx: ",
+                    static_cast<unsigned long long>(address));
+      variant += label;
+      variant += ReplaceAll(std::string(line), "PTR [", "PTR[");
+      variant += '\n';
+      address += 4;
+    }
+    const auto reparsed = ParseBasicBlock(variant);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error << "\nvariant:\n"
+                               << variant;
+    EXPECT_EQ(reparsed.value->ToString(), canonical);
   }
 }
 

@@ -108,6 +108,24 @@ TEST(ParseOperandTest, RejectsGarbage) {
   EXPECT_FALSE(ParseOperand("").ok());
 }
 
+TEST(ParseOperandTest, PtrWithoutSpaceBeforeBracket) {
+  // llvm-mc/objdump Intel syntax legally omits the space after PTR.
+  const auto tight = ParseOperand("QWORD PTR[RAX]");
+  ASSERT_TRUE(tight.ok()) << tight.error;
+  EXPECT_EQ(tight.value->kind(), OperandKind::kMemory);
+  EXPECT_EQ(tight.value->width_bits(), 64);
+  EXPECT_EQ(RegisterName(tight.value->mem().base), "RAX");
+
+  const auto displaced = ParseOperand("DWORD PTR[RBP - 4]");
+  ASSERT_TRUE(displaced.ok()) << displaced.error;
+  EXPECT_EQ(displaced.value->width_bits(), 32);
+  EXPECT_EQ(displaced.value->mem().displacement, -4);
+
+  // Typos after PTR are still typos.
+  EXPECT_FALSE(ParseOperand("QWORD PTRX [RAX]").ok());
+  EXPECT_FALSE(ParseOperand("QWORD PTRFS:[0x28]").ok());
+}
+
 TEST(ParseInstructionTest, TwoOperands) {
   const auto result = ParseInstruction("SBB EAX, EAX");
   ASSERT_TRUE(result.ok()) << result.error;
@@ -140,6 +158,44 @@ TEST(ParseInstructionTest, LineLabelIsIgnored) {
   const auto result = ParseInstruction("4: MOV DWORD PTR [RBP - 3], EAX");
   ASSERT_TRUE(result.ok()) << result.error;
   EXPECT_EQ(result.value->mnemonic, "MOV");
+}
+
+TEST(ParseInstructionTest, HexAddressLabelIsIgnored) {
+  // objdump listing lines carry hex instruction addresses as labels.
+  const auto plain = ParseInstruction("40100a: mov rax, rbx");
+  ASSERT_TRUE(plain.ok()) << plain.error;
+  EXPECT_EQ(plain.value->mnemonic, "MOV");
+
+  const auto prefixed = ParseInstruction("0x40100a: add rax, 8");
+  ASSERT_TRUE(prefixed.ok()) << prefixed.error;
+  EXPECT_EQ(prefixed.value->mnemonic, "ADD");
+
+  const auto letters = ParseInstruction("DEAD: INC RAX");
+  ASSERT_TRUE(letters.ok()) << letters.error;
+  EXPECT_EQ(letters.value->mnemonic, "INC");
+}
+
+TEST(ParseInstructionTest, SegmentOverrideColonIsNotALabel) {
+  const auto result = ParseInstruction("MOV RAX, QWORD PTR FS:[0x28]");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value->mnemonic, "MOV");
+  ASSERT_EQ(result.value->operands.size(), 2u);
+  EXPECT_EQ(RegisterName(result.value->operands[1].mem().segment), "FS");
+  // A non-hex word before ':' is not an address label either.
+  EXPECT_FALSE(ParseInstruction("LOOP: INC RAX").ok());
+}
+
+TEST(ParseInstructionTest, UnbalancedBracketsAreAnError) {
+  // A stray ']' must produce a diagnostic instead of silently merging
+  // text across the bracket into a bogus operand.
+  const auto stray = ParseInstruction("MOV RAX, 0], [0");
+  ASSERT_FALSE(stray.ok());
+  EXPECT_NE(stray.error.find("unbalanced"), std::string::npos)
+      << stray.error;
+  const auto unclosed = ParseInstruction("ADD RAX, [RBX");
+  ASSERT_FALSE(unclosed.ok());
+  EXPECT_NE(unclosed.error.find("unbalanced"), std::string::npos)
+      << unclosed.error;
 }
 
 TEST(ParseInstructionTest, RejectsPrefixWithoutMnemonic) {

@@ -61,6 +61,31 @@ TEST(SemanticsCatalogTest, CmovReadsFlagsWithoutWriting) {
   }
 }
 
+TEST(SemanticsCatalogTest, ConditionFamilyAliasesMatchCanonicalEntry) {
+  // Real disassemblers emit alias spellings of the same condition codes
+  // (SETNZ == SETNE, CMOVC == CMOVB, ...); every family member must be
+  // present and resolve to the canonical member's category and usage.
+  static const char* kConditions[] = {
+      "E",  "NE",  "L",  "LE",  "G",  "GE",  "A",  "AE", "B",  "BE",
+      "S",  "NS",  "Z",  "NZ",  "C",  "NC",  "O",  "NO", "P",  "NP",
+      "PE", "PO",  "NA", "NAE", "NB", "NBE", "NG", "NGE", "NL", "NLE"};
+  for (const char* stem : {"CMOV", "SET"}) {
+    const InstructionSemantics& canonical =
+        Sem((std::string(stem) + "E").c_str());
+    for (const char* condition : kConditions) {
+      const std::string mnemonic = std::string(stem) + condition;
+      const InstructionSemantics* entry =
+          SemanticsCatalog::Get().Find(mnemonic);
+      ASSERT_NE(entry, nullptr) << mnemonic;
+      EXPECT_EQ(entry->category, canonical.category) << mnemonic;
+      EXPECT_EQ(entry->usage_by_arity, canonical.usage_by_arity)
+          << mnemonic;
+      EXPECT_EQ(entry->reads_flags, canonical.reads_flags) << mnemonic;
+      EXPECT_EQ(entry->writes_flags, canonical.writes_flags) << mnemonic;
+    }
+  }
+}
+
 TEST(SemanticsCatalogTest, MulUsesAccumulator) {
   const InstructionSemantics& mul = Sem("MUL");
   ASSERT_EQ(mul.implicit_reads.size(), 1u);

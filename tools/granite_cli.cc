@@ -62,6 +62,7 @@
 #include "dataset/block_source.h"
 #include "dataset/corpus_io.h"
 #include "dataset/dataset.h"
+#include "dataset/importer.h"
 #include "ithemal/ithemal_model.h"
 #include "ithemal/tokenizer.h"
 #include "ml/kernels/kernel_backend.h"
@@ -236,6 +237,13 @@ void PrintUsage() {
       "           --out=PATH (required), --blocks=N (up to 100M),\n"
       "           --seed=N, --tool=ithemal|bhive, --max-instructions=N,\n"
       "           --shard-size=N, --verbose=1\n"
+      "    dataset import      convert a BHive-style measured CSV\n"
+      "           (block,throughput[,tool] rows) into a checksummed\n"
+      "           corpus: --csv=PATH --out=PATH (required),\n"
+      "           --tool=ithemal|bhive (default bhive),\n"
+      "           --throughput-scale=S, --shard-size=N,\n"
+      "           --disasm-file=PATH (sidecar for raw-hex rows),\n"
+      "           --rejects-out=PATH, --max-reject-samples=N\n"
       "    dataset inspect     print corpus header/stats without loading\n"
       "           records: --file=PATH (required), --verify=1 for a\n"
       "           full checksum pass\n"
@@ -945,6 +953,89 @@ int RunDatasetSynthesize(const Flags& flags) {
   return 0;
 }
 
+int RunDatasetImport(const Flags& flags) {
+  flags.RequireKnown({"csv", "out", "tool", "throughput-scale",
+                      "shard-size", "disasm-file", "rejects-out",
+                      "max-reject-samples"});
+  const std::string csv = flags.GetString("csv", "");
+  const std::string out = flags.GetString("out", "");
+  if (csv.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "granite_cli dataset import: --csv=PATH and --out=PATH "
+                 "are required\n");
+    return 2;
+  }
+  const std::string tool_name = flags.GetString("tool", "bhive");
+  granite::dataset::ImportOptions options;
+  if (tool_name == "ithemal") {
+    options.tool = granite::uarch::MeasurementTool::kIthemalTool;
+  } else if (tool_name == "bhive") {
+    options.tool = granite::uarch::MeasurementTool::kBHiveTool;
+  } else {
+    std::fprintf(stderr,
+                 "granite_cli dataset import: unknown --tool '%s' "
+                 "(ithemal, bhive)\n",
+                 tool_name.c_str());
+    return 2;
+  }
+  options.throughput_scale =
+      flags.GetPositiveDouble("throughput-scale", 1.0);
+  options.records_per_shard = static_cast<std::uint64_t>(flags.GetCount(
+      "shard-size",
+      static_cast<long>(granite::dataset::kDefaultRecordsPerShard), 1,
+      1 << 24));
+  options.disasm_file = flags.GetString("disasm-file", "");
+  options.rejects_path = flags.GetString("rejects-out", "");
+  options.max_reject_samples = static_cast<std::size_t>(
+      flags.GetCount("max-reject-samples", 100, 0, 100000000));
+
+  granite::dataset::ImportStats stats;
+  try {
+    stats = granite::dataset::ImportBhiveCsv(csv, out, options);
+  } catch (const granite::dataset::ImportError& error) {
+    std::fprintf(stderr, "granite_cli: %s\n", error.what());
+    return 1;
+  }
+
+  std::printf("imported %llu / %llu rows from %s\n",
+              static_cast<unsigned long long>(stats.imported),
+              static_cast<unsigned long long>(stats.rows), csv.c_str());
+  std::printf("unparseable rate: %.4f%% (%llu rejected rows)\n",
+              100.0 * stats.reject_rate(),
+              static_cast<unsigned long long>(stats.rejected()));
+  for (int reason = 0; reason < granite::dataset::kNumImportRejectReasons;
+       ++reason) {
+    if (stats.rejected_by_reason[reason] == 0) continue;
+    std::printf(
+        "  %-18s %llu\n",
+        std::string(granite::dataset::ImportRejectReasonName(
+                        static_cast<granite::dataset::ImportRejectReason>(
+                            reason)))
+            .c_str(),
+        static_cast<unsigned long long>(stats.rejected_by_reason[reason]));
+  }
+  if (!options.rejects_path.empty() && stats.rejected() > 0) {
+    std::printf("rejected rows sampled into %s\n",
+                options.rejects_path.c_str());
+  }
+  if (stats.imported == 0) {
+    std::fprintf(stderr,
+                 "granite_cli dataset import: every row was rejected; no "
+                 "usable corpus\n");
+    return 1;
+  }
+  const granite::dataset::CorpusHeader header =
+      granite::dataset::ReadCorpusHeader(out);
+  std::printf("wrote corpus %s: %llu blocks in %llu shards of %llu "
+              "(tool %s)\n",
+              out.c_str(),
+              static_cast<unsigned long long>(header.num_blocks),
+              static_cast<unsigned long long>(header.num_shards),
+              static_cast<unsigned long long>(header.records_per_shard),
+              tool_name.c_str());
+  return 0;
+}
+
 int RunDatasetInspect(const Flags& flags) {
   flags.RequireKnown({"file", "verify"});
   const std::string path = flags.GetString("file", "");
@@ -974,6 +1065,8 @@ int RunDatasetInspect(const Flags& flags) {
   std::printf("  labels per record: %u\n", header.num_labels);
   std::printf("  generator seed:    %llu\n",
               static_cast<unsigned long long>(header.generator_seed));
+  std::printf("  unparseable rate:  %.4f%% (%u ppm rejected at import)\n",
+              header.import_rejected_ppm / 1e4, header.import_rejected_ppm);
   std::printf("  blocks:            %llu\n",
               static_cast<unsigned long long>(header.num_blocks));
   std::printf("  records per shard: %llu\n",
@@ -987,7 +1080,7 @@ int RunDataset(int argc, char** argv) {
   if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
     std::fprintf(stderr,
                  "granite_cli dataset: expected a subcommand "
-                 "(synthesize, inspect)\n");
+                 "(synthesize, import, inspect)\n");
     return 2;
   }
   const std::string subcommand = argv[2];
@@ -997,10 +1090,11 @@ int RunDataset(int argc, char** argv) {
     return 0;
   }
   if (subcommand == "synthesize") return RunDatasetSynthesize(flags);
+  if (subcommand == "import") return RunDatasetImport(flags);
   if (subcommand == "inspect") return RunDatasetInspect(flags);
   std::fprintf(stderr,
                "granite_cli dataset: unknown subcommand '%s' "
-               "(synthesize, inspect)\n",
+               "(synthesize, import, inspect)\n",
                subcommand.c_str());
   return 2;
 }
