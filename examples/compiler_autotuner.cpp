@@ -4,13 +4,17 @@
  * estimators guide optimization passes because hardware measurements are
  * too slow).
  *
- * The tool considers several semantically equivalent instruction
- * selections for three code-generation decisions — multiply-by-5,
- * register zeroing, and a memory-increment idiom — and ranks them per
- * microarchitecture with (a) the analytical port model and (b) a trained
- * GRANITE model, then reports whether the learned model agrees with the
- * oracle's choice. This is exactly how a cost model is consumed by an
- * instruction-selection or peephole pass.
+ * Earlier revisions ranked hand-written spelling variants; this version
+ * drives the real subsystem (src/autotune): naive spellings of three
+ * code-generation idioms — multiply-by-5, register zeroing, and a
+ * memory-increment — are handed to autotune::BlockOptimizer, whose beam
+ * search rewrites them with the semantics-preserving transform catalog
+ * and scores candidates with (a) the analytical port model and (b) a
+ * freshly trained GRANITE model served through an InferenceServer. The
+ * report shows what each cost model's search chose and whether the
+ * learned model's pick survives the oracle's judgment. This is exactly
+ * how a cost model is consumed by a peephole/selection pass, with the
+ * search loop included.
  *
  * Run time: around a minute (includes training a small model).
  */
@@ -19,47 +23,65 @@
 #include <vector>
 
 #include "asm/parser.h"
+#include "autotune/search.h"
+#include "autotune/transforms.h"
 #include "dataset/dataset.h"
+#include "serve/inference_server.h"
 #include "train/runners.h"
 #include "uarch/throughput_model.h"
 
 namespace {
 
-struct Variant {
+struct Scenario {
   std::string name;
-  std::string assembly;
+  /** Deliberately naive spelling a -O0-ish code generator might emit. */
+  std::string naive;
 };
 
-struct Decision {
-  std::string name;
-  std::vector<Variant> variants;
-};
-
-const std::vector<Decision>& Decisions() {
-  static const std::vector<Decision>* const decisions =
-      new std::vector<Decision>{
-          {"multiply RAX by 5",
-           {
-               {"imul", "IMUL RAX, RAX, 5"},
-               {"lea", "LEA RAX, [RAX + 4*RAX]"},
-               {"shift+add", "MOV RBX, RAX\nSHL RAX, 2\nADD RAX, RBX"},
-           }},
-          {"zero EAX",
-           {
-               {"mov0", "MOV EAX, 0"},
-               {"xor", "XOR EAX, EAX"},
-               {"sub", "SUB EAX, EAX"},
-           }},
+const std::vector<Scenario>& Scenarios() {
+  static const std::vector<Scenario>* const scenarios =
+      new std::vector<Scenario>{
+          {"multiply RAX by 5, then consume",
+           "IMUL RAX, RAX, 5\nADD RAX, RBX"},
+          {"zero EAX between independent adds",
+           "MOV EAX, 0\nADD RCX, RDX\nADD RSI, RDI"},
           {"increment a counter in memory",
-           {
-               {"rmw-add", "ADD QWORD PTR [RDI], 1"},
-               {"load-add-store",
-                "MOV RAX, QWORD PTR [RDI]\nADD RAX, 1\n"
-                "MOV QWORD PTR [RDI], RAX"},
-               {"inc", "INC QWORD PTR [RDI]"},
-           }},
+           "MOV RAX, QWORD PTR [RDI]\nADD RAX, 1\n"
+           "MOV QWORD PTR [RDI], RAX"},
       };
-  return *decisions;
+  return *scenarios;
+}
+
+std::string OneLine(const granite::assembly::BasicBlock& block) {
+  std::string joined;
+  for (const auto& instruction : block.instructions) {
+    if (!joined.empty()) joined += "; ";
+    joined += instruction.ToString();
+  }
+  return joined;
+}
+
+void PrintResult(const char* backend,
+                 const granite::autotune::OptimizeResult& result,
+                 const granite::uarch::ThroughputModel& oracle) {
+  std::printf("  %-10s:", backend);
+  if (!result.scored) {
+    std::printf(" scoring failed\n");
+    return;
+  }
+  if (!result.improved) {
+    std::printf(" kept the original (%.2f cycles)\n", result.original_cost);
+    return;
+  }
+  std::string rules;
+  for (const std::string& rule : result.applied) {
+    if (!rules.empty()) rules += ", ";
+    rules += rule;
+  }
+  std::printf(" %.2f -> %.2f (x%.2f) via [%s]; oracle says %.2f cycles\n",
+              result.original_cost, result.best_cost,
+              result.predicted_speedup, rules.c_str(),
+              oracle.CyclesPerIteration(result.best));
 }
 
 }  // namespace
@@ -67,7 +89,7 @@ const std::vector<Decision>& Decisions() {
 int main() {
   using namespace granite;
 
-  // Train a small multi-task model to act as the learned cost model.
+  // Train a small single-task model to act as the learned cost model.
   std::printf("training a small GRANITE cost model on synthetic data...\n");
   dataset::SynthesisConfig synthesis;
   synthesis.num_blocks = 800;
@@ -77,7 +99,7 @@ int main() {
   core::GraniteConfig model_config =
       core::GraniteConfig().WithEmbeddingSize(24);
   model_config.message_passing_iterations = 4;
-  model_config.num_tasks = 3;
+  model_config.num_tasks = 1;
   model_config.decoder_output_bias_init = 1.0f;
   train::TrainerConfig trainer_config;
   trainer_config.num_steps = 1500;
@@ -85,58 +107,67 @@ int main() {
   trainer_config.adam.learning_rate = 0.02f;
   trainer_config.final_learning_rate = 0.001f;
   trainer_config.target_scale = 100.0;
-  trainer_config.tasks = {uarch::Microarchitecture::kIvyBridge,
-                          uarch::Microarchitecture::kHaswell,
-                          uarch::Microarchitecture::kSkylake};
+  trainer_config.tasks = {uarch::Microarchitecture::kHaswell};
   trainer_config.validation_every = 0;
   train::GraniteRunner runner(model_config, trainer_config);
   runner.Train(dataset, dataset::Dataset());
 
+  // Serve the trained model the way a build farm would: a batching
+  // server with a prediction cache, scored via the autotuner's
+  // scatter-gather client.
+  serve::InferenceServerConfig server_config;
+  server_config.num_workers = 2;
+  server_config.max_batch_size = 16;
+  server_config.batch_window = std::chrono::microseconds(500);
+  server_config.prediction_cache_capacity = 4096;
+  serve::InferenceServer server(&runner.model(), server_config);
+
+  const uarch::ThroughputModel oracle(uarch::Microarchitecture::kHaswell);
+  autotune::SearchConfig search_config;
+  search_config.beam_width = 4;
+  search_config.max_depth = 5;
+  autotune::AnalyticalCostClient oracle_client(
+      uarch::Microarchitecture::kHaswell);
+  autotune::ServerCostClient model_client(&server, /*task=*/0);
+  autotune::BlockOptimizer oracle_tuner(&oracle_client, search_config);
+  autotune::BlockOptimizer model_tuner(&model_client, search_config);
+
   int agreements = 0;
   int total = 0;
-  for (const Decision& decision : Decisions()) {
-    std::printf("\n=== %s ===\n", decision.name.c_str());
-    for (const uarch::Microarchitecture microarchitecture :
-         uarch::AllMicroarchitectures()) {
-      const uarch::ThroughputModel oracle(microarchitecture);
-      const int task = static_cast<int>(microarchitecture);
-
-      std::string best_oracle;
-      std::string best_model;
-      double best_oracle_cycles = 0.0;
-      double best_model_cycles = 0.0;
-      std::printf("%-11s:",
-                  std::string(MicroarchitectureName(microarchitecture))
-                      .c_str());
-      for (const Variant& variant : decision.variants) {
-        const auto block = assembly::ParseBasicBlock(variant.assembly);
-        if (!block.ok()) {
-          std::fprintf(stderr, "parse error: %s\n", block.error.c_str());
-          return 1;
-        }
-        const double oracle_cycles =
-            oracle.CyclesPerIteration(*block.value);
-        const double model_cycles =
-            runner.model().Predict({&*block.value}, task)[0];
-        std::printf("  %s: oracle %.2f model %.2f", variant.name.c_str(),
-                    oracle_cycles, model_cycles);
-        if (best_oracle.empty() || oracle_cycles < best_oracle_cycles) {
-          best_oracle = variant.name;
-          best_oracle_cycles = oracle_cycles;
-        }
-        if (best_model.empty() || model_cycles < best_model_cycles) {
-          best_model = variant.name;
-          best_model_cycles = model_cycles;
-        }
-      }
-      ++total;
-      if (best_oracle == best_model) ++agreements;
-      std::printf("  -> oracle picks '%s', model picks '%s'%s\n",
-                  best_oracle.c_str(), best_model.c_str(),
-                  best_oracle == best_model ? " (agree)" : "");
+  for (const Scenario& scenario : Scenarios()) {
+    const auto block = assembly::ParseBasicBlock(scenario.naive);
+    if (!block.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", block.error.c_str());
+      return 1;
     }
+    std::printf("\n=== %s ===\n", scenario.name.c_str());
+    std::printf("  naive     : %s\n", OneLine(*block.value).c_str());
+
+    const autotune::OptimizeResult by_oracle =
+        oracle_tuner.Optimize(*block.value);
+    const autotune::OptimizeResult by_model =
+        model_tuner.Optimize(*block.value);
+    PrintResult("oracle", by_oracle, oracle);
+    PrintResult("model", by_model, oracle);
+
+    // The learned model's pick is judged by the oracle: did searching
+    // with the approximation land within rounding of searching with the
+    // ground truth?
+    ++total;
+    const double oracle_best = oracle.CyclesPerIteration(by_oracle.best);
+    const double model_best = oracle.CyclesPerIteration(by_model.best);
+    const bool agree = model_best <= oracle_best + 1e-9;
+    if (agree) ++agreements;
+    std::printf("  -> model-guided search %s the oracle-guided result\n",
+                agree ? "matches" : "falls short of");
   }
-  std::printf("\nmodel agreed with the oracle on %d of %d decisions\n",
-              agreements, total);
+
+  const serve::ServerStats stats = server.Stats();
+  std::printf("\nmodel-guided search matched the oracle on %d of %d "
+              "scenarios; server answered %llu requests "
+              "(cache hit rate %.1f%%)\n",
+              agreements, total,
+              static_cast<unsigned long long>(stats.completed),
+              100.0 * stats.cache_hit_rate);
   return 0;
 }

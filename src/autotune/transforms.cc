@@ -1,0 +1,941 @@
+#include "autotune/transforms.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "asm/parser.h"
+#include "asm/semantics.h"
+#include "base/logging.h"
+
+namespace granite::autotune {
+namespace {
+
+using assembly::BasicBlock;
+using assembly::Instruction;
+using assembly::InstructionSemantics;
+using assembly::MemoryReference;
+using assembly::Operand;
+using assembly::OperandKind;
+using assembly::OperandUsage;
+using assembly::Register;
+using assembly::SemanticsCatalog;
+
+void AddCanonical(std::vector<Register>& list, Register reg) {
+  const Register canonical = assembly::CanonicalRegister(reg);
+  if (std::find(list.begin(), list.end(), canonical) == list.end()) {
+    list.push_back(canonical);
+  }
+}
+
+void AddAddressReads(std::vector<Register>& reads,
+                     const MemoryReference& reference) {
+  if (reference.base != assembly::kInvalidRegister) {
+    AddCanonical(reads, reference.base);
+  }
+  if (reference.index != assembly::kInvalidRegister) {
+    AddCanonical(reads, reference.index);
+  }
+  if (reference.segment != assembly::kInvalidRegister) {
+    AddCanonical(reads, reference.segment);
+  }
+}
+
+/** True when the flags write of `semantics` redefines the whole flags
+ * register in the catalog's one-register model. INC and DEC are the
+ * classic partial writers (they preserve CF), so they never *kill* a
+ * flags definition — a dropped def could still leak through them. */
+bool WritesAllFlags(const InstructionSemantics& semantics) {
+  return semantics.writes_flags && semantics.mnemonic != "INC" &&
+         semantics.mnemonic != "DEC";
+}
+
+}  // namespace
+
+bool InstructionAccess::ReadsRegister(Register canonical) const {
+  return std::find(reads.begin(), reads.end(), canonical) != reads.end();
+}
+
+bool InstructionAccess::WritesRegister(Register canonical) const {
+  return std::find(writes.begin(), writes.end(), canonical) != writes.end();
+}
+
+InstructionAccess AccessFor(const Instruction& instruction) {
+  const InstructionSemantics& semantics =
+      SemanticsCatalog::Get().Require(instruction.mnemonic);
+  const std::vector<OperandUsage> usage =
+      assembly::OperandUsageFor(instruction);
+
+  InstructionAccess access;
+  for (std::size_t i = 0; i < instruction.operands.size(); ++i) {
+    const Operand& operand = instruction.operands[i];
+    const bool is_read = usage[i] != OperandUsage::kWrite;
+    const bool is_write = usage[i] != OperandUsage::kRead;
+    switch (operand.kind()) {
+      case OperandKind::kRegister:
+        if (is_read) AddCanonical(access.reads, operand.reg());
+        if (is_write) AddCanonical(access.writes, operand.reg());
+        break;
+      case OperandKind::kMemory: {
+        AddAddressReads(access.reads, operand.mem());
+        const MemoryAccess location{operand.mem(), operand.width_bits(),
+                                    /*unknown=*/false};
+        if (is_read) access.memory_reads.push_back(location);
+        if (is_write) access.memory_writes.push_back(location);
+        break;
+      }
+      case OperandKind::kAddress:
+        AddAddressReads(access.reads, operand.mem());
+        break;
+      case OperandKind::kImmediate:
+      case OperandKind::kFpImmediate:
+        break;
+    }
+  }
+
+  if (assembly::ImplicitOperandsApply(semantics,
+                                      instruction.operands.size())) {
+    for (Register reg : semantics.implicit_reads) {
+      AddCanonical(access.reads, reg);
+    }
+    for (Register reg : semantics.implicit_writes) {
+      AddCanonical(access.writes, reg);
+    }
+  }
+  if (semantics.reads_flags) {
+    AddCanonical(access.reads, assembly::FlagsRegister());
+  }
+  if (semantics.writes_flags) {
+    AddCanonical(access.writes, assembly::FlagsRegister());
+  }
+  if (semantics.implicit_memory_read) {
+    access.memory_reads.push_back(MemoryAccess{{}, 64, /*unknown=*/true});
+  }
+  if (semantics.implicit_memory_write) {
+    access.memory_writes.push_back(MemoryAccess{{}, 64, /*unknown=*/true});
+  }
+  // A REP-prefixed string operation additionally cycles RCX (mirrors the
+  // throughput model's profile).
+  const bool has_rep = instruction.HasPrefix("REP") ||
+                       instruction.HasPrefix("REPE") ||
+                       instruction.HasPrefix("REPZ") ||
+                       instruction.HasPrefix("REPNE") ||
+                       instruction.HasPrefix("REPNZ");
+  if (has_rep && semantics.is_string_op) {
+    const Register rcx = assembly::RegisterByName("RCX");
+    AddCanonical(access.reads, rcx);
+    AddCanonical(access.writes, rcx);
+  }
+  return access;
+}
+
+bool MayAlias(const MemoryAccess& a, const MemoryAccess& b) {
+  if (a.unknown || b.unknown) return true;
+  // Disjointness can only be proven against the *identical* register
+  // environment: same base/index/scale/segment register ids. Two
+  // different registers may hold the same address, and even aliases of
+  // one canonical register (EAX vs RAX) may differ in the upper bits.
+  if (a.reference.base != b.reference.base) return true;
+  if (a.reference.index != b.reference.index) return true;
+  if (a.reference.index != assembly::kInvalidRegister &&
+      a.reference.scale != b.reference.scale) {
+    return true;
+  }
+  if (a.reference.segment != b.reference.segment) return true;
+  const std::int64_t a_begin = a.reference.displacement;
+  const std::int64_t a_end = a_begin + std::max(a.width_bits, 8) / 8;
+  const std::int64_t b_begin = b.reference.displacement;
+  const std::int64_t b_end = b_begin + std::max(b.width_bits, 8) / 8;
+  return a_begin < b_end && b_begin < a_end;
+}
+
+bool Conflicts(const InstructionAccess& a, const InstructionAccess& b) {
+  for (const Register reg : a.writes) {
+    if (b.ReadsRegister(reg) || b.WritesRegister(reg)) return true;
+  }
+  for (const Register reg : a.reads) {
+    if (b.WritesRegister(reg)) return true;
+  }
+  for (const MemoryAccess& write : a.memory_writes) {
+    for (const MemoryAccess& other : b.memory_reads) {
+      if (MayAlias(write, other)) return true;
+    }
+    for (const MemoryAccess& other : b.memory_writes) {
+      if (MayAlias(write, other)) return true;
+    }
+  }
+  for (const MemoryAccess& read : a.memory_reads) {
+    for (const MemoryAccess& other : b.memory_writes) {
+      if (MayAlias(read, other)) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool Skipped(const std::vector<std::size_t>& skip, std::size_t pos) {
+  return std::find(skip.begin(), skip.end(), pos) != skip.end();
+}
+
+/** True when `instruction` fully redefines canonical register `reg`
+ * without reading it: a pure-write register operand of ≥32 bits (x86-64
+ * zero-extends 32-bit writes; 8/16-bit writes merge into the old
+ * value), an implicit write, or a full flags write. The caller has
+ * already established that the instruction does not read `reg`. */
+bool FullyKills(const Instruction& instruction,
+                const InstructionSemantics& semantics, Register reg) {
+  if (reg == assembly::FlagsRegister()) return WritesAllFlags(semantics);
+  const std::vector<OperandUsage> usage =
+      assembly::OperandUsageFor(instruction);
+  for (std::size_t i = 0; i < instruction.operands.size(); ++i) {
+    const Operand& operand = instruction.operands[i];
+    if (operand.kind() != OperandKind::kRegister) continue;
+    if (usage[i] != OperandUsage::kWrite) continue;
+    if (assembly::CanonicalRegister(operand.reg()) != reg) continue;
+    if (assembly::GetRegisterInfo(operand.reg()).width_bits >= 32) {
+      return true;
+    }
+  }
+  if (assembly::ImplicitOperandsApply(semantics,
+                                      instruction.operands.size())) {
+    for (const Register implicit : semantics.implicit_writes) {
+      if (assembly::CanonicalRegister(implicit) == reg) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RegisterDeadAfter(const BasicBlock& block, std::size_t index,
+                       Register reg, const std::vector<std::size_t>& skip) {
+  const std::size_t n = block.size();
+  GRANITE_CHECK(index < n);
+  for (std::size_t step = 1; step < n; ++step) {
+    const std::size_t pos = (index + step) % n;
+    if (Skipped(skip, pos)) continue;
+    const Instruction& instruction = block.instructions[pos];
+    const InstructionAccess access = AccessFor(instruction);
+    if (access.ReadsRegister(reg)) return false;
+    const InstructionSemantics& semantics =
+        SemanticsCatalog::Get().Require(instruction.mnemonic);
+    if (access.WritesRegister(reg) &&
+        FullyKills(instruction, semantics, reg)) {
+      return true;
+    }
+  }
+  // The wrap-around scan came back to the definition site itself: the
+  // next iteration's own definition is the first toucher, so no reader
+  // ever sees this one.
+  return true;
+}
+
+bool FlagsDeadAfter(const BasicBlock& block, std::size_t index,
+                    const std::vector<std::size_t>& skip) {
+  return RegisterDeadAfter(block, index, assembly::FlagsRegister(), skip);
+}
+
+namespace {
+
+Instruction MakeInstruction(std::string mnemonic,
+                            std::vector<Operand> operands) {
+  Instruction instruction;
+  instruction.mnemonic = std::move(mnemonic);
+  instruction.operands = std::move(operands);
+  return instruction;
+}
+
+/** The block with positions `remove` (sorted ascending) deleted and
+ * `replacement` spliced in at the first removed position. */
+BasicBlock Splice(const BasicBlock& block,
+                  const std::vector<std::size_t>& remove,
+                  const std::vector<Instruction>& replacement) {
+  BasicBlock result;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (Skipped(remove, i)) {
+      if (i == remove.front()) {
+        result.instructions.insert(result.instructions.end(),
+                                   replacement.begin(), replacement.end());
+      }
+      continue;
+    }
+    result.instructions.push_back(block.instructions[i]);
+  }
+  return result;
+}
+
+void Emit(std::vector<RewriteCandidate>& out, const BasicBlock& block,
+          const std::vector<std::size_t>& remove,
+          const std::vector<Instruction>& replacement, std::string_view rule,
+          std::size_t site) {
+  RewriteCandidate candidate;
+  candidate.block = Splice(block, remove, replacement);
+  candidate.rule = std::string(rule);
+  candidate.detail = block.instructions[site].ToString() + " @" +
+                     std::to_string(site) + " -> " +
+                     (replacement.empty() ? std::string("(removed)")
+                                          : replacement.front().ToString());
+  out.push_back(std::move(candidate));
+}
+
+/** True when `instruction` is plain (no prefixes) with this mnemonic. */
+bool IsPlain(const Instruction& instruction, std::string_view mnemonic) {
+  return instruction.prefixes.empty() && instruction.mnemonic == mnemonic;
+}
+
+bool IsAluMnemonic(const Instruction& instruction) {
+  return instruction.prefixes.empty() &&
+         (instruction.mnemonic == "ADD" || instruction.mnemonic == "SUB" ||
+          instruction.mnemonic == "AND" || instruction.mnemonic == "OR" ||
+          instruction.mnemonic == "XOR");
+}
+
+bool IsUnaryAluMnemonic(const Instruction& instruction) {
+  return instruction.prefixes.empty() &&
+         (instruction.mnemonic == "INC" || instruction.mnemonic == "DEC" ||
+          instruction.mnemonic == "NEG" || instruction.mnemonic == "NOT");
+}
+
+/** Canonical GP registers that appear nowhere in the block (not read,
+ * written, or used as an address component) — safe scratch space. RSP
+ * is never offered: redirecting the stack pointer is not a peephole. */
+std::vector<Register> FreeScratchRegisters(const BasicBlock& block) {
+  std::vector<Register> used;
+  for (const Instruction& instruction : block.instructions) {
+    const InstructionAccess access = AccessFor(instruction);
+    for (const Register reg : access.reads) AddCanonical(used, reg);
+    for (const Register reg : access.writes) AddCanonical(used, reg);
+  }
+  std::vector<Register> free;
+  const Register rsp = assembly::RegisterByName("RSP");
+  const std::vector<Register>& all = assembly::CanonicalGpRegisters();
+  // Walk high registers first (R15..R8 before the classic eight): the
+  // generator's blocks favor the classic names, so high registers are
+  // the likeliest to be genuinely free.
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    if (*it == rsp) continue;
+    if (std::find(used.begin(), used.end(), *it) == used.end()) {
+      free.push_back(*it);
+    }
+  }
+  return free;
+}
+
+/** IMUL-by-constant → SHL (power of two) or LEA (2/3/4/5/8/9). The SHL
+ * form keeps the flags definition; the LEA forms drop it and require
+ * the flags to be provably dead. */
+class StrengthReduceTransform : public Transform {
+ public:
+  std::string_view name() const override { return "strength-reduce"; }
+  std::string_view description() const override {
+    return "IMUL r, s, imm -> SHL r, log2(imm) or LEA r, [s + k*s]";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Instruction& instruction = block.instructions[i];
+      if (!IsPlain(instruction, "IMUL")) continue;
+      Register dest = assembly::kInvalidRegister;
+      Register source = assembly::kInvalidRegister;
+      std::int64_t imm = 0;
+      if (instruction.operands.size() == 2 &&
+          instruction.operands[0].kind() == OperandKind::kRegister &&
+          instruction.operands[1].kind() == OperandKind::kImmediate) {
+        dest = source = instruction.operands[0].reg();
+        imm = instruction.operands[1].imm();
+      } else if (instruction.operands.size() == 3 &&
+                 instruction.operands[0].kind() == OperandKind::kRegister &&
+                 instruction.operands[1].kind() == OperandKind::kRegister &&
+                 instruction.operands[2].kind() == OperandKind::kImmediate) {
+        dest = instruction.operands[0].reg();
+        source = instruction.operands[1].reg();
+        imm = instruction.operands[2].imm();
+      } else {
+        continue;
+      }
+      // SHL needs dest == source (it shifts in place) and keeps the
+      // flags definition, so it is unconditionally legal.
+      if (dest == source && imm > 1 && (imm & (imm - 1)) == 0) {
+        int shift = 0;
+        for (std::int64_t v = imm; v > 1; v >>= 1) ++shift;
+        Emit(out, block, {i},
+             {MakeInstruction("SHL", {Operand::Reg(dest),
+                                      Operand::Imm(shift)})},
+             name(), i);
+      }
+      // LEA forms drop the flags write.
+      const bool flags_dead = FlagsDeadAfter(block, i);
+      if (!flags_dead) continue;
+      if (imm == 3 || imm == 5 || imm == 9) {
+        MemoryReference address;
+        address.base = source;
+        address.index = source;
+        address.scale = static_cast<int>(imm - 1);
+        Emit(out, block, {i},
+             {MakeInstruction("LEA", {Operand::Reg(dest),
+                                      Operand::Addr(address)})},
+             name(), i);
+      } else if (imm == 2 || imm == 4 || imm == 8) {
+        MemoryReference address;
+        address.index = source;
+        address.scale = static_cast<int>(imm);
+        Emit(out, block, {i},
+             {MakeInstruction("LEA", {Operand::Reg(dest),
+                                      Operand::Addr(address)})},
+             name(), i);
+      }
+    }
+  }
+};
+
+/** The inverse direction: SHL-by-constant or a multiplying LEA spelled
+ * as IMUL. The search explores it like any other candidate (the cost
+ * model votes it down); DeoptimizeBlock leans on it to synthesize naive
+ * corpora. */
+class StrengthRaiseTransform : public Transform {
+ public:
+  std::string_view name() const override { return "strength-raise"; }
+  std::string_view description() const override {
+    return "SHL r, k or LEA r, [s + k*s] -> IMUL r, s, imm";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Instruction& instruction = block.instructions[i];
+      if (IsPlain(instruction, "SHL") &&
+          instruction.operands.size() == 2 &&
+          instruction.operands[0].kind() == OperandKind::kRegister &&
+          instruction.operands[1].kind() == OperandKind::kImmediate) {
+        const std::int64_t shift = instruction.operands[1].imm();
+        if (shift < 1 || shift > 16) continue;
+        const Register reg = instruction.operands[0].reg();
+        // Both spell a full flags write: unconditionally legal.
+        Emit(out, block, {i},
+             {MakeInstruction(
+                 "IMUL", {Operand::Reg(reg), Operand::Reg(reg),
+                          Operand::Imm(std::int64_t{1} << shift)})},
+             name(), i);
+        continue;
+      }
+      if (IsPlain(instruction, "LEA") &&
+          instruction.operands.size() == 2 &&
+          instruction.operands[0].kind() == OperandKind::kRegister &&
+          instruction.operands[1].kind() == OperandKind::kAddress) {
+        const MemoryReference& address = instruction.operands[1].mem();
+        if (address.segment != assembly::kInvalidRegister ||
+            address.displacement != 0 ||
+            address.index == assembly::kInvalidRegister) {
+          continue;
+        }
+        std::int64_t factor = 0;
+        if (address.base == address.index) {
+          factor = address.scale + 1;  // [s + k*s] = (k+1)*s
+        } else if (address.base == assembly::kInvalidRegister) {
+          factor = address.scale;  // [k*s] = k*s
+        } else {
+          continue;
+        }
+        if (factor < 2) continue;
+        // IMUL adds a flags definition the LEA did not have.
+        if (!FlagsDeadAfter(block, i)) continue;
+        Emit(out, block, {i},
+             {MakeInstruction("IMUL",
+                              {Operand::Reg(instruction.operands[0].reg()),
+                               Operand::Reg(address.index),
+                               Operand::Imm(factor)})},
+             name(), i);
+      }
+    }
+  }
+};
+
+/** MOV r, 0 ↔ XOR r, r (plus SUB r, r → MOV r, 0). Either direction
+ * changes the flags footprint (XOR/SUB define flags, MOV does not), so
+ * both require the flags to be dead after the site. */
+class ZeroIdiomTransform : public Transform {
+ public:
+  std::string_view name() const override { return "zero-idiom"; }
+  std::string_view description() const override {
+    return "MOV r, 0 <-> XOR r, r (and SUB r, r -> MOV r, 0)";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Instruction& instruction = block.instructions[i];
+      if (instruction.operands.size() != 2) continue;
+      if (IsPlain(instruction, "MOV") &&
+          instruction.operands[0].kind() == OperandKind::kRegister &&
+          instruction.operands[1].kind() == OperandKind::kImmediate &&
+          instruction.operands[1].imm() == 0) {
+        if (!FlagsDeadAfter(block, i)) continue;
+        const Operand reg = instruction.operands[0];
+        Emit(out, block, {i}, {MakeInstruction("XOR", {reg, reg})}, name(),
+             i);
+        continue;
+      }
+      const bool is_xor = IsPlain(instruction, "XOR");
+      const bool is_sub = IsPlain(instruction, "SUB");
+      if ((is_xor || is_sub) &&
+          instruction.operands[0].kind() == OperandKind::kRegister &&
+          instruction.operands[1] == instruction.operands[0]) {
+        if (!FlagsDeadAfter(block, i)) continue;
+        Emit(out, block, {i},
+             {MakeInstruction("MOV", {instruction.operands[0],
+                                      Operand::Imm(0)})},
+             name(), i);
+      }
+    }
+  }
+};
+
+/** ADD/SUB x, 1 ↔ INC/DEC x (register or memory form). INC/DEC write
+ * the flags only partially (CF is preserved) where ADD/SUB define all
+ * of them, so both directions require dead flags. */
+class IncDecTransform : public Transform {
+ public:
+  std::string_view name() const override { return "inc-dec"; }
+  std::string_view description() const override {
+    return "ADD/SUB x, 1 <-> INC/DEC x";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Instruction& instruction = block.instructions[i];
+      const bool is_add = IsPlain(instruction, "ADD");
+      const bool is_sub = IsPlain(instruction, "SUB");
+      if ((is_add || is_sub) && instruction.operands.size() == 2 &&
+          instruction.operands[1].kind() == OperandKind::kImmediate &&
+          instruction.operands[1].imm() == 1 &&
+          instruction.operands[0].kind() != OperandKind::kImmediate) {
+        if (!FlagsDeadAfter(block, i)) continue;
+        Emit(out, block, {i},
+             {MakeInstruction(is_add ? "INC" : "DEC",
+                              {instruction.operands[0]})},
+             name(), i);
+        continue;
+      }
+      const bool is_inc = IsPlain(instruction, "INC");
+      const bool is_dec = IsPlain(instruction, "DEC");
+      if ((is_inc || is_dec) && instruction.operands.size() == 1) {
+        if (!FlagsDeadAfter(block, i)) continue;
+        Emit(out, block, {i},
+             {MakeInstruction(is_inc ? "ADD" : "SUB",
+                              {instruction.operands[0], Operand::Imm(1)})},
+             name(), i);
+      }
+    }
+  }
+};
+
+/** MOV t, [m]; OP t(, src); MOV [m], t → OP [m](, src) when the
+ * temporary is provably dead and the addresses are identical. */
+class RmwFuseTransform : public Transform {
+ public:
+  std::string_view name() const override { return "rmw-fuse"; }
+  std::string_view description() const override {
+    return "MOV t, [m]; OP t, x; MOV [m], t -> OP [m], x";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    for (std::size_t i = 0; i + 2 < block.size(); ++i) {
+      const Instruction& load = block.instructions[i];
+      const Instruction& op = block.instructions[i + 1];
+      const Instruction& store = block.instructions[i + 2];
+      if (!IsPlain(load, "MOV") || load.operands.size() != 2 ||
+          load.operands[0].kind() != OperandKind::kRegister ||
+          load.operands[1].kind() != OperandKind::kMemory) {
+        continue;
+      }
+      if (!IsPlain(store, "MOV") || store.operands.size() != 2 ||
+          store.operands[0].kind() != OperandKind::kMemory ||
+          store.operands[1].kind() != OperandKind::kRegister) {
+        continue;
+      }
+      const Register temp = load.operands[0].reg();
+      if (store.operands[1].reg() != temp) continue;
+      if (store.operands[0].mem() != load.operands[1].mem() ||
+          store.operands[0].width_bits() != load.operands[1].width_bits()) {
+        continue;
+      }
+      // The temporary must not feed the address: fusing would then
+      // compute the store address from the pre-load value.
+      const Register temp_canonical = assembly::CanonicalRegister(temp);
+      const MemoryReference& address = load.operands[1].mem();
+      if ((address.base != assembly::kInvalidRegister &&
+           assembly::CanonicalRegister(address.base) == temp_canonical) ||
+          (address.index != assembly::kInvalidRegister &&
+           assembly::CanonicalRegister(address.index) == temp_canonical)) {
+        continue;
+      }
+      std::vector<Operand> fused_operands;
+      if (IsAluMnemonic(op) && op.operands.size() == 2 &&
+          op.operands[0].kind() == OperandKind::kRegister &&
+          op.operands[0].reg() == temp &&
+          (op.operands[1].kind() == OperandKind::kImmediate ||
+           (op.operands[1].kind() == OperandKind::kRegister &&
+            assembly::CanonicalRegister(op.operands[1].reg()) !=
+                temp_canonical))) {
+        fused_operands = {load.operands[1], op.operands[1]};
+      } else if (IsUnaryAluMnemonic(op) && op.operands.size() == 1 &&
+                 op.operands[0].kind() == OperandKind::kRegister &&
+                 op.operands[0].reg() == temp) {
+        fused_operands = {load.operands[1]};
+      } else {
+        continue;
+      }
+      if (!RegisterDeadAfter(block, i + 2, temp_canonical,
+                             {i, i + 1, i + 2})) {
+        continue;
+      }
+      Emit(out, block, {i, i + 1, i + 2},
+           {MakeInstruction(op.mnemonic, std::move(fused_operands))},
+           name(), i + 1);
+    }
+  }
+};
+
+/** OP [m](, src) → MOV t, [m]; OP t(, src); MOV [m], t through a
+ * scratch register unused anywhere in the block. */
+class RmwSplitTransform : public Transform {
+ public:
+  std::string_view name() const override { return "rmw-split"; }
+  std::string_view description() const override {
+    return "OP [m], x -> MOV t, [m]; OP t, x; MOV [m], t";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    std::vector<Register> scratch;  // Computed lazily, once.
+    bool scratch_ready = false;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Instruction& instruction = block.instructions[i];
+      const bool binary = IsAluMnemonic(instruction) &&
+                          instruction.operands.size() == 2 &&
+                          instruction.operands[0].kind() ==
+                              OperandKind::kMemory &&
+                          (instruction.operands[1].kind() ==
+                               OperandKind::kImmediate ||
+                           instruction.operands[1].kind() ==
+                               OperandKind::kRegister);
+      const bool unary = IsUnaryAluMnemonic(instruction) &&
+                         instruction.operands.size() == 1 &&
+                         instruction.operands[0].kind() ==
+                             OperandKind::kMemory;
+      if (!binary && !unary) continue;
+      const Operand& memory = instruction.operands[0];
+      const int width = memory.width_bits();
+      if (width > 64) continue;
+      if (!scratch_ready) {
+        scratch = FreeScratchRegisters(block);
+        scratch_ready = true;
+      }
+      if (scratch.empty()) continue;
+      const Operand temp =
+          Operand::Reg(assembly::SubRegister(scratch.front(), width));
+      std::vector<Operand> op_operands{temp};
+      if (binary) op_operands.push_back(instruction.operands[1]);
+      Emit(out, block, {i},
+           {MakeInstruction("MOV", {temp, memory}),
+            MakeInstruction(instruction.mnemonic, std::move(op_operands)),
+            MakeInstruction("MOV", {memory, temp})},
+           name(), i);
+    }
+  }
+};
+
+/** MOV t, x; <instr reading t> → <instr reading x> when the copy's
+ * destination dies with that single use — adjacent-pair copy
+ * propagation. */
+class CopyEliminateTransform : public Transform {
+ public:
+  std::string_view name() const override { return "copy-eliminate"; }
+  std::string_view description() const override {
+    return "MOV t, x; use(t) -> use(x) when t dies at the use";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    for (std::size_t i = 0; i + 1 < block.size(); ++i) {
+      const Instruction& copy = block.instructions[i];
+      if (!IsPlain(copy, "MOV") || copy.operands.size() != 2 ||
+          copy.operands[0].kind() != OperandKind::kRegister ||
+          copy.operands[1].kind() != OperandKind::kRegister) {
+        continue;
+      }
+      const Register temp = copy.operands[0].reg();
+      const Register source = copy.operands[1].reg();
+      if (temp == source) continue;
+      const Instruction& user = block.instructions[i + 1];
+      if (!user.prefixes.empty()) continue;
+      if (!assembly::IsSupportedInstruction(user)) continue;
+      // Substitute pure-read occurrences of the exact register id; a
+      // read-write or written occurrence would redirect the write.
+      Instruction rewritten = user;
+      const std::vector<OperandUsage> usage =
+          assembly::OperandUsageFor(user);
+      bool substituted = false;
+      bool blocked = false;
+      for (std::size_t k = 0; k < rewritten.operands.size(); ++k) {
+        Operand& operand = rewritten.operands[k];
+        switch (operand.kind()) {
+          case OperandKind::kRegister:
+            if (operand.reg() == temp) {
+              if (usage[k] != OperandUsage::kRead) {
+                blocked = true;
+              } else {
+                operand = Operand::Reg(source);
+                substituted = true;
+              }
+            } else if (assembly::CanonicalRegister(operand.reg()) ==
+                       assembly::CanonicalRegister(temp)) {
+              blocked = true;  // Partial alias of the copy: keep it.
+            }
+            break;
+          case OperandKind::kMemory:
+          case OperandKind::kAddress: {
+            MemoryReference address = operand.mem();
+            bool changed = false;
+            if (address.base == temp) {
+              address.base = source;
+              changed = true;
+            }
+            if (address.index == temp) {
+              address.index = source;
+              changed = true;
+            }
+            if (changed) {
+              operand = operand.kind() == OperandKind::kMemory
+                            ? Operand::Mem(address, operand.width_bits())
+                            : Operand::Addr(address);
+              substituted = true;
+            }
+            break;
+          }
+          case OperandKind::kImmediate:
+          case OperandKind::kFpImmediate:
+            break;
+        }
+      }
+      if (!substituted || blocked) continue;
+      // Implicit uses of the temp (e.g. MUL's RAX) cannot be renamed.
+      const InstructionAccess user_access = AccessFor(user);
+      const InstructionAccess rewritten_access = AccessFor(rewritten);
+      if (rewritten_access.ReadsRegister(
+              assembly::CanonicalRegister(temp)) ||
+          rewritten_access.WritesRegister(
+              assembly::CanonicalRegister(temp))) {
+        continue;
+      }
+      (void)user_access;
+      if (!RegisterDeadAfter(block, i + 1,
+                             assembly::CanonicalRegister(temp), {i})) {
+        continue;
+      }
+      Emit(out, block, {i, i + 1}, {rewritten}, name(), i);
+    }
+  }
+};
+
+/** The inverse: route one instruction's register read through a fresh
+ * scratch copy — the redundant-copy shape naive codegen emits. */
+class CopyInsertTransform : public Transform {
+ public:
+  std::string_view name() const override { return "copy-insert"; }
+  std::string_view description() const override {
+    return "use(x) -> MOV t, x; use(t) through a free scratch register";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    std::vector<Register> scratch;
+    bool scratch_ready = false;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Instruction& instruction = block.instructions[i];
+      if (!instruction.prefixes.empty()) continue;
+      const std::vector<OperandUsage> usage =
+          assembly::OperandUsageFor(instruction);
+      // Collect the distinct pure-read register ids of this instruction
+      // (explicit reads and address components).
+      std::vector<Register> readable;
+      for (std::size_t k = 0; k < instruction.operands.size(); ++k) {
+        const Operand& operand = instruction.operands[k];
+        if (operand.kind() == OperandKind::kRegister &&
+            usage[k] == OperandUsage::kRead &&
+            assembly::IsRegisterClass(
+                operand.reg(), assembly::RegisterClass::kGeneralPurpose)) {
+          if (std::find(readable.begin(), readable.end(), operand.reg()) ==
+              readable.end()) {
+            readable.push_back(operand.reg());
+          }
+        } else if (operand.kind() == OperandKind::kMemory ||
+                   operand.kind() == OperandKind::kAddress) {
+          for (const Register reg :
+               {operand.mem().base, operand.mem().index}) {
+            if (reg == assembly::kInvalidRegister) continue;
+            if (!assembly::IsRegisterClass(
+                    reg, assembly::RegisterClass::kGeneralPurpose)) {
+              continue;
+            }
+            if (std::find(readable.begin(), readable.end(), reg) ==
+                readable.end()) {
+              readable.push_back(reg);
+            }
+          }
+        }
+      }
+      if (readable.empty()) continue;
+      for (const Register source : readable) {
+        const Register source_canonical =
+            assembly::CanonicalRegister(source);
+        // Skip registers the instruction also writes: the copy would
+        // capture the pre-write value only by accident of operand
+        // ordering.
+        const InstructionAccess access = AccessFor(instruction);
+        if (access.WritesRegister(source_canonical)) continue;
+        if (!scratch_ready) {
+          scratch = FreeScratchRegisters(block);
+          scratch_ready = true;
+        }
+        if (scratch.empty()) break;
+        const int width = assembly::GetRegisterInfo(source).width_bits;
+        const Register temp =
+            assembly::SubRegister(scratch.front(), width);
+        Instruction rewritten = instruction;
+        for (Operand& operand : rewritten.operands) {
+          if (operand.kind() == OperandKind::kRegister &&
+              operand.reg() == source) {
+            operand = Operand::Reg(temp);
+          } else if (operand.kind() == OperandKind::kMemory ||
+                     operand.kind() == OperandKind::kAddress) {
+            MemoryReference address = operand.mem();
+            bool changed = false;
+            if (address.base == source) {
+              address.base = temp;
+              changed = true;
+            }
+            if (address.index == source) {
+              address.index = temp;
+              changed = true;
+            }
+            if (changed) {
+              operand = operand.kind() == OperandKind::kMemory
+                            ? Operand::Mem(address, operand.width_bits())
+                            : Operand::Addr(address);
+            }
+          }
+        }
+        // Re-check: the rewritten instruction must no longer read the
+        // source through the rewritten occurrences only if every read
+        // occurrence was the pure-read id we renamed; RW occurrences
+        // were excluded above.
+        Emit(out, block, {i},
+             {MakeInstruction("MOV",
+                              {Operand::Reg(temp), Operand::Reg(source)}),
+              rewritten},
+             name(), i);
+      }
+    }
+  }
+};
+
+/** Adjacent dependency-preserving swaps. */
+class ReorderTransform : public Transform {
+ public:
+  std::string_view name() const override { return "reorder"; }
+  std::string_view description() const override {
+    return "swap adjacent instructions with no data/flag/memory hazard";
+  }
+
+  void Enumerate(const BasicBlock& block,
+                 std::vector<RewriteCandidate>& out) const override {
+    if (block.size() < 2) return;
+    std::vector<InstructionAccess> access;
+    access.reserve(block.size());
+    for (const Instruction& instruction : block.instructions) {
+      access.push_back(AccessFor(instruction));
+    }
+    for (std::size_t i = 0; i + 1 < block.size(); ++i) {
+      if (Conflicts(access[i], access[i + 1])) continue;
+      BasicBlock swapped = block;
+      std::swap(swapped.instructions[i], swapped.instructions[i + 1]);
+      RewriteCandidate candidate;
+      candidate.block = std::move(swapped);
+      candidate.rule = std::string(name());
+      candidate.detail = "swap @" + std::to_string(i) + " <-> @" +
+                         std::to_string(i + 1);
+      out.push_back(std::move(candidate));
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<std::unique_ptr<Transform>>& TransformCatalog() {
+  static const std::vector<std::unique_ptr<Transform>>* catalog = [] {
+    auto* transforms = new std::vector<std::unique_ptr<Transform>>();
+    transforms->push_back(std::make_unique<StrengthReduceTransform>());
+    transforms->push_back(std::make_unique<StrengthRaiseTransform>());
+    transforms->push_back(std::make_unique<ZeroIdiomTransform>());
+    transforms->push_back(std::make_unique<IncDecTransform>());
+    transforms->push_back(std::make_unique<RmwFuseTransform>());
+    transforms->push_back(std::make_unique<RmwSplitTransform>());
+    transforms->push_back(std::make_unique<CopyEliminateTransform>());
+    transforms->push_back(std::make_unique<CopyInsertTransform>());
+    transforms->push_back(std::make_unique<ReorderTransform>());
+    return transforms;
+  }();
+  return *catalog;
+}
+
+std::vector<RewriteCandidate> EnumerateCandidates(const BasicBlock& block) {
+  std::vector<RewriteCandidate> candidates;
+  if (block.empty()) return candidates;
+  for (const Instruction& instruction : block.instructions) {
+    if (!assembly::IsSupportedInstruction(instruction)) return candidates;
+  }
+  for (const std::unique_ptr<Transform>& transform : TransformCatalog()) {
+    transform->Enumerate(block, candidates);
+  }
+  // Invariant: every candidate round-trips through the parser. A
+  // violation is an emission bug in a transform, not a user error.
+  for (const RewriteCandidate& candidate : candidates) {
+    const assembly::ParseResult<BasicBlock> reparsed =
+        assembly::ParseBasicBlock(candidate.block.ToString());
+    GRANITE_CHECK_MSG(reparsed.ok() && *reparsed.value == candidate.block,
+                      "transform emitted a non-round-tripping block");
+  }
+  return candidates;
+}
+
+BasicBlock DeoptimizeBlock(const BasicBlock& block,
+                           const uarch::ThroughputModel& oracle,
+                           int max_rewrites) {
+  BasicBlock current = block;
+  double current_cost = oracle.CyclesPerIteration(current);
+  for (int step = 0; step < max_rewrites; ++step) {
+    const std::vector<RewriteCandidate> candidates =
+        EnumerateCandidates(current);
+    const RewriteCandidate* worst = nullptr;
+    double worst_cost = current_cost;
+    for (const RewriteCandidate& candidate : candidates) {
+      const double cost = oracle.CyclesPerIteration(candidate.block);
+      if (cost > worst_cost + 1e-9) {
+        worst = &candidate;
+        worst_cost = cost;
+      }
+    }
+    if (worst == nullptr) break;
+    current = worst->block;
+    current_cost = worst_cost;
+  }
+  return current;
+}
+
+}  // namespace granite::autotune

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Semantics-driven basic-block transform catalog for the autotuner.
+ *
+ * Every transform enumerates *candidate* rewrites of a block — spellings
+ * with the same architectural effect whose relative cost the served cost
+ * model (or the analytical oracle) is asked to rank. Legality is decided
+ * entirely from the instruction semantics catalog (src/asm/semantics):
+ * per-operand read/write sets, implicit registers, and the EFLAGS
+ * read/write bits. Where the catalog models EFLAGS as a single register,
+ * so do we — with the one classic exception (INC/DEC preserve CF) that
+ * is special-cased so a partial-flags writer never masks a dropped or
+ * added flags definition.
+ *
+ * Blocks are measured in a loop (the BHive setup the throughput oracle
+ * models), so all liveness here is *loop-carried*: a register or the
+ * flags are dead after position i when a forward scan — wrapping once
+ * from the end of the block back to its start — reaches a full writer
+ * before any reader.
+ *
+ * The catalog is bidirectional where the x86 idiom is: strength
+ * reduction (IMUL-by-constant → SHL/LEA) and its inverse, zero idioms
+ * (MOV r,0 ↔ XOR r,r), ADD/SUB±1 ↔ INC/DEC, load-op-store ↔
+ * read-modify-write, plus dependency-preserving adjacent reordering.
+ * The search layer explores both directions and lets the cost model
+ * pick; DeoptimizeBlock() walks the worsening direction on purpose to
+ * synthesize "naive codegen" corpora for closed-loop evaluation.
+ *
+ * Invariant: every emitted candidate round-trips through the parser
+ * (ParseBasicBlock(candidate.ToString()) reproduces the candidate) and
+ * preserves architectural semantics as modeled by the catalog.
+ *
+ * Threading: everything here is stateless and thread-safe; the catalog
+ * returned by TransformCatalog() is immutable after first use, and all
+ * free functions are pure (safe to call from any number of threads
+ * concurrently).
+ */
+#ifndef GRANITE_AUTOTUNE_TRANSFORMS_H_
+#define GRANITE_AUTOTUNE_TRANSFORMS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/instruction.h"
+#include "asm/registers.h"
+#include "uarch/throughput_model.h"
+
+namespace granite::autotune {
+
+/** One explicit memory access: the address expression plus its width.
+ * `unknown` marks implicit accesses (PUSH/POP/string ops) whose address
+ * is not an operand; they conservatively alias everything. */
+struct MemoryAccess {
+  assembly::MemoryReference reference;
+  int width_bits = 64;
+  bool unknown = false;
+};
+
+/**
+ * Data-flow footprint of one instruction, on canonical registers
+ * (EFLAGS included as FlagsRegister()): what a reordering or rewrite
+ * legality check needs to know. Address-component registers count as
+ * reads; memory is tracked as address+width intervals for the alias
+ * test.
+ */
+struct InstructionAccess {
+  /** Canonical registers read — explicit, implicit, address components,
+   * and FlagsRegister() when the instruction reads flags. */
+  std::vector<assembly::Register> reads;
+  /** Canonical registers written, FlagsRegister() included. */
+  std::vector<assembly::Register> writes;
+  std::vector<MemoryAccess> memory_reads;
+  std::vector<MemoryAccess> memory_writes;
+
+  bool ReadsRegister(assembly::Register canonical) const;
+  bool WritesRegister(assembly::Register canonical) const;
+};
+
+/** Builds the access footprint of `instruction`. The instruction must be
+ * supported by the semantics catalog (IsSupportedInstruction). */
+InstructionAccess AccessFor(const assembly::Instruction& instruction);
+
+/**
+ * True when the two accesses may touch the same memory. Provably
+ * disjoint only when both address expressions use the *identical*
+ * base/index/scale/segment registers and the byte intervals
+ * [displacement, displacement + width) do not overlap; any unknown or
+ * differing base (two registers may hold the same address) aliases.
+ */
+bool MayAlias(const MemoryAccess& a, const MemoryAccess& b);
+
+/** True when swapping two adjacent instructions with these footprints
+ * would change program semantics: any register RAW/WAR/WAW hazard
+ * (flags included) or a potentially aliasing memory conflict. */
+bool Conflicts(const InstructionAccess& a, const InstructionAccess& b);
+
+/**
+ * Loop-carried deadness of canonical register `reg` after position
+ * `index`: scanning forward (wrapping once to the block start), a full
+ * writer is reached before any reader. Writes that also read (RMW) or
+ * partial-flags writers (INC/DEC when `reg` is the flags register) do
+ * not kill. Positions listed in `skip` are ignored — the rewrite is
+ * about to remove them.
+ */
+bool RegisterDeadAfter(const assembly::BasicBlock& block, std::size_t index,
+                       assembly::Register reg,
+                       const std::vector<std::size_t>& skip = {});
+
+/** RegisterDeadAfter for EFLAGS: may the definition made at `index` be
+ * dropped (or a new one inserted there) without any consumer seeing a
+ * different value? */
+bool FlagsDeadAfter(const assembly::BasicBlock& block, std::size_t index,
+                    const std::vector<std::size_t>& skip = {});
+
+/** One legal rewrite of a block: the transformed block plus the stable
+ * rule name and a human-readable site description for reports. */
+struct RewriteCandidate {
+  assembly::BasicBlock block;
+  std::string rule;
+  std::string detail;
+};
+
+/** A family of peephole rewrites (or reorderings). Implementations are
+ * stateless and thread-safe. */
+class Transform {
+ public:
+  virtual ~Transform() = default;
+
+  /** Stable kebab-case rule name, e.g. "strength-reduce". */
+  virtual std::string_view name() const = 0;
+
+  /** One-line description for docs and reports. */
+  virtual std::string_view description() const = 0;
+
+  /** Appends every legal application to `out` (zero or more). */
+  virtual void Enumerate(const assembly::BasicBlock& block,
+                         std::vector<RewriteCandidate>& out) const = 0;
+};
+
+/** The process-wide immutable transform catalog. */
+const std::vector<std::unique_ptr<Transform>>& TransformCatalog();
+
+/**
+ * Every legal single-step rewrite of `block` across the whole catalog.
+ * Blocks containing an instruction the semantics catalog does not know
+ * produce no candidates (their data flow cannot be reasoned about).
+ * Every returned block is guaranteed to round-trip through the parser.
+ */
+std::vector<RewriteCandidate> EnumerateCandidates(
+    const assembly::BasicBlock& block);
+
+/**
+ * Greedily applies the catalog in the *worsening* direction — each step
+ * picks the candidate with the strictly highest analytical cost — for
+ * up to `max_rewrites` steps. Deterministic. This synthesizes the
+ * "naive codegen" corpora the closed-loop benchmark and CLI optimize:
+ * every applied step has its inverse in the catalog, so the search can
+ * provably recover the original spelling (or better).
+ */
+assembly::BasicBlock DeoptimizeBlock(const assembly::BasicBlock& block,
+                                     const uarch::ThroughputModel& oracle,
+                                     int max_rewrites = 4);
+
+}  // namespace granite::autotune
+
+#endif  // GRANITE_AUTOTUNE_TRANSFORMS_H_

@@ -68,22 +68,17 @@ InferenceServer::Shard& InferenceServer::ShardFor(
   return *shards_[uarch::BlockFingerprint(block) % shards_.size()];
 }
 
-std::optional<std::future<double>> InferenceServer::Submit(
-    const assembly::BasicBlock* block, int task, AdmissionClass admission) {
-  GRANITE_CHECK(block != nullptr);
-  GRANITE_CHECK(task >= 0 && task < model_->num_tasks());
-  Shard& shard = ShardFor(*block);
-  // A shed victim's promise is failed only after the shard lock is
-  // released (promise consumers may run arbitrary code via wait chains).
-  std::promise<double> victim_promise;
-  AdmissionClass victim_class = admission;
-  bool have_victim = false;
-
-  std::unique_lock<std::mutex> lock(shard.mutex);
+bool InferenceServer::EnqueueLocked(Shard& shard,
+                                    std::unique_lock<std::mutex>& lock,
+                                    const assembly::BasicBlock* block,
+                                    int task, AdmissionClass admission,
+                                    std::vector<ShedVictim>& victims,
+                                    int& notifies,
+                                    std::future<double>& future) {
   for (;;) {
     if (shard.stopping) {
       ++shard.rejected;
-      return std::nullopt;
+      return false;
     }
     if (shard.queue.size() < config_.queue_capacity) break;
     if (config_.admission_policy == AdmissionPolicy::kPriority) {
@@ -100,18 +95,21 @@ std::optional<std::future<double>> InferenceServer::Submit(
         }
       }
       if (victim < shard.queue.size()) {
-        victim_promise = std::move(shard.queue[victim].promise);
-        victim_class = shard.queue[victim].admission;
-        have_victim = true;
+        // The victim's promise is failed only after the shard lock is
+        // released (promise consumers may run arbitrary code via wait
+        // chains).
+        victims.push_back(ShedVictim{std::move(shard.queue[victim].promise),
+                                     shard.queue[victim].admission});
+        ++shard.shed_by_class[static_cast<std::size_t>(
+            victims.back().admission)];
         shard.queue.erase(shard.queue.begin() +
                           static_cast<std::ptrdiff_t>(victim));
-        ++shard.shed_by_class[static_cast<std::size_t>(victim_class)];
         break;  // The eviction freed one slot for this request.
       }
     }
     if (config_.overflow_policy == OverflowPolicy::kReject) {
       ++shard.rejected;
-      return std::nullopt;
+      return false;
     }
     shard.space_event.wait(lock, [&] {
       return shard.stopping ||
@@ -123,27 +121,86 @@ std::optional<std::future<double>> InferenceServer::Submit(
   request.task = task;
   request.admission = admission;
   request.enqueue_time = Clock::now();
-  std::future<double> future = request.promise.get_future();
+  future = request.promise.get_future();
   shard.queue.push_back(std::move(request));
   ++shard.submitted;
-  const std::size_t queue_size = shard.queue.size();
-  lock.unlock();
-  if (have_victim) {
-    victim_promise.set_exception(
-        std::make_exception_ptr(RequestShedError(victim_class)));
-  }
-  // Wake the worker only when this request changes a flush condition:
-  // the queue just became non-empty (a sleeping worker must pick up this
+  // Wake a worker only when this request changes a flush condition: the
+  // queue just became non-empty (a sleeping worker must pick up this
   // request's deadline) or the batch just filled (size flush). Requests
   // landing in the middle of a window would only interrupt the worker's
   // timed wait to re-arm the identical deadline — at high request rates
   // those spurious wakeups (and their context switches) dominate the
   // cost of batched serving.
+  const std::size_t queue_size = shard.queue.size();
   if (queue_size == 1 ||
       queue_size >= static_cast<std::size_t>(config_.max_batch_size)) {
-    shard.queue_event.notify_one();
+    ++notifies;
   }
+  return true;
+}
+
+std::optional<std::future<double>> InferenceServer::Submit(
+    const assembly::BasicBlock* block, int task, AdmissionClass admission) {
+  GRANITE_CHECK(block != nullptr);
+  GRANITE_CHECK(task >= 0 && task < model_->num_tasks());
+  Shard& shard = ShardFor(*block);
+  std::vector<ShedVictim> victims;
+  int notifies = 0;
+  std::future<double> future;
+  bool admitted;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    admitted = EnqueueLocked(shard, lock, block, task, admission, victims,
+                             notifies, future);
+  }
+  for (ShedVictim& victim : victims) {
+    victim.promise.set_exception(
+        std::make_exception_ptr(RequestShedError(victim.admission)));
+  }
+  for (int i = 0; i < notifies; ++i) shard.queue_event.notify_one();
+  if (!admitted) return std::nullopt;
   return future;
+}
+
+std::vector<std::optional<std::future<double>>> InferenceServer::SubmitMany(
+    const std::vector<BatchSubmitRequest>& requests,
+    AdmissionClass admission) {
+  std::vector<std::optional<std::future<double>>> futures(requests.size());
+  // Group request indices by target shard so each shard's lock is taken
+  // once. Within a shard the input order is preserved, which makes the
+  // whole call equivalent to Submit()-per-entry in input order (two
+  // entries routed to different shards never ordered with each other
+  // anyway).
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    GRANITE_CHECK(requests[i].block != nullptr);
+    GRANITE_CHECK(requests[i].task >= 0 &&
+                  requests[i].task < model_->num_tasks());
+    by_shard[uarch::BlockFingerprint(*requests[i].block) % shards_.size()]
+        .push_back(i);
+  }
+  for (std::size_t s = 0; s < by_shard.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::vector<ShedVictim> victims;
+    int notifies = 0;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      for (std::size_t i : by_shard[s]) {
+        std::future<double> future;
+        if (EnqueueLocked(shard, lock, requests[i].block, requests[i].task,
+                          admission, victims, notifies, future)) {
+          futures[i] = std::move(future);
+        }
+      }
+    }
+    for (ShedVictim& victim : victims) {
+      victim.promise.set_exception(
+          std::make_exception_ptr(RequestShedError(victim.admission)));
+    }
+    for (int i = 0; i < notifies; ++i) shard.queue_event.notify_one();
+  }
+  return futures;
 }
 
 double InferenceServer::Predict(const assembly::BasicBlock& block, int task) {

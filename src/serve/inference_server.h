@@ -232,6 +232,13 @@ struct ServerStats {
  * breakdown, cache hit rate). */
 std::string FormatServerStats(const ServerStats& stats);
 
+/** One entry of a SubmitMany() batch: a block and its task head. The
+ * block must stay alive until the corresponding future is ready. */
+struct BatchSubmitRequest {
+  const assembly::BasicBlock* block = nullptr;
+  int task = 0;
+};
+
 /**
  * A long-lived server answering block-throughput queries with coalesced
  * batched GNN inference over per-worker shards.
@@ -273,6 +280,21 @@ class InferenceServer {
    */
   std::optional<std::future<double>> Submit(
       const assembly::BasicBlock* block, int task,
+      AdmissionClass admission = AdmissionClass::kInteractive);
+
+  /**
+   * Batch-submit helper: enqueues every request (all under `admission`),
+   * returning one optional future per request, in input order, with the
+   * exact semantics of calling Submit() once per entry in that order —
+   * same fingerprint routing, admission shedding, overflow handling, and
+   * rejection reporting. The difference is locking: requests are grouped
+   * by target shard and each shard's lock is taken once per call instead
+   * of once per request, so a scatter-gather client (e.g. the autotuner
+   * submitting a search wave) pays O(#shards) lock acquisitions instead
+   * of O(#requests). Thread-safe; locks one shard at a time.
+   */
+  std::vector<std::optional<std::future<double>>> SubmitMany(
+      const std::vector<BatchSubmitRequest>& requests,
       AdmissionClass admission = AdmissionClass::kInteractive);
 
   /**
@@ -366,8 +388,29 @@ class InferenceServer {
     std::vector<Histogram> task_latency_us;
   };
 
+  /** A request evicted by the admission policy whose promise must be
+   * failed after the shard lock is released. */
+  struct ShedVictim {
+    std::promise<double> promise;
+    AdmissionClass admission;
+  };
+
   /** The shard owning `block` (by canonical fingerprint). */
   Shard& ShardFor(const assembly::BasicBlock& block);
+
+  /**
+   * The admission/overflow/enqueue step shared by Submit and SubmitMany,
+   * run with `lock` held on `shard.mutex` (may wait on it under
+   * OverflowPolicy::kBlock). On admission, fills `future`, appends any
+   * evicted request to `victims` (to be failed after unlock), and adds
+   * the worker wakeups this enqueue earned to `notifies`; returns false
+   * on rejection (queue full under kReject, or shutting down).
+   */
+  bool EnqueueLocked(Shard& shard, std::unique_lock<std::mutex>& lock,
+                     const assembly::BasicBlock* block, int task,
+                     AdmissionClass admission,
+                     std::vector<ShedVictim>& victims, int& notifies,
+                     std::future<double>& future);
 
   /** Worker thread: waits for a flush condition on its shard, drains
    * one batch at a time. Every check happens under shard.mutex inside

@@ -101,6 +101,83 @@ TEST_F(InferenceServerTest, SizeFlushFiresBeforeTheDeadline) {
   EXPECT_DOUBLE_EQ(stats.mean_batch_occupancy, 4.0);
 }
 
+TEST_F(InferenceServerTest, SubmitManyIsBitExactWithSingleSubmits) {
+  core::GraniteModel model(&vocabulary_, TinyConfig(/*num_tasks=*/2));
+  const std::vector<double> expected_task0 = ExpectedAlone(model, 0);
+  const std::vector<double> expected_task1 = ExpectedAlone(model, 1);
+  InferenceServerConfig config;
+  config.num_workers = 2;
+  config.batch_window = microseconds{200};
+  InferenceServer server(&model, config);
+
+  std::vector<BatchSubmitRequest> requests;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    requests.push_back(BatchSubmitRequest{&blocks_[i], int(i % 2)});
+  }
+  std::vector<std::optional<std::future<double>>> batched =
+      server.SubmitMany(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  // Bit-exactness versus N single Submits: per-block predictions are
+  // batch-composition-invariant, so both paths must produce the exact
+  // per-block-alone values.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batched[i].has_value()) << i;
+    std::optional<std::future<double>> single =
+        server.Submit(requests[i].block, requests[i].task);
+    ASSERT_TRUE(single.has_value()) << i;
+    const double expected =
+        requests[i].task == 0 ? expected_task0[i] : expected_task1[i];
+    EXPECT_EQ(batched[i]->get(), expected) << i;
+    EXPECT_EQ(single->get(), expected) << i;
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 2 * requests.size());
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(InferenceServerTest, SubmitManySizeFlushesWithoutADeadline) {
+  // A full SubmitMany wave must trigger the same size flush a loop of
+  // Submits would: the window never expires, so readiness proves the
+  // batched enqueue path issued the worker wakeup.
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  const std::vector<double> expected = ExpectedAlone(model, 0);
+  InferenceServerConfig config;
+  config.max_batch_size = 4;
+  config.batch_window = kNeverWindow;
+  InferenceServer server(&model, config);
+
+  std::vector<BatchSubmitRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back(BatchSubmitRequest{&blocks_[i], 0});
+  }
+  std::vector<std::optional<std::future<double>>> futures =
+      server.SubmitMany(requests);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(futures[i].has_value());
+    EXPECT_EQ(futures[i]->get(), expected[i]);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.size_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 0u);
+}
+
+TEST_F(InferenceServerTest, SubmitManyAfterShutdownRejectsEverything) {
+  core::GraniteModel model(&vocabulary_, TinyConfig());
+  InferenceServer server(&model, InferenceServerConfig());
+  server.Shutdown();
+  std::vector<BatchSubmitRequest> requests;
+  for (int i = 0; i < 3; ++i) {
+    requests.push_back(BatchSubmitRequest{&blocks_[i], 0});
+  }
+  std::vector<std::optional<std::future<double>>> futures =
+      server.SubmitMany(requests);
+  ASSERT_EQ(futures.size(), 3u);
+  for (const std::optional<std::future<double>>& future : futures) {
+    EXPECT_FALSE(future.has_value());
+  }
+  EXPECT_EQ(server.Stats().rejected, 3u);
+}
+
 TEST_F(InferenceServerTest, DeadlineFlushServesAPartialBatch) {
   core::GraniteModel model(&vocabulary_, TinyConfig());
   const std::vector<double> expected = ExpectedAlone(model, 0);

@@ -16,6 +16,11 @@
  *   serve    Load one or more bundles into a serve::ModelRouter, replay
  *            synthetic client traffic against the named models, and
  *            print per-model per-task serving stats.
+ *   autotune Optimize basic blocks with the compiler-in-the-loop beam
+ *            search (src/autotune): pessimize each corpus block into a
+ *            naive spelling, search rewrites scored by a served bundle
+ *            (or the analytical oracle), and report per-block predicted
+ *            speedups plus the oracle-verified improved fraction.
  *   inspect  Dump a checkpoint bundle's metadata (kind, config,
  *            vocabulary size, tensor names/shapes) from the header,
  *            without constructing the model.
@@ -57,6 +62,9 @@
 #include <vector>
 
 #include "asm/parser.h"
+#include "asm/semantics.h"
+#include "autotune/search.h"
+#include "autotune/transforms.h"
 #include "base/resource_usage.h"
 #include "core/granite_model.h"
 #include "dataset/block_source.h"
@@ -193,61 +201,171 @@ Flags ParseFlags(int argc, char** argv, int first) {
   return flags;
 }
 
+/** One flag of one subcommand: its spelling, value placeholder, and
+ * one-line help. The table below is the single source of truth — both
+ * the usage text and each subcommand's known-flag check (RequireKnown)
+ * are generated from it, so a flag cannot be accepted but undocumented
+ * (or documented but rejected). */
+struct FlagSpec {
+  const char* name;
+  const char* hint;
+  const char* help;
+};
+
+/** One subcommand: name (two words for dataset subcommands), one-line
+ * summary, and its full flag set. */
+struct CommandSpec {
+  const char* name;
+  const char* summary;
+  std::vector<FlagSpec> flags;
+};
+
+const std::vector<CommandSpec>& CommandTable() {
+  static const std::vector<CommandSpec>* table = new std::vector<
+      CommandSpec>{
+      {"train",
+       "train a model and write a checkpoint bundle",
+       {{"out", "PATH", "output checkpoint bundle (required)"},
+        {"model", "granite|ithemal|ithemal_plus", "model family"},
+        {"dataset-file", "PATH",
+         "corpus file (else synthesized from --blocks)"},
+        {"blocks", "N", "synthesized corpus size"},
+        {"steps", "N", "training steps"},
+        {"tasks", "1..3", "task heads (Microarchitecture order)"},
+        {"embedding", "N", "embedding width"},
+        {"mp-iterations", "N", "message-passing iterations"},
+        {"batch-size", "N", "training batch size"},
+        {"seed", "N", "corpus + init seed"},
+        {"target-scale", "S", "cycles-per-N-iterations label scale"},
+        {"verbose", "0|1", "per-validation progress"},
+        {"backend", "reference|optimized|blas|list",
+         "kernel backend ('list' prints the registry and exits)"}}},
+      {"eval",
+       "evaluate a bundle per task on a held-out corpus",
+       {{"model-file", "PATH", "checkpoint bundle (required)"},
+        {"dataset-file", "PATH",
+         "corpus file (else synthesized from --blocks)"},
+        {"blocks", "N", "synthesized corpus size"},
+        {"seed", "N", "synthesis seed"},
+        {"target-scale", "S", "cycles-per-N-iterations label scale"},
+        {"backend", "reference|optimized|blas|list", "kernel backend"}}},
+      {"predict",
+       "predict one block's throughput on every task head",
+       {{"model-file", "PATH", "checkpoint bundle (required)"},
+        {"asm", "\"INSTR; INSTR\"",
+         "block text (else read from stdin)"},
+        {"target-scale", "S", "reporting scale"},
+        {"backend", "reference|optimized|blas|list", "kernel backend"}}},
+      {"serve",
+       "serve bundles behind a multi-model router",
+       {{"model-file", "[NAME=]PATH", "bundle route (repeatable, required)"},
+        {"requests", "N", "replayed client requests"},
+        {"shards", "N", "queue/stats shards (alias --workers)"},
+        {"workers", "N", "legacy alias of --shards"},
+        {"workers-per-shard", "N", "draining threads per shard"},
+        {"batch-size", "N", "coalesced batch size"},
+        {"window-us", "N", "batching window"},
+        {"cache", "N", "prediction cache capacity"},
+        {"blocks", "N", "synthesized traffic corpus size"},
+        {"seed", "N", "traffic seed"},
+        {"admission", "fifo|priority", "overload shedding order"},
+        {"split", "NAME=A:B:WEIGHT", "weighted A/B split route"},
+        {"shadow", "ROUTE=PATH", "mirror ROUTE to a candidate bundle"},
+        {"shadow-samples", "N", "comparisons before the parity verdict"},
+        {"promote", "0|1", "auto-promote the shadow on parity"},
+        {"backend", "reference|optimized|blas|list", "kernel backend"}}},
+      {"autotune",
+       "optimize basic blocks with beam search over the served cost model",
+       {{"model-file", "PATH",
+         "cost model bundle (else the analytical oracle scores)"},
+        {"dataset-file", "PATH",
+         "corpus file (else synthesized from --blocks)"},
+        {"blocks", "N", "synthesized corpus size"},
+        {"seed", "N", "synthesis seed"},
+        {"beam", "N", "beam width"},
+        {"depth", "N", "transform-composition rounds"},
+        {"deadline-ms", "N", "per-block search budget (0 = unlimited)"},
+        {"task", "0..2", "task head / oracle microarchitecture"},
+        {"pessimize", "N",
+         "naive-codegen rewrites applied to each input block first "
+         "(0 optimizes the corpus as-is)"},
+        {"shards", "N", "server shards (with --model-file)"},
+        {"batch-size", "N", "server batch size"},
+        {"window-us", "N", "server batching window"},
+        {"cache", "N", "server prediction cache capacity"},
+        {"verbose", "0|1", "print optimized block text"},
+        {"backend", "reference|optimized|blas|list", "kernel backend"}}},
+      {"inspect",
+       "dump checkpoint bundle metadata without loading the model",
+       {{"model-file", "PATH", "checkpoint bundle (required)"},
+        {"tensors", "0|1", "list every tensor shape"}}},
+      {"dataset synthesize",
+       "stream a labeled synthetic corpus to disk with bounded memory",
+       {{"out", "PATH", "corpus file (required)"},
+        {"blocks", "N", "corpus size (up to 100M)"},
+        {"seed", "N", "generator seed"},
+        {"tool", "ithemal|bhive", "label measurement convention"},
+        {"max-instructions", "N", "block length cap"},
+        {"shard-size", "N", "records per shard"},
+        {"verbose", "0|1", "per-shard progress"}}},
+      {"dataset import",
+       "convert a BHive-style measured CSV into a checksummed corpus",
+       {{"csv", "PATH", "input CSV (required)"},
+        {"out", "PATH", "corpus file (required)"},
+        {"tool", "ithemal|bhive", "label measurement convention"},
+        {"throughput-scale", "S", "label rescale on import"},
+        {"shard-size", "N", "records per shard"},
+        {"disasm-file", "PATH", "disassembly sidecar for raw-hex rows"},
+        {"rejects-out", "PATH", "sampled rejected rows"},
+        {"max-reject-samples", "N", "cap on sampled rejects"}}},
+      {"dataset inspect",
+       "print corpus header/stats without loading records",
+       {{"file", "PATH", "corpus file (required)"},
+        {"verify", "0|1", "full checksum pass"}}},
+  };
+  return *table;
+}
+
+/** The table row of `name`; dies if the command is not in the table (a
+ * programming error — dispatch and table must agree). */
+const CommandSpec& CommandSpecFor(const std::string& name) {
+  for (const CommandSpec& command : CommandTable()) {
+    if (name == command.name) return command;
+  }
+  std::fprintf(stderr, "granite_cli: no table entry for command '%s'\n",
+               name.c_str());
+  std::exit(2);
+}
+
+/** The known-flag set of a subcommand, for Flags::RequireKnown. */
+std::vector<std::string> KnownFlagsOf(const CommandSpec& command) {
+  std::vector<std::string> names;
+  names.reserve(command.flags.size());
+  for (const FlagSpec& flag : command.flags) names.emplace_back(flag.name);
+  return names;
+}
+
 void PrintUsage() {
   std::printf(
       "granite_cli — throughput-model training, evaluation and serving\n"
       "\n"
       "usage: granite_cli <command> [--key=value ...]\n"
       "\n"
-      "commands:\n"
-      "  train    train a model and write a checkpoint bundle\n"
-      "           --out=PATH (required), --model=granite|ithemal|\n"
-      "           ithemal_plus, --dataset-file=PATH (else a corpus is\n"
-      "           synthesized from --blocks=N), --steps=N, --tasks=1..3,\n"
-      "           --embedding=N, --mp-iterations=N, --batch-size=N,\n"
-      "           --seed=N, --target-scale=S, --verbose=1,\n"
-      "           --backend=reference|optimized|blas|list (kernel\n"
-      "           backend; also on eval/predict/serve; 'list' prints\n"
-      "           the registry incl. compiled-in status and exits)\n"
-      "  eval     evaluate a bundle per task on a held-out corpus\n"
-      "           --model-file=PATH (required), --dataset-file=PATH\n"
-      "           (else synthesized from --blocks=N), --seed=N,\n"
-      "           --target-scale=S\n"
-      "  predict  predict one block's throughput on every task head\n"
-      "           --model-file=PATH (required), --asm=\"INSTR; INSTR\"\n"
-      "           (or block text on stdin), --target-scale=S\n"
-      "  serve    serve bundles behind a multi-model router\n"
-      "           --model-file=[NAME=]PATH (repeatable, required),\n"
-      "           --requests=N, --shards=N (alias --workers=N),\n"
-      "           --workers-per-shard=N (draining threads per shard,\n"
-      "           default 1), --batch-size=N, --window-us=N, --cache=N,\n"
-      "           --blocks=N, --seed=N,\n"
-      "           --admission=fifo|priority (overload shedding order),\n"
-      "           --split=NAME=A:B:WEIGHT (weighted A/B split route),\n"
-      "           --shadow=ROUTE=PATH (mirror ROUTE to a candidate\n"
-      "           bundle), --shadow-samples=N (comparisons before the\n"
-      "           parity verdict), --promote=0|1 (auto-promote on\n"
-      "           parity, default 1)\n"
-      "  inspect  dump checkpoint bundle metadata without loading the\n"
-      "           model: --model-file=PATH (required), --tensors=1 to\n"
-      "           list every tensor shape\n"
-      "  dataset  corpus-file tooling:\n"
-      "    dataset synthesize  stream a labeled corpus to disk with\n"
-      "           bounded memory\n"
-      "           --out=PATH (required), --blocks=N (up to 100M),\n"
-      "           --seed=N, --tool=ithemal|bhive, --max-instructions=N,\n"
-      "           --shard-size=N, --verbose=1\n"
-      "    dataset import      convert a BHive-style measured CSV\n"
-      "           (block,throughput[,tool] rows) into a checksummed\n"
-      "           corpus: --csv=PATH --out=PATH (required),\n"
-      "           --tool=ithemal|bhive (default bhive),\n"
-      "           --throughput-scale=S, --shard-size=N,\n"
-      "           --disasm-file=PATH (sidecar for raw-hex rows),\n"
-      "           --rejects-out=PATH, --max-reject-samples=N\n"
-      "    dataset inspect     print corpus header/stats without loading\n"
-      "           records: --file=PATH (required), --verify=1 for a\n"
-      "           full checksum pass\n"
-      "  help     this text\n");
+      "commands:\n");
+  for (const CommandSpec& command : CommandTable()) {
+    std::printf("  %s\n      %s\n", command.name, command.summary);
+    for (const FlagSpec& flag : command.flags) {
+      const std::string spelled =
+          std::string("--") + flag.name + "=" + flag.hint;
+      if (spelled.size() > 28) {
+        std::printf("      %s\n      %-28s %s\n", spelled.c_str(), "",
+                    flag.help);
+      } else {
+        std::printf("      %-28s %s\n", spelled.c_str(), flag.help);
+      }
+    }
+  }
+  std::printf("  help\n      this text\n");
 }
 
 /**
@@ -401,9 +519,7 @@ granite::train::TrainerConfig EvalConfig(const ThroughputPredictor& model,
 }
 
 int RunTrain(const Flags& flags) {
-  flags.RequireKnown({"out", "model", "blocks", "dataset-file", "steps",
-                      "tasks", "embedding", "mp-iterations", "batch-size",
-                      "seed", "target-scale", "verbose", "backend"});
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("train")));
   ApplyBackendFlag(flags);
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
@@ -533,8 +649,7 @@ int RunTrain(const Flags& flags) {
 }
 
 int RunEval(const Flags& flags) {
-  flags.RequireKnown({"model-file", "blocks", "dataset-file", "seed",
-                      "target-scale", "backend"});
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("eval")));
   ApplyBackendFlag(flags);
   const std::string path = flags.GetString("model-file", "");
   if (path.empty()) {
@@ -574,7 +689,7 @@ int RunEval(const Flags& flags) {
 }
 
 int RunPredict(const Flags& flags) {
-  flags.RequireKnown({"model-file", "asm", "target-scale", "backend"});
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("predict")));
   ApplyBackendFlag(flags);
   const std::string path = flags.GetString("model-file", "");
   if (path.empty()) {
@@ -617,10 +732,7 @@ int RunPredict(const Flags& flags) {
 }
 
 int RunServe(const Flags& flags) {
-  flags.RequireKnown({"model-file", "requests", "blocks", "seed",
-                      "workers", "shards", "workers-per-shard", "batch-size",
-                      "window-us", "cache", "admission", "shadow",
-                      "shadow-samples", "promote", "split", "backend"});
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("serve")));
   ApplyBackendFlag(flags);
   if (flags.model_files.empty()) {
     std::fprintf(stderr,
@@ -835,8 +947,178 @@ int RunServe(const Flags& flags) {
   return 0;
 }
 
+/**
+ * The compiler-in-the-loop entry point: optimize every corpus block
+ * with autotune::BlockOptimizer, scoring candidates on a served cost
+ * model (--model-file spins up an InferenceServer) or, without a
+ * bundle, on the analytical oracle. By default each input block is
+ * first run through autotune::DeoptimizeBlock (--pessimize rewrites) to
+ * synthesize the naive-codegen spelling the search then has to win
+ * back; --pessimize=0 optimizes the corpus as-is. The summary reports
+ * the improved fraction as judged by the *analytical oracle* (not the
+ * searched model), so a trained model's wins are independently checked.
+ */
+int RunAutotune(const Flags& flags) {
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("autotune")));
+  ApplyBackendFlag(flags);
+  const int beam = static_cast<int>(flags.GetCount("beam", 4, 1, 64));
+  const int depth = static_cast<int>(flags.GetCount("depth", 5, 0, 32));
+  const long deadline_ms =
+      flags.GetCount("deadline-ms", 0, 0, 600000);
+  const int task = static_cast<int>(flags.GetCount(
+      "task", 0, 0, granite::uarch::kNumMicroarchitectures - 1));
+  const int pessimize =
+      static_cast<int>(flags.GetCount("pessimize", 3, 0, 16));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  const bool verbose = flags.GetInt("verbose", 0) != 0;
+
+  const auto microarchitecture =
+      static_cast<granite::uarch::Microarchitecture>(task);
+  const granite::uarch::ThroughputModel oracle(microarchitecture);
+
+  // Collect the input corpus: oracle-supported blocks only (the
+  // transform catalog cannot reason about unknown instructions).
+  const CorpusSource corpus =
+      MakeCorpusSource(flags, /*default_blocks=*/32, /*min_blocks=*/1,
+                       seed);
+  std::vector<granite::assembly::BasicBlock> inputs;
+  std::size_t unsupported = 0;
+  for (std::size_t i = 0; i < corpus.source->size(); ++i) {
+    const granite::assembly::BasicBlock& block =
+        *corpus.source->Get(i).block;
+    const bool supported = std::all_of(
+        block.instructions.begin(), block.instructions.end(),
+        [](const granite::assembly::Instruction& instruction) {
+          return granite::assembly::IsSupportedInstruction(instruction);
+        });
+    if (!supported) {
+      ++unsupported;
+      continue;
+    }
+    inputs.push_back(pessimize > 0
+                         ? granite::autotune::DeoptimizeBlock(
+                               block, oracle, pessimize)
+                         : block);
+  }
+  if (unsupported > 0) {
+    std::printf("skipped %zu blocks with catalog-unsupported "
+                "instructions\n",
+                unsupported);
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "granite_cli autotune: no usable blocks\n");
+    return 2;
+  }
+
+  // Cost backend: a served bundle when given, else the oracle itself.
+  std::unique_ptr<ThroughputPredictor> loaded;
+  std::unique_ptr<granite::serve::InferenceServer> server;
+  std::unique_ptr<granite::autotune::CostClient> client;
+  const std::string model_file = flags.GetString("model-file", "");
+  if (!model_file.empty()) {
+    loaded = LoadBundleOrDie(model_file);
+    if (task >= loaded->num_tasks()) {
+      std::fprintf(stderr,
+                   "granite_cli autotune: --task=%d but the bundle has "
+                   "%d task head(s)\n",
+                   task, loaded->num_tasks());
+      return 2;
+    }
+    granite::serve::InferenceServerConfig server_config;
+    server_config.num_workers =
+        static_cast<int>(flags.GetCount("shards", 2, 1, 256));
+    server_config.max_batch_size =
+        static_cast<int>(flags.GetCount("batch-size", 16, 1, 100000));
+    server_config.batch_window = std::chrono::microseconds{
+        flags.GetCount("window-us", 500, 0, 60000000)};
+    server_config.prediction_cache_capacity = static_cast<std::size_t>(
+        flags.GetCount("cache", 4096, 0, 100000000));
+    server = std::make_unique<granite::serve::InferenceServer>(
+        loaded.get(), server_config);
+    client = std::make_unique<granite::autotune::ServerCostClient>(
+        server.get(), task, granite::serve::AdmissionClass::kBatch);
+    std::printf("scoring on served %s bundle %s (task %d, %d shard(s), "
+                "batch %d)\n",
+                std::string(
+                    granite::model::ModelKindName(server->model().kind()))
+                    .c_str(),
+                model_file.c_str(), task, server_config.num_workers,
+                server_config.max_batch_size);
+  } else {
+    client = std::make_unique<granite::autotune::AnalyticalCostClient>(
+        microarchitecture);
+    std::printf("scoring with the analytical oracle (no --model-file)\n");
+  }
+
+  granite::autotune::SearchConfig search_config;
+  search_config.beam_width = beam;
+  search_config.max_depth = depth;
+  search_config.deadline = std::chrono::milliseconds{deadline_ms};
+  granite::autotune::BlockOptimizer optimizer(client.get(), search_config);
+
+  std::size_t model_improved = 0;
+  std::size_t oracle_improved = 0;
+  std::size_t unscored = 0;
+  std::size_t generated = 0, scored = 0, deduped = 0, rejected = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const granite::autotune::OptimizeResult result =
+        optimizer.Optimize(inputs[i]);
+    generated += result.candidates_generated;
+    scored += result.candidates_scored;
+    deduped += result.duplicates_skipped;
+    rejected += result.rejected;
+    if (!result.scored) {
+      ++unscored;
+      std::printf("block %zu: backend rejected the request\n", i);
+      continue;
+    }
+    const double oracle_before = oracle.CyclesPerIteration(inputs[i]);
+    const double oracle_after = oracle.CyclesPerIteration(result.best);
+    if (result.improved) ++model_improved;
+    if (oracle_after < oracle_before - 1e-9) ++oracle_improved;
+    std::string rules;
+    for (const std::string& rule : result.applied) {
+      if (!rules.empty()) rules += "+";
+      rules += rule;
+    }
+    std::printf("block %3zu: %2zu instr  cost %8.4f -> %8.4f (x%.2f)  "
+                "oracle %5.2f -> %5.2f cyc%s%s\n",
+                i, inputs[i].instructions.size(), result.original_cost,
+                result.best_cost, result.predicted_speedup, oracle_before,
+                oracle_after, rules.empty() ? "" : "  via ",
+                rules.c_str());
+    if (verbose && result.improved) {
+      std::printf("--- input:\n%s--- optimized:\n%s",
+                  inputs[i].ToString().c_str(),
+                  result.best.ToString().c_str());
+    }
+  }
+
+  const std::size_t judged = inputs.size() - unscored;
+  std::printf("\noptimized %zu blocks: %zu improved per cost model "
+              "(%.1f%%)\n",
+              judged, model_improved,
+              judged == 0 ? 0.0 : 100.0 * model_improved / judged);
+  std::printf("improved %zu / %zu blocks (%.1f%%) per analytical oracle\n",
+              oracle_improved, judged,
+              judged == 0 ? 0.0 : 100.0 * oracle_improved / judged);
+  std::printf("candidates: %zu generated, %zu scored, %zu deduped "
+              "in-wave, %zu rejected\n",
+              generated, scored, deduped, rejected);
+  if (server != nullptr) {
+    const granite::serve::ServerStats stats = server->Stats();
+    std::printf("server: cache hit rate %.1f%%, %llu completed, "
+                "mean batch occupancy %.2f, qps %.0f\n",
+                100.0 * stats.cache_hit_rate,
+                static_cast<unsigned long long>(stats.completed),
+                stats.mean_batch_occupancy, stats.qps);
+    server->Shutdown();
+  }
+  return 0;
+}
+
 int RunInspect(const Flags& flags) {
-  flags.RequireKnown({"model-file", "tensors"});
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("inspect")));
   const std::string path = flags.GetString("model-file", "");
   if (path.empty()) {
     std::fprintf(stderr,
@@ -872,8 +1154,7 @@ int RunInspect(const Flags& flags) {
 }
 
 int RunDatasetSynthesize(const Flags& flags) {
-  flags.RequireKnown({"out", "blocks", "seed", "tool", "max-instructions",
-                      "shard-size", "verbose"});
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("dataset synthesize")));
   const std::string out = flags.GetString("out", "");
   if (out.empty()) {
     std::fprintf(stderr,
@@ -954,9 +1235,7 @@ int RunDatasetSynthesize(const Flags& flags) {
 }
 
 int RunDatasetImport(const Flags& flags) {
-  flags.RequireKnown({"csv", "out", "tool", "throughput-scale",
-                      "shard-size", "disasm-file", "rejects-out",
-                      "max-reject-samples"});
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("dataset import")));
   const std::string csv = flags.GetString("csv", "");
   const std::string out = flags.GetString("out", "");
   if (csv.empty() || out.empty()) {
@@ -1037,7 +1316,7 @@ int RunDatasetImport(const Flags& flags) {
 }
 
 int RunDatasetInspect(const Flags& flags) {
-  flags.RequireKnown({"file", "verify"});
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("dataset inspect")));
   const std::string path = flags.GetString("file", "");
   if (path.empty()) {
     std::fprintf(stderr,
@@ -1125,6 +1404,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return RunEval(flags);
     if (command == "predict") return RunPredict(flags);
     if (command == "serve") return RunServe(flags);
+    if (command == "autotune") return RunAutotune(flags);
     if (command == "inspect") return RunInspect(flags);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "granite_cli: %s\n", error.what());
