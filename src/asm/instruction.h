@@ -5,6 +5,10 @@
  * A basic block is a straight-line sequence of instructions with neither
  * incoming nor outgoing branches (paper §1), which is why branch
  * instructions never appear here.
+ *
+ * Thread-safety: plain value types with no shared state — safe to read
+ * concurrently; concurrent mutation of one object needs external
+ * exclusion, like any value.
  */
 #ifndef GRANITE_ASM_INSTRUCTION_H_
 #define GRANITE_ASM_INSTRUCTION_H_

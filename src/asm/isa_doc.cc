@@ -1,0 +1,184 @@
+#include "asm/isa_doc.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/registers.h"
+#include "asm/semantics.h"
+
+namespace granite::assembly {
+namespace {
+
+/** Renders one arity's usage vector as "rw, r" (or "none"). */
+std::string UsageText(const std::vector<OperandUsage>& usage) {
+  if (usage.empty()) return "none";
+  std::string out;
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    if (i > 0) out += ", ";
+    switch (usage[i]) {
+      case OperandUsage::kRead: out += "r"; break;
+      case OperandUsage::kWrite: out += "w"; break;
+      case OperandUsage::kReadWrite: out += "rw"; break;
+    }
+  }
+  return out;
+}
+
+/** Renders every supported arity, " / "-separated. */
+std::string OperandsText(const InstructionSemantics& semantics) {
+  std::string out;
+  for (std::size_t i = 0; i < semantics.usage_by_arity.size(); ++i) {
+    if (i > 0) out += " / ";
+    out += UsageText(semantics.usage_by_arity[i]);
+  }
+  return out;
+}
+
+std::string FlagsText(const InstructionSemantics& semantics) {
+  if (semantics.reads_flags && semantics.writes_flags) return "r+w";
+  if (semantics.reads_flags) return "r";
+  if (semantics.writes_flags) return "w";
+  return "—";
+}
+
+std::string RegisterListText(const std::vector<Register>& registers) {
+  std::string out;
+  for (std::size_t i = 0; i < registers.size(); ++i) {
+    if (i > 0) out += ",";
+    out += RegisterName(registers[i]);
+  }
+  return out;
+}
+
+/** Implicit register/memory/string effects, ";"-separated ("—" if none). */
+std::string ImplicitsText(const InstructionSemantics& semantics) {
+  std::vector<std::string> parts;
+  if (!semantics.implicit_reads.empty()) {
+    parts.push_back("reads " + RegisterListText(semantics.implicit_reads));
+  }
+  if (!semantics.implicit_writes.empty()) {
+    parts.push_back("writes " +
+                    RegisterListText(semantics.implicit_writes));
+  }
+  if (semantics.implicit_operands_unary_only) {
+    parts.push_back("unary form only");
+  }
+  if (semantics.implicit_memory_read) parts.push_back("mem read");
+  if (semantics.implicit_memory_write) parts.push_back("mem write");
+  if (semantics.is_string_op) parts.push_back("string (REP aware)");
+  if (parts.empty()) return "—";
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderIsaReference() {
+  const SemanticsCatalog& catalog = SemanticsCatalog::Get();
+  const std::vector<std::string> mnemonics = catalog.Mnemonics();
+
+  // Latency-class (category) counts and the family count, for the
+  // summary sections. std::map keeps the category listing sorted by name.
+  std::map<std::string, std::size_t> per_category;
+  std::set<std::string> families;
+  for (const std::string& mnemonic : mnemonics) {
+    const InstructionSemantics& semantics = catalog.Require(mnemonic);
+    ++per_category[std::string(InstructionCategoryName(semantics.category))];
+    families.insert(semantics.family);
+  }
+
+  std::ostringstream out;
+  out << "# x86-64 instruction semantics reference\n"
+      << "\n"
+      << "> **Generated file — do not edit.** This document renders the\n"
+      << "> instruction table in `src/asm/semantics.cc`. Regenerate with\n"
+      << "> `granite_cli isa --doc=docs/ISA.md`; CI regenerates and diffs\n"
+      << "> it, so manual edits cannot survive.\n"
+      << "\n"
+      << "The parser, the graph encoder, the throughput simulators and\n"
+      << "the autotuner's legality checks all understand exactly the\n"
+      << "mnemonics below — " << mnemonics.size() << " mnemonics in "
+      << families.size() << " alias families. An instruction outside this\n"
+      << "table is rejected at import time (see\n"
+      << "[DATASETS.md](DATASETS.md) for the triage runbook); adding\n"
+      << "support means adding a table row, and this document follows\n"
+      << "automatically.\n"
+      << "\n"
+      << "**Legend.** *Operands* lists explicit-operand usage for every\n"
+      << "supported operand count, slash-separated: `r` read, `w` write,\n"
+      << "`rw` read-write (`none` = a zero-operand form). *Flags* is the\n"
+      << "EFLAGS effect (`r`, `w`, `r+w`, or `—`). *Latency class* is the\n"
+      << "functional category the per-microarchitecture scheduling tables\n"
+      << "key on (`src/uarch`). *Family* groups the alias family of the\n"
+      << "defining table row — all 30 `CMOVcc` condition aliases share\n"
+      << "one row. *Implicit effects* are register and memory accesses\n"
+      << "beyond the explicit operands.\n"
+      << "\n"
+      << "## Coverage by latency class\n"
+      << "\n"
+      << "| Latency class | Mnemonics |\n"
+      << "| --- | ---: |\n";
+  for (const auto& [category, count] : per_category) {
+    out << "| " << category << " | " << count << " |\n";
+  }
+  out << "\n"
+      << "## Instruction table\n"
+      << "\n"
+      << "| Mnemonic | Operands | Flags | Latency class | Family | "
+      << "Implicit effects |\n"
+      << "| --- | --- | --- | --- | --- | --- |\n";
+  for (const std::string& mnemonic : mnemonics) {
+    const InstructionSemantics& semantics = catalog.Require(mnemonic);
+    out << "| " << mnemonic << " | " << OperandsText(semantics) << " | "
+        << FlagsText(semantics) << " | "
+        << InstructionCategoryName(semantics.category) << " | "
+        << semantics.family << " | " << ImplicitsText(semantics) << " |\n";
+  }
+  return out.str();
+}
+
+std::string RenderIsaSummary() {
+  const SemanticsCatalog& catalog = SemanticsCatalog::Get();
+  const std::vector<std::string> mnemonics = catalog.Mnemonics();
+  std::map<std::string, std::size_t> per_category;
+  std::set<std::string> families;
+  for (const std::string& mnemonic : mnemonics) {
+    const InstructionSemantics& semantics = catalog.Require(mnemonic);
+    ++per_category[std::string(InstructionCategoryName(semantics.category))];
+    families.insert(semantics.family);
+  }
+  std::ostringstream out;
+  out << "semantics catalog: " << mnemonics.size() << " mnemonics, "
+      << families.size() << " alias families, " << per_category.size()
+      << " latency classes\n";
+  for (const auto& [category, count] : per_category) {
+    out << "  " << category;
+    for (std::size_t pad = category.size(); pad < 18; ++pad) out << ' ';
+    out << count << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderIsaLookup(std::string_view mnemonic) {
+  const InstructionSemantics* semantics =
+      SemanticsCatalog::Get().Find(mnemonic);
+  if (semantics == nullptr) return std::string();
+  std::ostringstream out;
+  out << semantics->mnemonic << "\n"
+      << "  family:           " << semantics->family << "\n"
+      << "  latency class:    "
+      << InstructionCategoryName(semantics->category) << "\n"
+      << "  operands:         " << OperandsText(*semantics) << "\n"
+      << "  flags:            " << FlagsText(*semantics) << "\n"
+      << "  implicit effects: " << ImplicitsText(*semantics) << "\n";
+  return out.str();
+}
+
+}  // namespace granite::assembly

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Generated ISA reference rendering.
+ *
+ * Renders the semantics catalog (src/asm/semantics) into the Markdown
+ * reference checked in as docs/ISA.md, plus the coverage summary and the
+ * per-mnemonic lookup text behind `granite_cli isa`. Every byte comes
+ * from the instruction table: the doc is a build artifact, and CI
+ * regenerates and diffs it so it can never drift from the code.
+ *
+ * Threading contract: all functions are pure renderings of the immutable
+ * process-wide catalog and are safe to call concurrently.
+ */
+#ifndef GRANITE_ASM_ISA_DOC_H_
+#define GRANITE_ASM_ISA_DOC_H_
+
+#include <string>
+#include <string_view>
+
+namespace granite::assembly {
+
+/**
+ * Renders the full Markdown ISA reference (the exact intended content of
+ * docs/ISA.md, trailing newline included). Deterministic: depends only
+ * on the instruction table.
+ */
+std::string RenderIsaReference();
+
+/** Renders the `granite_cli isa` coverage summary: catalog size and
+ * per-latency-class mnemonic counts. */
+std::string RenderIsaSummary();
+
+/**
+ * Renders a multi-line description of one mnemonic (case-insensitive):
+ * category, operand usage per arity, flag effects, implicit operands.
+ * Returns an empty string when the mnemonic is not in the catalog.
+ */
+std::string RenderIsaLookup(std::string_view mnemonic);
+
+}  // namespace granite::assembly
+
+#endif  // GRANITE_ASM_ISA_DOC_H_

@@ -6,6 +6,10 @@
  * immediate, a memory reference (base + index*scale + displacement with an
  * optional segment override), or a bare address computation (the source
  * operand of LEA, which computes an address without touching memory).
+ *
+ * Thread-safety: plain value types with no shared state — safe to read
+ * concurrently; concurrent mutation of one object needs external
+ * exclusion, like any value.
  */
 #ifndef GRANITE_ASM_OPERAND_H_
 #define GRANITE_ASM_OPERAND_H_

@@ -10,6 +10,10 @@
  * Errors are reported as std::optional-miss plus a message, never by
  * aborting, because malformed input is a user error (gem5 `fatal`
  * philosophy), and callers may want to skip unparseable blocks.
+ *
+ * Thread-safety: parsing is a pure function of its input (after the
+ * immutable register/semantics tables are built on first use) — all
+ * entry points are safe to call concurrently.
  */
 #ifndef GRANITE_ASM_PARSER_H_
 #define GRANITE_ASM_PARSER_H_

@@ -8,6 +8,9 @@
  * canonicalize to RAX). Dependency tracking in the graph builder and in the
  * throughput simulator is done on canonical ids, which models the partial
  * register aliasing relevant for data dependencies.
+ *
+ * Thread-safety: the register table is built once and immutable
+ * afterwards; every lookup function is safe to call concurrently.
  */
 #ifndef GRANITE_ASM_REGISTERS_H_
 #define GRANITE_ASM_REGISTERS_H_

@@ -56,328 +56,366 @@ namespace {
 using Category = InstructionCategory;
 using Usage = OperandUsage;
 
-constexpr Usage R = Usage::kRead;
-constexpr Usage W = Usage::kWrite;
-constexpr Usage RW = Usage::kReadWrite;
-
-/** Fluent builder collecting catalog entries. */
-class CatalogBuilder {
- public:
-  InstructionSemantics& Add(const std::string& mnemonic, Category category,
-                            std::vector<std::vector<Usage>> usage) {
-    InstructionSemantics entry;
-    entry.mnemonic = mnemonic;
-    entry.category = category;
-    entry.usage_by_arity = std::move(usage);
-    entries_.push_back(std::move(entry));
-    return entries_.back();
-  }
-
-  /** Registers a family such as CMOVcc with per-condition mnemonics. */
-  void AddConditionFamily(const std::string& stem, Category category,
-                          std::vector<std::vector<Usage>> usage,
-                          bool reads_flags, bool writes_flags) {
-    // Includes the alias spellings real disassemblers emit for the same
-    // condition codes (SETNZ == SETNE, CMOVC == CMOVB, SETPE == SETP, ...)
-    // so objdump/llvm-mc output is not dropped as unknown mnemonics.
-    static const char* kConditions[] = {
-        "E",  "NE",  "L",  "LE",  "G",  "GE",  "A",  "AE", "B",  "BE",
-        "S",  "NS",  "Z",  "NZ",  "C",  "NC",  "O",  "NO", "P",  "NP",
-        "PE", "PO",  "NA", "NAE", "NB", "NBE", "NG", "NGE", "NL", "NLE"};
-    for (const char* condition : kConditions) {
-      InstructionSemantics& entry =
-          Add(stem + condition, category, usage);
-      entry.reads_flags = reads_flags;
-      entry.writes_flags = writes_flags;
-    }
-  }
-
-  std::vector<InstructionSemantics> Take() { return std::move(entries_); }
-
- private:
-  std::vector<InstructionSemantics> entries_;
+// Attribute bits of a table row.
+enum RowAttr : unsigned {
+  kRF = 1u << 0,    ///< Reads EFLAGS.
+  kWF = 1u << 1,    ///< Writes EFLAGS.
+  kStr = 1u << 2,   ///< String operation (REP makes RCX read-write).
+  kMemR = 1u << 3,  ///< Implicit memory read (POP, MOVSB).
+  kMemW = 1u << 4,  ///< Implicit memory write (PUSH, STOSB).
+  kCC = 1u << 5,    ///< Condition-code family: each mnemonic is a stem
+                    ///< expanded with the 30 condition suffixes.
+  kImp1 = 1u << 6,  ///< Implicit registers apply to the unary form only.
 };
 
-std::vector<InstructionSemantics> BuildCatalog() {
-  CatalogBuilder builder;
-  const Register rax = RegisterByName("RAX");
-  const Register rdx = RegisterByName("RDX");
-  const Register rsp = RegisterByName("RSP");
-  const Register rsi = RegisterByName("RSI");
-  const Register rdi = RegisterByName("RDI");
+constexpr unsigned kRWF = kRF | kWF;
 
-  // ---- Data movement ------------------------------------------------------
-  builder.Add("MOV", Category::kMove, {{W, R}});
-  for (const char* mnemonic : {"MOVZX", "MOVSX", "MOVSXD"}) {
-    builder.Add(mnemonic, Category::kMoveExtend, {{W, R}});
-  }
-  builder.Add("LEA", Category::kLea, {{W, R}});
-  {
-    auto& entry = builder.Add("XCHG", Category::kExchange, {{RW, RW}});
-    (void)entry;
-  }
-  {
-    auto& entry = builder.Add("XADD", Category::kExchange, {{RW, RW}});
-    entry.writes_flags = true;
-  }
-  {
-    auto& entry = builder.Add("CMPXCHG", Category::kExchange, {{RW, R}});
-    entry.writes_flags = true;
-    entry.implicit_reads = {rax};
-    entry.implicit_writes = {rax};
-  }
+/**
+ * One declarative row of the instruction table. A row covers a *family*
+ * of mnemonics sharing identical semantics:
+ *
+ *   - `mnemonics` is a space-separated mnemonic list; with the kCC
+ *     attribute each entry is a stem ("CMOV") expanded with all 30
+ *     condition-code suffixes, alias spellings included.
+ *   - `family` is the display name used by the generated ISA reference
+ *     (empty = each mnemonic is its own family).
+ *   - `category` is the functional category — and thereby the latency
+ *     class: src/uarch assigns uop decomposition, ports and latency per
+ *     category, so a new row needs no per-uarch table change.
+ *   - `signatures` encodes explicit-operand usage per supported arity:
+ *     'R' read, 'W' write, 'X' read-write, '-' a zero-operand form,
+ *     '/' separates arities ("X/XR" = unary {rw} and binary {rw, r}).
+ *   - `implicit_reads` / `implicit_writes` are comma-separated canonical
+ *     register names.
+ *
+ * Rows are constexpr-friendly plain data: the whole ISA surface is this
+ * table, the loader below, and nothing else — the generated docs/ISA.md
+ * renders from the same rows via src/asm/isa_doc.
+ */
+struct InstructionRow {
+  const char* mnemonics;
+  const char* family;
+  Category category;
+  const char* signatures;
+  unsigned attrs;
+  const char* implicit_reads;
+  const char* implicit_writes;
+};
 
-  // ---- Stack --------------------------------------------------------------
-  {
-    auto& entry = builder.Add("PUSH", Category::kPush, {{R}});
-    entry.implicit_reads = {rsp};
-    entry.implicit_writes = {rsp};
-    entry.implicit_memory_write = true;
-  }
-  {
-    auto& entry = builder.Add("POP", Category::kPop, {{W}});
-    entry.implicit_reads = {rsp};
-    entry.implicit_writes = {rsp};
-    entry.implicit_memory_read = true;
-  }
+constexpr InstructionRow kInstructionTable[] = {
+    // ---- Data movement ----------------------------------------------------
+    {"MOV", "", Category::kMove, "WR", 0, "", ""},
+    {"MOVZX MOVSX MOVSXD", "widening move", Category::kMoveExtend, "WR", 0,
+     "", ""},
+    {"MOVBE", "", Category::kMove, "WR", 0, "", ""},
+    {"MOVNTI", "", Category::kMove, "WR", 0, "", ""},
+    {"LEA", "", Category::kLea, "WR", 0, "", ""},
+    {"XCHG", "exchange", Category::kExchange, "XX", 0, "", ""},
+    {"XADD", "exchange", Category::kExchange, "XX", kWF, "", ""},
+    {"CMPXCHG", "exchange", Category::kExchange, "XR", kWF, "RAX", "RAX"},
 
-  // ---- Integer ALU --------------------------------------------------------
-  for (const char* mnemonic : {"ADD", "SUB", "AND", "OR", "XOR"}) {
-    auto& entry = builder.Add(mnemonic, Category::kAluSimple, {{RW, R}});
-    entry.writes_flags = true;
-  }
-  for (const char* mnemonic : {"INC", "DEC", "NEG"}) {
-    auto& entry = builder.Add(mnemonic, Category::kAluSimple, {{RW}});
-    entry.writes_flags = true;
-  }
-  builder.Add("NOT", Category::kAluSimple, {{RW}});
-  for (const char* mnemonic : {"ADC", "SBB"}) {
-    auto& entry = builder.Add(mnemonic, Category::kAluCarry, {{RW, R}});
-    entry.reads_flags = true;
-    entry.writes_flags = true;
-  }
-  for (const char* mnemonic : {"CMP", "TEST"}) {
-    auto& entry = builder.Add(mnemonic, Category::kAluCompare, {{R, R}});
-    entry.writes_flags = true;
-  }
+    // ---- Stack ------------------------------------------------------------
+    {"PUSH", "stack", Category::kPush, "R", kMemW, "RSP", "RSP"},
+    {"POP", "stack", Category::kPop, "W", kMemR, "RSP", "RSP"},
 
-  // ---- Shifts and bit manipulation ---------------------------------------
-  for (const char* mnemonic : {"SHL", "SHR", "SAR", "ROL", "ROR"}) {
-    auto& entry =
-        builder.Add(mnemonic, Category::kShift, {{RW}, {RW, R}});
-    entry.writes_flags = true;
-  }
-  for (const char* mnemonic : {"SHLD", "SHRD"}) {
-    auto& entry = builder.Add(mnemonic, Category::kShiftDouble,
-                              {{RW, R, R}});
-    entry.writes_flags = true;
-  }
-  {
-    auto& entry = builder.Add("BT", Category::kBitTest, {{R, R}});
-    entry.writes_flags = true;
-  }
-  for (const char* mnemonic : {"BTS", "BTR", "BTC"}) {
-    auto& entry = builder.Add(mnemonic, Category::kBitTest, {{RW, R}});
-    entry.writes_flags = true;
-  }
-  for (const char* mnemonic :
-       {"BSF", "BSR", "POPCNT", "LZCNT", "TZCNT"}) {
-    auto& entry = builder.Add(mnemonic, Category::kBitScan, {{W, R}});
-    entry.writes_flags = true;
-  }
-  builder.Add("BSWAP", Category::kBitScan, {{RW}});
+    // ---- Integer ALU ------------------------------------------------------
+    {"ADD SUB AND OR XOR", "integer ALU", Category::kAluSimple, "XR", kWF,
+     "", ""},
+    {"INC DEC NEG", "integer ALU", Category::kAluSimple, "X", kWF, "", ""},
+    {"NOT", "integer ALU", Category::kAluSimple, "X", 0, "", ""},
+    {"ADC SBB", "carry ALU", Category::kAluCarry, "XR", kRWF, "", ""},
+    {"ADCX ADOX", "carry ALU", Category::kAluCarry, "XR", kRWF, "", ""},
+    {"CMP TEST", "compare", Category::kAluCompare, "RR", kWF, "", ""},
 
-  // ---- Integer multiplication and division --------------------------------
-  {
-    auto& entry = builder.Add("MUL", Category::kMulInteger, {{R}});
-    entry.writes_flags = true;
-    entry.implicit_reads = {rax};
-    entry.implicit_writes = {rax, rdx};
-  }
-  {
-    // IMUL has one-, two- and three-operand forms.
-    auto& entry = builder.Add("IMUL", Category::kMulInteger,
-                              {{R}, {RW, R}, {W, R, R}});
-    entry.writes_flags = true;
-    // The implicit accumulator applies only to the one-operand form;
-    // consumers must consult ImplicitOperandsApply().
-    entry.implicit_reads = {rax};
-    entry.implicit_writes = {rax, rdx};
-  }
-  for (const char* mnemonic : {"DIV", "IDIV"}) {
-    auto& entry = builder.Add(mnemonic, Category::kDivInteger, {{R}});
-    entry.writes_flags = true;
-    entry.implicit_reads = {rax, rdx};
-    entry.implicit_writes = {rax, rdx};
-  }
+    // ---- Shifts and bit manipulation ---------------------------------------
+    {"SHL SAL SHR SAR ROL ROR", "shift/rotate", Category::kShift, "X/XR",
+     kWF, "", ""},
+    {"RCL RCR", "rotate through carry", Category::kShift, "X/XR", kRWF, "",
+     ""},
+    {"SHLD SHRD", "double shift", Category::kShiftDouble, "XRR", kWF, "",
+     ""},
+    {"BT", "bit test", Category::kBitTest, "RR", kWF, "", ""},
+    {"BTS BTR BTC", "bit test", Category::kBitTest, "XR", kWF, "", ""},
+    {"BSF BSR POPCNT LZCNT TZCNT", "bit scan", Category::kBitScan, "WR",
+     kWF, "", ""},
+    {"BSWAP", "", Category::kBitScan, "X", 0, "", ""},
 
-  // ---- Conditional data movement ------------------------------------------
-  builder.AddConditionFamily("CMOV", Category::kConditionalMove, {{RW, R}},
-                             /*reads_flags=*/true, /*writes_flags=*/false);
-  builder.AddConditionFamily("SET", Category::kSetcc, {{W}},
-                             /*reads_flags=*/true, /*writes_flags=*/false);
+    // ---- Integer multiplication and division -------------------------------
+    {"MUL", "integer multiply", Category::kMulInteger, "R", kWF, "RAX",
+     "RAX,RDX"},
+    // IMUL has one-, two- and three-operand forms; the implicit
+    // accumulator applies only to the one-operand form (kImp1).
+    {"IMUL", "integer multiply", Category::kMulInteger, "R/XR/WRR",
+     kWF | kImp1, "RAX", "RAX,RDX"},
+    {"DIV IDIV", "integer divide", Category::kDivInteger, "R", kWF,
+     "RAX,RDX", "RAX,RDX"},
 
-  // ---- Accumulator sign extension -----------------------------------------
-  for (const char* mnemonic : {"CDQ", "CQO"}) {
-    auto& entry = builder.Add(mnemonic, Category::kSignExtend, {{}});
-    entry.implicit_reads = {rax};
-    entry.implicit_writes = {rdx};
-  }
-  for (const char* mnemonic : {"CBW", "CWDE", "CDQE"}) {
-    auto& entry = builder.Add(mnemonic, Category::kSignExtend, {{}});
-    entry.implicit_reads = {rax};
-    entry.implicit_writes = {rax};
-  }
+    // ---- Conditional data movement ------------------------------------------
+    {"CMOV", "CMOVcc", Category::kConditionalMove, "XR", kRF | kCC, "", ""},
+    {"SET", "SETcc", Category::kSetcc, "W", kRF | kCC, "", ""},
 
-  builder.Add("NOP", Category::kNop, {{}, {R}});
+    // ---- Accumulator sign extension -----------------------------------------
+    {"CDQ CQO", "sign extend", Category::kSignExtend, "-", 0, "RAX", "RDX"},
+    {"CBW CWDE CDQE", "sign extend", Category::kSignExtend, "-", 0, "RAX",
+     "RAX"},
 
-  // ---- Vector / floating point moves --------------------------------------
-  for (const char* mnemonic : {"MOVAPS", "MOVUPS", "MOVAPD", "MOVUPD",
-                               "MOVDQA", "MOVDQU", "MOVSS", "MOVSD", "MOVQ",
-                               "MOVD"}) {
-    builder.Add(mnemonic, Category::kVecMove, {{W, R}});
-  }
+    {"NOP", "", Category::kNop, "-/R", 0, "", ""},
 
-  // ---- Floating-point arithmetic -------------------------------------------
-  for (const char* mnemonic : {"ADDPS", "ADDPD", "ADDSS", "ADDSD", "SUBPS",
-                               "SUBPD", "SUBSS", "SUBSD", "MINSS", "MINSD",
-                               "MAXSS", "MAXSD"}) {
-    builder.Add(mnemonic, Category::kVecFpAdd, {{RW, R}});
-  }
-  for (const char* mnemonic : {"MULPS", "MULPD", "MULSS", "MULSD"}) {
-    builder.Add(mnemonic, Category::kVecFpMul, {{RW, R}});
-  }
-  for (const char* mnemonic : {"DIVPS", "DIVPD", "DIVSS", "DIVSD"}) {
-    builder.Add(mnemonic, Category::kVecFpDiv, {{RW, R}});
-  }
-  for (const char* mnemonic : {"SQRTPS", "SQRTPD", "SQRTSS", "SQRTSD"}) {
-    builder.Add(mnemonic, Category::kVecFpSqrt, {{W, R}});
-  }
-  for (const char* mnemonic : {"UCOMISS", "UCOMISD", "COMISS", "COMISD"}) {
-    auto& entry = builder.Add(mnemonic, Category::kVecFpCompare, {{R, R}});
-    entry.writes_flags = true;
-  }
+    // ---- Vector / floating point moves --------------------------------------
+    {"MOVAPS MOVUPS MOVAPD MOVUPD MOVDQA MOVDQU MOVSS MOVSD MOVQ MOVD",
+     "vector move", Category::kVecMove, "WR", 0, "", ""},
+    {"MOVLPS MOVHPS MOVLPD MOVHPD", "vector partial move",
+     Category::kVecMove, "XR", 0, "", ""},
+    {"MOVDDUP MOVSHDUP MOVSLDUP LDDQU", "vector move", Category::kVecMove,
+     "WR", 0, "", ""},
+    {"MOVNTPS MOVNTPD MOVNTDQ", "vector non-temporal store",
+     Category::kVecMove, "WR", 0, "", ""},
+    {"MOVMSKPS MOVMSKPD PMOVMSKB", "mask extract", Category::kVecMove,
+     "WR", 0, "", ""},
 
-  // ---- Packed integer arithmetic -------------------------------------------
-  for (const char* mnemonic : {"PADDB", "PADDW", "PADDD", "PADDQ", "PSUBB",
-                               "PSUBW", "PSUBD", "PSUBQ", "PAND", "POR",
-                               "PXOR", "PANDN", "PCMPEQB", "PCMPEQD",
-                               "PCMPGTD", "PMINSD", "PMAXSD"}) {
-    builder.Add(mnemonic, Category::kVecInt, {{RW, R}});
-  }
-  for (const char* mnemonic : {"PSLLD", "PSRLD", "PSLLQ", "PSRLQ", "PSLLW",
-                               "PSRLW"}) {
-    builder.Add(mnemonic, Category::kVecInt, {{RW, R}});
-  }
-  for (const char* mnemonic : {"PMULLD", "PMULLW", "PMULUDQ"}) {
-    builder.Add(mnemonic, Category::kVecIntMul, {{RW, R}});
-  }
-  builder.Add("PSHUFD", Category::kVecShuffle, {{W, R, R}});
-  builder.Add("SHUFPS", Category::kVecShuffle, {{RW, R, R}});
-  builder.Add("UNPCKLPS", Category::kVecShuffle, {{RW, R}});
+    // ---- Floating-point arithmetic ------------------------------------------
+    {"ADDPS ADDPD ADDSS ADDSD SUBPS SUBPD SUBSS SUBSD MINSS MINSD MAXSS "
+     "MAXSD",
+     "FP add/sub/min/max", Category::kVecFpAdd, "XR", 0, "", ""},
+    {"MINPS MINPD MAXPS MAXPD", "FP add/sub/min/max", Category::kVecFpAdd,
+     "XR", 0, "", ""},
+    {"HADDPS HADDPD HSUBPS HSUBPD ADDSUBPS ADDSUBPD", "FP horizontal",
+     Category::kVecFpAdd, "XR", 0, "", ""},
+    {"MULPS MULPD MULSS MULSD", "FP multiply", Category::kVecFpMul, "XR", 0,
+     "", ""},
+    {"RCPPS RCPSS RSQRTPS RSQRTSS", "FP approximate",
+     Category::kVecFpMul, "WR", 0, "", ""},
+    {"DIVPS DIVPD DIVSS DIVSD", "FP divide", Category::kVecFpDiv, "XR", 0,
+     "", ""},
+    {"SQRTPS SQRTPD SQRTSS SQRTSD", "FP square root", Category::kVecFpSqrt,
+     "WR", 0, "", ""},
+    {"UCOMISS UCOMISD COMISS COMISD", "FP compare to EFLAGS",
+     Category::kVecFpCompare, "RR", kWF, "", ""},
+    // The SSE compare family writes a lane mask, not EFLAGS. "CMPSD"
+    // collides with the string compare; the SSE form owns the name (the
+    // string form is not modeled), matching the MOVSD convention below.
+    {"CMPPS CMPPD CMPSS CMPSD", "FP compare to mask",
+     Category::kVecFpCompare, "XRR", 0, "", ""},
+    {"PTEST", "", Category::kVecFpCompare, "RR", kWF, "", ""},
 
-  // ---- Conversions ----------------------------------------------------------
-  for (const char* mnemonic : {"CVTSI2SD", "CVTSI2SS", "CVTSD2SI",
-                               "CVTSS2SI", "CVTTSD2SI", "CVTTSS2SI",
-                               "CVTSD2SS", "CVTSS2SD"}) {
-    builder.Add(mnemonic, Category::kConvert, {{W, R}});
-  }
+    // ---- Packed integer arithmetic ------------------------------------------
+    {"PADDB PADDW PADDD PADDQ PSUBB PSUBW PSUBD PSUBQ PAND POR PXOR PANDN "
+     "PCMPEQB PCMPEQD PCMPGTD PMINSD PMAXSD",
+     "packed int ALU", Category::kVecInt, "XR", 0, "", ""},
+    {"PADDSB PADDSW PADDUSB PADDUSW PSUBSB PSUBSW PSUBUSB PSUBUSW",
+     "packed int saturating", Category::kVecInt, "XR", 0, "", ""},
+    {"PCMPEQW PCMPEQQ PCMPGTB PCMPGTW PCMPGTQ", "packed int compare",
+     Category::kVecInt, "XR", 0, "", ""},
+    {"PMINSB PMINSW PMINUB PMINUW PMINUD PMAXSB PMAXSW PMAXUB PMAXUW "
+     "PMAXUD",
+     "packed int min/max", Category::kVecInt, "XR", 0, "", ""},
+    {"PAVGB PAVGW", "packed int average", Category::kVecInt, "XR", 0, "",
+     ""},
+    {"PABSB PABSW PABSD", "packed int absolute", Category::kVecInt, "WR", 0,
+     "", ""},
+    {"PSLLD PSRLD PSLLQ PSRLQ PSLLW PSRLW PSRAW PSRAD PSLLDQ PSRLDQ",
+     "packed int shift", Category::kVecInt, "XR", 0, "", ""},
+    {"XORPS XORPD ANDPS ANDPD ANDNPS ANDNPD ORPS ORPD", "FP bitwise",
+     Category::kVecInt, "XR", 0, "", ""},
+    {"PMULLD PMULLW PMULUDQ", "packed int multiply", Category::kVecIntMul,
+     "XR", 0, "", ""},
+    {"PMULHW PMULHUW PMULDQ PMADDWD PSADBW", "packed int multiply",
+     Category::kVecIntMul, "XR", 0, "", ""},
 
-  // ---- AVX (VEX-encoded, non-destructive three-operand forms) -------------
-  for (const char* mnemonic : {"VMOVAPS", "VMOVUPS", "VMOVAPD", "VMOVUPD",
-                               "VMOVDQA", "VMOVDQU"}) {
-    builder.Add(mnemonic, Category::kVecMove, {{W, R}});
-  }
-  for (const char* mnemonic : {"VADDPS", "VADDPD", "VADDSS", "VADDSD",
-                               "VSUBPS", "VSUBPD", "VSUBSS", "VSUBSD",
-                               "VMINPS", "VMINPD", "VMAXPS", "VMAXPD"}) {
-    builder.Add(mnemonic, Category::kVecFpAdd, {{W, R, R}});
-  }
-  for (const char* mnemonic : {"VMULPS", "VMULPD", "VMULSS", "VMULSD"}) {
-    builder.Add(mnemonic, Category::kVecFpMul, {{W, R, R}});
-  }
-  // Fused multiply-add accumulates into the destination.
-  for (const char* mnemonic : {"VFMADD231PS", "VFMADD231PD", "VFMADD231SS",
-                               "VFMADD231SD", "VFMADD132PD", "VFMADD213PD"}) {
-    builder.Add(mnemonic, Category::kVecFpMul, {{RW, R, R}});
-  }
-  for (const char* mnemonic : {"VDIVPS", "VDIVPD", "VDIVSS", "VDIVSD"}) {
-    builder.Add(mnemonic, Category::kVecFpDiv, {{W, R, R}});
-  }
-  for (const char* mnemonic : {"VSQRTPS", "VSQRTPD", "VSQRTSS", "VSQRTSD"}) {
-    builder.Add(mnemonic, Category::kVecFpSqrt, {{W, R}, {W, R, R}});
-  }
-  for (const char* mnemonic : {"VPADDB", "VPADDW", "VPADDD", "VPADDQ",
-                               "VPSUBD", "VPSUBQ", "VPAND", "VPOR", "VPXOR",
-                               "VPANDN", "VPCMPEQD", "VPCMPGTD", "VXORPS",
-                               "VXORPD", "VANDPS", "VANDPD", "VORPS"}) {
-    builder.Add(mnemonic, Category::kVecInt, {{W, R, R}});
-  }
-  builder.Add("VPMULLD", Category::kVecIntMul, {{W, R, R}});
-  builder.Add("VPSHUFD", Category::kVecShuffle, {{W, R, R}});
-  builder.Add("VZEROUPPER", Category::kNop, {{}});
+    // ---- Shuffles, packs, inserts and extracts ------------------------------
+    {"PSHUFD", "", Category::kVecShuffle, "WRR", 0, "", ""},
+    {"PSHUFLW PSHUFHW", "packed shuffle", Category::kVecShuffle, "WRR", 0,
+     "", ""},
+    {"PSHUFB", "", Category::kVecShuffle, "XR", 0, "", ""},
+    {"PALIGNR", "", Category::kVecShuffle, "XRR", 0, "", ""},
+    {"SHUFPS", "", Category::kVecShuffle, "XRR", 0, "", ""},
+    {"SHUFPD", "", Category::kVecShuffle, "XRR", 0, "", ""},
+    {"UNPCKLPS", "FP unpack", Category::kVecShuffle, "XR", 0, "", ""},
+    {"UNPCKHPS UNPCKLPD UNPCKHPD", "FP unpack", Category::kVecShuffle,
+     "XR", 0, "", ""},
+    {"PUNPCKLBW PUNPCKLWD PUNPCKLDQ PUNPCKLQDQ PUNPCKHBW PUNPCKHWD "
+     "PUNPCKHDQ PUNPCKHQDQ",
+     "packed unpack", Category::kVecShuffle, "XR", 0, "", ""},
+    {"PACKSSWB PACKSSDW PACKUSWB PACKUSDW", "packed pack",
+     Category::kVecShuffle, "XR", 0, "", ""},
+    {"BLENDPS BLENDPD PBLENDW", "blend", Category::kVecShuffle, "XRR", 0,
+     "", ""},
+    {"PEXTRB PEXTRW PEXTRD PEXTRQ", "lane extract", Category::kVecShuffle,
+     "WRR", 0, "", ""},
+    {"PINSRB PINSRW PINSRD PINSRQ", "lane insert", Category::kVecShuffle,
+     "XRR", 0, "", ""},
 
-  // ---- BMI / BMI2 ----------------------------------------------------------
-  for (const char* mnemonic : {"ANDN", "BZHI"}) {
-    auto& entry = builder.Add(mnemonic, Category::kAluSimple, {{W, R, R}});
-    entry.writes_flags = true;
-  }
-  for (const char* mnemonic : {"PDEP", "PEXT"}) {
-    builder.Add(mnemonic, Category::kMulInteger, {{W, R, R}});
-  }
-  {
+    // ---- Conversions --------------------------------------------------------
+    {"CVTSI2SD CVTSI2SS CVTSD2SI CVTSS2SI CVTTSD2SI CVTTSS2SI CVTSD2SS "
+     "CVTSS2SD",
+     "scalar convert", Category::kConvert, "WR", 0, "", ""},
+    {"CVTDQ2PS CVTPS2DQ CVTTPS2DQ CVTDQ2PD CVTPD2DQ CVTTPD2DQ CVTPS2PD "
+     "CVTPD2PS",
+     "packed convert", Category::kConvert, "WR", 0, "", ""},
+    {"ROUNDPS ROUNDPD ROUNDSS ROUNDSD", "FP round", Category::kConvert,
+     "WRR", 0, "", ""},
+
+    // ---- AVX (VEX-encoded, non-destructive three-operand forms) -------------
+    {"VMOVAPS VMOVUPS VMOVAPD VMOVUPD VMOVDQA VMOVDQU", "vector move",
+     Category::kVecMove, "WR", 0, "", ""},
+    {"VMOVSS VMOVSD", "vector move", Category::kVecMove, "WR/WRR", 0, "",
+     ""},
+    {"VMOVQ VMOVD", "vector move", Category::kVecMove, "WR", 0, "", ""},
+    {"VBROADCASTSS VBROADCASTSD VPBROADCASTB VPBROADCASTW VPBROADCASTD "
+     "VPBROADCASTQ",
+     "broadcast", Category::kVecMove, "WR", 0, "", ""},
+    {"VADDPS VADDPD VADDSS VADDSD VSUBPS VSUBPD VSUBSS VSUBSD VMINPS "
+     "VMINPD VMAXPS VMAXPD",
+     "FP add/sub/min/max", Category::kVecFpAdd, "WRR", 0, "", ""},
+    {"VMINSS VMINSD VMAXSS VMAXSD", "FP add/sub/min/max",
+     Category::kVecFpAdd, "WRR", 0, "", ""},
+    {"VMULPS VMULPD VMULSS VMULSD", "FP multiply", Category::kVecFpMul,
+     "WRR", 0, "", ""},
+    // Fused multiply-add accumulates into the destination.
+    {"VFMADD231PS VFMADD231PD VFMADD231SS VFMADD231SD VFMADD132PD "
+     "VFMADD213PD",
+     "FMA", Category::kVecFpMul, "XRR", 0, "", ""},
+    {"VFMADD132PS VFMADD213PS VFMADD132SS VFMADD213SS VFMADD132SD "
+     "VFMADD213SD VFNMADD231PS VFNMADD231PD VFMSUB231PS VFMSUB231PD",
+     "FMA", Category::kVecFpMul, "XRR", 0, "", ""},
+    {"VDIVPS VDIVPD VDIVSS VDIVSD", "FP divide", Category::kVecFpDiv,
+     "WRR", 0, "", ""},
+    {"VSQRTPS VSQRTPD VSQRTSS VSQRTSD", "FP square root",
+     Category::kVecFpSqrt, "WR/WRR", 0, "", ""},
+    {"VUCOMISS VUCOMISD", "FP compare to EFLAGS", Category::kVecFpCompare,
+     "RR", kWF, "", ""},
+    {"VPADDB VPADDW VPADDD VPADDQ VPSUBD VPSUBQ VPAND VPOR VPXOR VPANDN "
+     "VPCMPEQD VPCMPGTD VXORPS VXORPD VANDPS VANDPD VORPS",
+     "packed int ALU", Category::kVecInt, "WRR", 0, "", ""},
+    {"VPSUBB VPSUBW VPCMPEQB VPCMPEQW VPCMPEQQ VPCMPGTB VPCMPGTW VPCMPGTQ "
+     "VPMINSD VPMAXSD VPMINUD VPMAXUD VANDNPS VANDNPD VORPD",
+     "packed int ALU", Category::kVecInt, "WRR", 0, "", ""},
+    {"VPSLLD VPSRLD VPSLLQ VPSRLQ VPSLLW VPSRLW VPSRAD VPSRAW",
+     "packed int shift", Category::kVecInt, "WRR", 0, "", ""},
+    {"VPMULLD", "packed int multiply", Category::kVecIntMul, "WRR", 0, "",
+     ""},
+    {"VPMULLW VPMULUDQ VPMULDQ VPMADDWD", "packed int multiply",
+     Category::kVecIntMul, "WRR", 0, "", ""},
+    {"VPSHUFD", "", Category::kVecShuffle, "WRR", 0, "", ""},
+    {"VPSHUFB VPERMILPS VPERMILPD", "packed shuffle",
+     Category::kVecShuffle, "WRR", 0, "", ""},
+    {"VINSERTF128 VINSERTI128 VPERM2F128 VPERM2I128", "lane permute",
+     Category::kVecShuffle, "WRRR", 0, "", ""},
+    {"VEXTRACTF128 VEXTRACTI128", "lane extract", Category::kVecShuffle,
+     "WRR", 0, "", ""},
+    {"VCVTSI2SD VCVTSI2SS", "scalar convert", Category::kConvert, "WRR", 0,
+     "", ""},
+    {"VCVTSD2SI VCVTSS2SI VCVTTSD2SI VCVTTSS2SI", "scalar convert",
+     Category::kConvert, "WR", 0, "", ""},
+    {"VZEROUPPER", "", Category::kNop, "-", 0, "", ""},
+
+    // ---- BMI / BMI2 ---------------------------------------------------------
+    {"ANDN BZHI", "BMI ALU", Category::kAluSimple, "WRR", kWF, "", ""},
+    {"PDEP PEXT", "BMI deposit/extract", Category::kMulInteger, "WRR", 0,
+     "", ""},
     // MULX writes two destinations and implicitly reads RDX; it does not
     // touch EFLAGS (its reason for existing).
-    auto& entry = builder.Add("MULX", Category::kMulInteger, {{W, W, R}});
-    entry.implicit_reads = {rdx};
-  }
-  for (const char* mnemonic : {"RORX"}) {
-    builder.Add(mnemonic, Category::kShift, {{W, R, R}});
-  }
-  for (const char* mnemonic : {"SARX", "SHLX", "SHRX"}) {
-    builder.Add(mnemonic, Category::kShift, {{W, R, R}});
-  }
+    {"MULX", "", Category::kMulInteger, "WWR", 0, "RDX", ""},
+    {"RORX SARX SHLX SHRX", "BMI shift", Category::kShift, "WRR", 0, "",
+     ""},
 
-  // ---- Explicit flag manipulation -------------------------------------------
-  for (const char* mnemonic : {"CLC", "STC", "CMC"}) {
-    auto& entry = builder.Add(mnemonic, Category::kNop, {{}});
-    entry.writes_flags = true;
-    if (std::string_view(mnemonic) == "CMC") entry.reads_flags = true;
-  }
-  {
-    auto& entry = builder.Add("LAHF", Category::kMove, {{}});
-    entry.reads_flags = true;
-    entry.implicit_writes = {rax};
-  }
-  {
-    auto& entry = builder.Add("SAHF", Category::kMove, {{}});
-    entry.writes_flags = true;
-    entry.implicit_reads = {rax};
-  }
+    // ---- Explicit flag manipulation -----------------------------------------
+    {"CLC STC", "flag set/clear", Category::kNop, "-", kWF, "", ""},
+    {"CMC", "flag set/clear", Category::kNop, "-", kRWF, "", ""},
+    {"LAHF", "flag load/store", Category::kMove, "-", kRF, "", "RAX"},
+    {"SAHF", "flag load/store", Category::kMove, "-", kWF, "RAX", ""},
 
-  // ---- String operations -----------------------------------------------------
-  for (const char* mnemonic : {"MOVSB", "MOVSW", "MOVSD_STR", "MOVSQ"}) {
+    // ---- String operations --------------------------------------------------
     // Note: "MOVSD" collides between the SSE move and the string move; the
     // string form is registered as MOVSQ/MOVSB/MOVSW only (the SSE form
     // owns "MOVSD"), matching common disassembler conventions where the
     // string form is rare in compiled basic blocks. MOVSD_STR is reserved
     // for explicit construction and never produced by the parser.
-    auto& entry = builder.Add(mnemonic, Category::kString, {{}});
-    entry.implicit_reads = {rsi, rdi};
-    entry.implicit_writes = {rsi, rdi};
-    entry.implicit_memory_read = true;
-    entry.implicit_memory_write = true;
-    entry.is_string_op = true;
-  }
-  for (const char* mnemonic : {"STOSB", "STOSW", "STOSD", "STOSQ"}) {
-    auto& entry = builder.Add(mnemonic, Category::kString, {{}});
-    entry.implicit_reads = {rax, rdi};
-    entry.implicit_writes = {rdi};
-    entry.implicit_memory_write = true;
-    entry.is_string_op = true;
-  }
+    {"MOVSB MOVSW MOVSD_STR MOVSQ", "string move", Category::kString, "-",
+     kStr | kMemR | kMemW, "RSI,RDI", "RSI,RDI"},
+    {"STOSB STOSW STOSD STOSQ", "string store", Category::kString, "-",
+     kStr | kMemW, "RAX,RDI", "RDI"},
+};
 
-  return builder.Take();
+// The 30 condition-code suffixes a kCC stem expands to. Includes the
+// alias spellings real disassemblers emit for the same condition codes
+// (SETNZ == SETNE, CMOVC == CMOVB, SETPE == SETP, ...) so objdump/llvm-mc
+// output is not dropped as unknown mnemonics.
+constexpr const char* kConditionCodes[] = {
+    "E",  "NE", "L",  "LE",  "G",  "GE",  "A",  "AE",  "B",  "BE",
+    "S",  "NS", "Z",  "NZ",  "C",  "NC",  "O",  "NO",  "P",  "NP",
+    "PE", "PO", "NA", "NAE", "NB", "NBE", "NG", "NGE", "NL", "NLE"};
+
+/** Decodes a row's signature string into per-arity usage vectors. */
+std::vector<std::vector<Usage>> ParseSignatures(const char* signatures) {
+  std::vector<std::vector<Usage>> result;
+  for (const std::string_view arity : Split(signatures, '/')) {
+    std::vector<Usage> usage;
+    if (arity != "-") {
+      usage.reserve(arity.size());
+      for (const char c : arity) {
+        switch (c) {
+          case 'R': usage.push_back(Usage::kRead); break;
+          case 'W': usage.push_back(Usage::kWrite); break;
+          case 'X': usage.push_back(Usage::kReadWrite); break;
+          default:
+            GRANITE_CHECK_MSG(false, "bad signature character '"
+                                         << c << "' in " << signatures);
+        }
+      }
+    }
+    result.push_back(std::move(usage));
+  }
+  return result;
+}
+
+/** Resolves a comma-separated canonical register name list. */
+std::vector<Register> ParseRegisterList(const char* names) {
+  std::vector<Register> registers;
+  for (const std::string_view name : SplitAndStrip(names, ',')) {
+    registers.push_back(RegisterByName(name));
+  }
+  return registers;
+}
+
+/** Expands every table row into catalog entries. */
+std::vector<InstructionSemantics> BuildCatalog() {
+  std::vector<InstructionSemantics> entries;
+  for (const InstructionRow& row : kInstructionTable) {
+    const std::vector<std::vector<Usage>> usage =
+        ParseSignatures(row.signatures);
+    const std::vector<Register> implicit_reads =
+        ParseRegisterList(row.implicit_reads);
+    const std::vector<Register> implicit_writes =
+        ParseRegisterList(row.implicit_writes);
+    const auto emit = [&](const std::string& mnemonic,
+                          const std::string& family) {
+      InstructionSemantics entry;
+      entry.mnemonic = mnemonic;
+      entry.family = family.empty() ? mnemonic : family;
+      entry.category = row.category;
+      entry.usage_by_arity = usage;
+      entry.reads_flags = (row.attrs & kRF) != 0;
+      entry.writes_flags = (row.attrs & kWF) != 0;
+      entry.implicit_reads = implicit_reads;
+      entry.implicit_writes = implicit_writes;
+      entry.is_string_op = (row.attrs & kStr) != 0;
+      entry.implicit_memory_read = (row.attrs & kMemR) != 0;
+      entry.implicit_memory_write = (row.attrs & kMemW) != 0;
+      entry.implicit_operands_unary_only = (row.attrs & kImp1) != 0;
+      entries.push_back(std::move(entry));
+    };
+    for (const std::string_view mnemonic : SplitAndStrip(row.mnemonics, ' ')) {
+      if ((row.attrs & kCC) != 0) {
+        for (const char* condition : kConditionCodes) {
+          emit(std::string(mnemonic) + condition, row.family);
+        }
+      } else {
+        emit(std::string(mnemonic), row.family);
+      }
+    }
+  }
+  return entries;
 }
 
 }  // namespace
@@ -438,8 +476,7 @@ std::vector<OperandUsage> OperandUsageFor(const Instruction& instruction) {
 
 bool ImplicitOperandsApply(const InstructionSemantics& semantics,
                            std::size_t operand_count) {
-  if (semantics.mnemonic == "IMUL" && operand_count >= 2) return false;
-  return true;
+  return !(semantics.implicit_operands_unary_only && operand_count >= 2);
 }
 
 bool IsSupportedInstruction(const Instruction& instruction) {

@@ -9,6 +9,15 @@
  * EFLAGS. This is the information the original GRANITE pipeline obtains
  * from LLVM; the graph builder (src/graph) and the throughput simulator
  * (src/uarch) both consume it.
+ *
+ * The catalog is loaded from the declarative instruction table in
+ * semantics.cc — one constexpr row per mnemonic family — and the checked
+ * in ISA reference (docs/ISA.md) is generated from the same rows via
+ * src/asm/isa_doc, so code and documentation cannot drift.
+ *
+ * Thread-safety: the catalog singleton is immutable after first use;
+ * Find/Require/Mnemonics and the free functions are safe to call
+ * concurrently.
  */
 #ifndef GRANITE_ASM_SEMANTICS_H_
 #define GRANITE_ASM_SEMANTICS_H_
@@ -74,6 +83,13 @@ std::string_view InstructionCategoryName(InstructionCategory category);
 /** Catalog entry for one mnemonic. */
 struct InstructionSemantics {
   std::string mnemonic;
+  /**
+   * Display name of the alias family the mnemonic belongs to (the table
+   * row it was expanded from): "CMOVcc" for every CMOV condition alias,
+   * "shift" for SHL/SHR/SAR/..., the mnemonic itself for singletons. Used
+   * by the generated ISA reference; never consulted for semantics.
+   */
+  std::string family;
   InstructionCategory category = InstructionCategory::kNop;
   /**
    * Explicit operand usage for every supported operand count. An
@@ -93,6 +109,10 @@ struct InstructionSemantics {
   bool implicit_memory_read = false;
   /** True when the instruction writes memory implicitly (PUSH, STOSB). */
   bool implicit_memory_write = false;
+  /** True when the implicit registers apply only to the one-operand form
+   * (IMUL: the two- and three-operand forms skip the RAX/RDX
+   * accumulator). Consumers must go through ImplicitOperandsApply(). */
+  bool implicit_operands_unary_only = false;
 
   /** Returns the usage vector matching `operand_count`, or nullptr. */
   const std::vector<OperandUsage>* UsageForArity(

@@ -315,9 +315,13 @@ TEST_F(ImporterTest, CheckedInSampleImportsUnderFivePercent) {
   const std::string sample =
       std::string(GRANITE_TEST_DATA_DIR) + "/bhive_sample.csv";
   const ImportStats stats = ImportBhiveCsv(sample, corpus_path_);
-  EXPECT_EQ(stats.rows, 200u);
-  EXPECT_GE(stats.imported, 190u);
+  EXPECT_EQ(stats.rows, 250u);
+  EXPECT_GE(stats.imported, 240u);
   EXPECT_LT(stats.reject_rate(), 0.05);
+  // The table-driven semantics catalog accepts the extended-ISA rows
+  // appended to the sample, so the reject ppm sits strictly below the
+  // 25000 ppm the hand-written catalog scored on this file.
+  EXPECT_LT(stats.rejected_ppm(), 25000u);
   // Every reject class is represented in the sample's deliberate tail.
   for (int reason = 0; reason < kNumImportRejectReasons; ++reason) {
     EXPECT_GE(stats.rejected_by_reason[reason], 1u) << reason;

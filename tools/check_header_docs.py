@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Checks the doc-comment contract on public serving/model headers.
+"""Checks the doc-comment contract on public headers.
 
 Every header under the directories listed in CHECKED_DIRS must carry:
 
@@ -25,7 +25,7 @@ import re
 import sys
 from pathlib import Path
 
-CHECKED_DIRS = ["src/serve", "src/model", "src/autotune"]
+CHECKED_DIRS = ["src/serve", "src/model", "src/autotune", "src/asm"]
 
 THREADING_MARKERS = [
     "thread-safe",

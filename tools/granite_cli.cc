@@ -24,6 +24,10 @@
  *   inspect  Dump a checkpoint bundle's metadata (kind, config,
  *            vocabulary size, tensor names/shapes) from the header,
  *            without constructing the model.
+ *   isa      Inspect the instruction-semantics table: coverage summary,
+ *            per-mnemonic lookup (--lookup=ADD), emit the generated ISA
+ *            reference (--doc=docs/ISA.md), or verify a checked-in copy
+ *            against the table (--check=docs/ISA.md, the CI drift gate).
  *   dataset  Corpus-file tooling:
  *     dataset synthesize  Stream a labeled synthetic corpus to disk
  *                         (bounded memory — million-block corpora never
@@ -52,6 +56,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
@@ -61,6 +66,7 @@
 #include <thread>
 #include <vector>
 
+#include "asm/isa_doc.h"
 #include "asm/parser.h"
 #include "asm/semantics.h"
 #include "autotune/search.h"
@@ -299,6 +305,14 @@ const std::vector<CommandSpec>& CommandTable() {
        "dump checkpoint bundle metadata without loading the model",
        {{"model-file", "PATH", "checkpoint bundle (required)"},
         {"tensors", "0|1", "list every tensor shape"}}},
+      {"isa",
+       "inspect the instruction-semantics table (no flags: coverage "
+       "summary)",
+       {{"lookup", "MNEMONIC", "print one mnemonic's semantics"},
+        {"doc", "PATH|-", "write the generated ISA reference markdown"},
+        {"check", "PATH",
+         "exit 1 unless PATH matches the generated reference byte for "
+         "byte"}}},
       {"dataset synthesize",
        "stream a labeled synthetic corpus to disk with bounded memory",
        {{"out", "PATH", "corpus file (required)"},
@@ -1355,6 +1369,72 @@ int RunDatasetInspect(const Flags& flags) {
   return 0;
 }
 
+/**
+ * The `isa` subcommand. --lookup, --doc and --check compose (each runs
+ * in that order); with no flags, prints the coverage summary. --check is
+ * the CI drift gate: it fails unless the file on disk is byte-identical
+ * to the reference rendered from the instruction table.
+ */
+int RunIsa(const Flags& flags) {
+  flags.RequireKnown(KnownFlagsOf(CommandSpecFor("isa")));
+  bool acted = false;
+  if (flags.Has("lookup")) {
+    const std::string mnemonic = flags.GetString("lookup", "");
+    const std::string text = granite::assembly::RenderIsaLookup(mnemonic);
+    if (text.empty()) {
+      std::fprintf(stderr,
+                   "granite_cli isa: unknown mnemonic '%s' (the table in "
+                   "src/asm/semantics.cc has no row for it)\n",
+                   mnemonic.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), stdout);
+    acted = true;
+  }
+  if (flags.Has("doc")) {
+    const std::string path = flags.GetString("doc", "-");
+    const std::string doc = granite::assembly::RenderIsaReference();
+    if (path == "-") {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream file(path, std::ios::trunc | std::ios::binary);
+      file << doc;
+      file.close();
+      if (!file.good()) {
+        std::fprintf(stderr, "granite_cli isa: cannot write %s\n",
+                     path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu bytes)\n", path.c_str(), doc.size());
+    }
+    acted = true;
+  }
+  if (flags.Has("check")) {
+    const std::string path = flags.GetString("check", "");
+    std::ifstream file(path, std::ios::binary);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "granite_cli isa: cannot read %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::ostringstream on_disk;
+    on_disk << file.rdbuf();
+    if (on_disk.str() != granite::assembly::RenderIsaReference()) {
+      std::fprintf(stderr,
+                   "granite_cli isa: %s does not match the semantics "
+                   "table — regenerate it with `granite_cli isa "
+                   "--doc=%s`\n",
+                   path.c_str(), path.c_str());
+      return 1;
+    }
+    std::printf("%s matches the semantics table\n", path.c_str());
+    acted = true;
+  }
+  if (!acted) std::fputs(granite::assembly::RenderIsaSummary().c_str(),
+                         stdout);
+  return 0;
+}
+
 int RunDataset(int argc, char** argv) {
   if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
     std::fprintf(stderr,
@@ -1406,6 +1486,7 @@ int main(int argc, char** argv) {
     if (command == "serve") return RunServe(flags);
     if (command == "autotune") return RunAutotune(flags);
     if (command == "inspect") return RunInspect(flags);
+    if (command == "isa") return RunIsa(flags);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "granite_cli: %s\n", error.what());
     return 1;
